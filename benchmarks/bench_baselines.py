@@ -1,0 +1,116 @@
+"""§1/§2 claim — constant response time vs amortized PIR baselines.
+
+Executes all four schemes (this paper's c-approximate scheme, trivial PIR,
+Wang et al. 2006, square-root ORAM) over the same request stream on the
+Table-2 timing model, and prints their latency profiles.  The paper's
+motivating observation — perfect-privacy schemes stall on reshuffles while
+this scheme's latency is flat — shows up as the CV / max-vs-median columns.
+
+A second table gives the full-scale analytical worst case, where a Wang
+reshuffle means streaming the whole database (hours for 1 TB) versus this
+scheme's constant sub-second retrievals.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import AnalyticalCostModel
+from repro.baselines import (
+    CApproxScheme,
+    PyramidOram,
+    SquareRootOram,
+    TrivialPir,
+    WangPir,
+    make_records,
+    measure_latencies,
+)
+from repro.core.database import PirDatabase
+from repro.crypto.rng import SecureRandom
+from repro.hardware.specs import IBM_4764, HardwareSpec
+
+_N = 256
+_RECORDS = make_records(_N, 16)
+
+
+def _stream(count=120, seed=5):
+    rng = SecureRandom(seed)
+    return [rng.randrange(_N) for _ in range(count)]
+
+
+def test_latency_profiles(report, benchmark):
+    stream = _stream()
+    db = PirDatabase.create(
+        _RECORDS, cache_capacity=16, target_c=2.0, page_capacity=16,
+        spec=HardwareSpec(), seed=1,
+    )
+    schemes = [
+        CApproxScheme(db),
+        WangPir.create(_RECORDS, storage_capacity=16, page_capacity=16,
+                       spec=HardwareSpec(), seed=2),
+        SquareRootOram.create(_RECORDS, page_capacity=16,
+                              spec=HardwareSpec(), seed=3),
+        PyramidOram.create(_RECORDS, page_capacity=16,
+                           spec=HardwareSpec(), seed=6),
+        TrivialPir.create(_RECORDS, page_capacity=16,
+                          spec=HardwareSpec(), seed=4),
+    ]
+    rows = []
+    for scheme in schemes:
+        ids = stream if scheme.name != "trivial" else stream[:10]
+        series = measure_latencies(scheme, ids)
+        summary = series.summary()
+        rows.append([
+            scheme.name, summary["mean"], summary["p50"], summary["p99"],
+            summary["max"], summary["cv"],
+        ])
+    benchmark(lambda: db.query(0))
+    report.line(f"executed latency profiles (n = {_N} pages, Table-2 timing)")
+    report.table(["scheme", "mean (s)", "p50 (s)", "p99 (s)", "max (s)", "CV"],
+                 rows)
+    by_name = {row[0]: row for row in rows}
+    assert by_name["c-approx"][5] < 1e-9          # constant
+    assert by_name["wang2006"][5] > 0.3            # spiky
+    assert by_name["sqrt-oram"][5] > 0.2           # spiky
+    assert by_name["pyramid-oram"][5] > 0.15       # spiky
+    # Work per query: trivial PIR moves the whole database, we move 2(k+1)
+    # pages.  (At n = 256 with batched reads the trivial scan pays fewer
+    # *seeks*, so the wall-clock comparison belongs to the full-scale table
+    # below; the per-request byte volume is the scale-free claim.)
+    k = db.params.block_size
+    assert _N > 2 * (k + 1)
+
+
+def test_full_scale_worst_case(report, benchmark):
+    """Analytical worst-case response time at paper scale (1 KB pages, c=2)."""
+    model = benchmark(AnalyticalCostModel)
+    page = 1000
+    rows = []
+    for label, n, m in (("1GB", 10**6, 50_000), ("10GB", 10**7, 100_000),
+                        ("1TB", 10**9, 500_000)):
+        ours = model.point(n * page, page, m, 2.0).query_time
+        # Wang et al.: normal query = 1 page read; worst case = reshuffle,
+        # i.e. stream n pages in and out through the crypto engine.
+        reshuffle = 2 * n * page * (
+            1 / IBM_4764.disk.read_bandwidth
+            + 1 / IBM_4764.link_bandwidth
+            + 1 / IBM_4764.crypto_throughput
+        )
+        # sqrt-ORAM: per-access sqrt(n) shelter scan; same reshuffle spike.
+        shelter = int(n**0.5)
+        sqrt_access = 2 * IBM_4764.disk.seek_time + (shelter + 1) * page * (
+            1 / IBM_4764.disk.read_bandwidth
+            + 1 / IBM_4764.link_bandwidth
+            + 1 / IBM_4764.crypto_throughput
+        )
+        trivial = n * page * (
+            1 / IBM_4764.disk.read_bandwidth
+            + 1 / IBM_4764.link_bandwidth
+            + 1 / IBM_4764.crypto_throughput
+        )
+        rows.append([label, ours, ours, sqrt_access, reshuffle, trivial])
+        assert ours < reshuffle and ours < trivial
+    report.line("full-scale response times (s): typical and worst case")
+    report.table(
+        ["DB", "ours typical", "ours worst", "sqrt-ORAM typical",
+         "Wang/ORAM reshuffle spike", "trivial scan"],
+        rows,
+    )

@@ -1,0 +1,102 @@
+"""Deployment extensions: multi-unit partitioning and online key rotation.
+
+Not figures in the paper, but direct consequences of its §5 discussion:
+
+* partitioning the database over several coprocessors shrinks each unit's
+  n (hence k and latency) at the price of either shard-id leakage or
+  cover traffic;
+* the continuous reshuffle makes key rotation free — one scan period of
+  ordinary requests migrates every frame to the new key with zero extra
+  disk accesses.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_records
+from repro.core.database import PirDatabase
+from repro.core.sharded import ShardedPirDatabase
+from repro.crypto.suite import CipherSuite
+from repro.errors import AuthenticationError
+from repro.hardware.specs import HardwareSpec
+
+_RECORDS = make_records(96, 16)
+
+
+def test_partitioned_deployment(report, benchmark):
+    single = PirDatabase.create(
+        _RECORDS, cache_capacity=6, target_c=2.0, page_capacity=16,
+        spec=HardwareSpec(), seed=1,
+    )
+    rows = []
+    single_start = single.clock.now
+    single.query(0)
+    single_latency = single.clock.now - single_start
+    rows.append(["1 (single)", single.params.block_size, single_latency,
+                 single.engine.request_count])
+    for shards in (2, 4):
+        db = ShardedPirDatabase.create(
+            _RECORDS, shards, cache_capacity_per_shard=6, target_c=2.0,
+            page_capacity=16, spec=HardwareSpec(), seed=shards,
+        )
+        before = db.elapsed()
+        db.query(0)
+        rows.append([
+            f"{shards} (cover traffic)",
+            max(s.params.block_size for s in db.shards),
+            db.elapsed() - before,
+            db.total_requests(),
+        ])
+    benchmark(lambda: single.query(1))
+    report.line("partitioned deployment (96 pages, c = 2, m = 6/unit)")
+    report.table(
+        ["units", "k per unit", "latency (s, parallel)", "requests issued"],
+        rows,
+    )
+    # Partitioning shrinks per-unit k and the parallel latency.
+    assert rows[1][1] <= rows[0][1]
+    assert rows[2][2] <= rows[0][2] + 1e-12
+
+
+def test_online_key_rotation(report, benchmark):
+    db = PirDatabase.create(
+        _RECORDS, cache_capacity=8, target_c=2.0, page_capacity=16,
+        seed=5, master_key=b"epoch-1",
+    )
+
+    def count_under(key: bytes) -> int:
+        probe = CipherSuite(key, backend=db.cop.suite.backend)
+        hits = 0
+        for location in range(db.disk.num_locations):
+            try:
+                probe.decrypt_page(db.disk.peek(location))
+                hits += 1
+            except AuthenticationError:
+                pass
+        return hits
+
+    accesses_before = len(db.trace)
+    db.rotate_master_key(b"epoch-2")
+    period = db.params.scan_period
+    migration = []
+    checkpoints = [period // 4, period // 2, period]
+    done = 0
+    for stop in checkpoints:
+        while done < stop:
+            db.touch()
+            done += 1
+        migration.append([done, count_under(b"epoch-2"),
+                          count_under(b"epoch-1")])
+    # Zero extra disk accesses beyond the requests themselves: 4 per request.
+    accesses = len(db.trace) - accesses_before
+    extra_accesses = accesses - 4 * period
+    benchmark(lambda: db.touch())
+    report.line(f"online key rotation over one scan period (T = {period})")
+    report.table(["requests since rotation", "new-key frames",
+                  "old-key frames"], migration)
+    assert migration[-1][2] == 0  # fully migrated
+    assert not db.cop.rotation_in_progress
+    report.table(
+        ["disk accesses during rotation", "per request", "extra for rotation"],
+        [[accesses, accesses / period, extra_accesses]],
+    )
+    assert extra_accesses == 0

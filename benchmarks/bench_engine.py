@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the executed system's moving parts.
+
+Not a paper artifact — engineering numbers for this implementation: query
+throughput as a function of k, setup cost (direct vs oblivious shuffle),
+and the two-party protocol overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_records
+from repro.core.database import PirDatabase
+from repro.shuffle.oblivious import network_size
+from repro.twoparty import TwoPartySession
+
+
+@pytest.mark.parametrize("block_size", [2, 8, 32])
+def test_query_throughput_vs_k(benchmark, block_size):
+    db = PirDatabase.create(
+        make_records(128, 16), cache_capacity=8, block_size=block_size,
+        page_capacity=16, cipher_backend="blake2", trace_enabled=False,
+        seed=block_size,
+    )
+    counter = iter(range(10**9))
+
+    def one_query():
+        return db.query(next(counter) % 128)
+
+    benchmark(one_query)
+
+
+def test_setup_direct(benchmark):
+    def build():
+        return PirDatabase.create(
+            make_records(256, 16), cache_capacity=8, block_size=8,
+            page_capacity=16, trace_enabled=False, seed=1,
+        )
+
+    db = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert db.params.num_locations >= 256
+
+
+def test_setup_oblivious(benchmark, report):
+    def build():
+        return PirDatabase.create(
+            make_records(64, 16), cache_capacity=8, block_size=8,
+            page_capacity=16, trace_enabled=False, seed=2,
+            setup_mode="oblivious",
+        )
+
+    db = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert db.query(5) == make_records(64, 16)[5]
+    report.line("oblivious setup cost (Batcher network compare-exchanges)")
+    report.table(
+        ["n", "comparators", "per-comparator disk ops"],
+        [[db.params.num_locations, network_size(db.params.num_locations), 4]],
+    )
+
+
+def test_two_party_query(benchmark):
+    session = TwoPartySession.create(
+        make_records(96, 16), cache_capacity=8, block_size=8,
+        page_capacity=16, seed=3,
+    )
+    counter = iter(range(10**9))
+
+    def one_query():
+        return session.query(next(counter) % 96)
+
+    benchmark(one_query)

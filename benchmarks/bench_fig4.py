@@ -1,0 +1,72 @@
+"""Figure 4 — page retrieval time & secure storage vs cache size (1 KB pages, c = 2).
+
+Four panels (1 GB, 10 GB, 100 GB, 1 TB databases).  The paper's own figure
+is analytical over Table 2 (Eqs. 7-8); we regenerate exactly those series,
+then validate the model against the *executed* engine at reduced scale:
+the virtual-clock time of a real request must equal Eq. 8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import AnalyticalCostModel, figure4_series
+from repro.analysis.plots import ascii_plot
+from repro.baselines import make_records
+from repro.core.database import PirDatabase
+from repro.hardware.specs import HardwareSpec
+
+
+def test_figure4_series(report, benchmark):
+    series = benchmark(figure4_series)
+    for panel, points in series.items():
+        report.line(f"Figure 4 ({panel} database, B = 1 KB, c = 2)")
+        report.table(
+            ["m (pages)", "k", "response (s)", "storage (MB)"],
+            [
+                [p.cache_pages, p.block_size, p.query_time, p.secure_storage_mb]
+                for p in points
+            ],
+        )
+        report.line()
+        times = [p.query_time for p in points]
+        storages = [p.secure_storage_bytes for p in points]
+        assert times == sorted(times, reverse=True), panel
+        assert storages == sorted(storages), panel
+    # Paper's anchor: 27 ms at (1 GB, m = 50000).
+    assert series["1GB"][-1].query_time == pytest.approx(0.027, abs=0.002)
+    report.line(ascii_plot(
+        [
+            (panel, [p.cache_pages for p in points],
+             [p.query_time for p in points])
+            for panel, points in series.items()
+        ],
+        log_x=True, log_y=True,
+        title="Figure 4 (all panels): response time vs cache size",
+        x_label="m", y_label="seconds",
+    ))
+
+
+def test_figure4_model_matches_executed_engine(report, benchmark):
+    """Reduced-scale execution: Eq. 8 with the frame size as B equals the
+    virtual-clock cost of a real request, for several k."""
+    model = AnalyticalCostModel()
+    rows = []
+    for block_size in (2, 8, 24):
+        db = PirDatabase.create(
+            make_records(96, 16),
+            cache_capacity=8,
+            block_size=block_size,
+            page_capacity=16,
+            spec=HardwareSpec(),
+            seed=block_size,
+        )
+        start = db.clock.now
+        db.query(0)
+        measured = db.clock.now - start
+        expected = model.query_time(block_size, db.cop.frame_size)
+        rows.append([block_size, measured, expected, abs(measured - expected)])
+        assert measured == pytest.approx(expected, rel=1e-9)
+    benchmark(lambda: model.query_time(29, 1024))
+    report.line("executed engine vs Eq. 8 (n = 96 pages, real timing model)")
+    report.table(["k", "measured (s)", "Eq. 8 (s)", "abs err"], rows)

@@ -1,0 +1,51 @@
+"""Figure 5 — page retrieval time & secure storage vs cache size (10 KB pages, c = 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import figure4_series, figure5_series
+from repro.analysis.plots import ascii_plot
+
+
+def test_figure5_series(report, benchmark):
+    series = benchmark(figure5_series)
+    for panel, points in series.items():
+        report.line(f"Figure 5 ({panel} database, B = 10 KB, c = 2)")
+        report.table(
+            ["m (pages)", "k", "response (s)", "storage (MB)"],
+            [
+                [p.cache_pages, p.block_size, p.query_time, p.secure_storage_mb]
+                for p in points
+            ],
+        )
+        report.line()
+        times = [p.query_time for p in points]
+        assert times == sorted(times, reverse=True), panel
+    # Paper's anchor: 94 ms at (1 GB, m = 5000).
+    assert series["1GB"][-1].query_time == pytest.approx(0.094, abs=0.004)
+    report.line(ascii_plot(
+        [
+            (panel, [p.cache_pages for p in points],
+             [p.query_time for p in points])
+            for panel, points in series.items()
+        ],
+        log_x=True, log_y=True,
+        title="Figure 5 (all panels): response time vs cache size (10 KB)",
+        x_label="m", y_label="seconds",
+    ))
+
+
+def test_figure5_crossover_against_figure4(report, benchmark):
+    """Shape check: at matched panels, 10 KB pages cost more per query than
+    1 KB pages (more bytes per request despite smaller n)."""
+    f4 = benchmark(figure4_series)
+    f5 = figure5_series()
+    rows = []
+    for panel in f4:
+        t4 = f4[panel][-1].query_time
+        t5 = f5[panel][-1].query_time
+        rows.append([panel, t4, t5, t5 / t4])
+        assert t5 > t4
+    report.line("largest-cache point of each panel: 1 KB vs 10 KB pages")
+    report.table(["panel", "1KB (s)", "10KB (s)", "ratio"], rows)

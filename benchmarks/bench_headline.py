@@ -1,0 +1,34 @@
+"""§5 prose — the headline response times quoted in the paper's text.
+
+27 ms / 94 ms (1 GB), 197 ms & 65 ms (10 GB, 1 vs 2 units), 197 ms (100 GB),
+727 ms (1 TB), plus the coprocessor-unit counts the storage demands imply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import headline_numbers
+
+
+def test_headline_numbers(report, benchmark):
+    rows = benchmark(headline_numbers)
+    report.line("§5 headline response times: paper vs this model")
+    report.table(
+        ["configuration", "paper (s)", "model (s)", "k", "storage (MB)", "units"],
+        [
+            [
+                r["label"],
+                r["paper_seconds"],
+                r["model_seconds"],
+                r["block_size"],
+                r["storage_mb"],
+                r["units"],
+            ]
+            for r in rows
+        ],
+    )
+    for row in rows:
+        assert row["model_seconds"] == pytest.approx(
+            row["paper_seconds"], rel=0.05
+        ), row["label"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Location-private nearest-neighbour search (the paper's LBS motivation).
+
+§1: "the emergence of location based services allows mobile users to browse
+points of interest in their surroundings [but] a user's location over a
+period of time can be tracked with very high accuracy."  Here the points of
+interest live in a paged spatial grid inside a c-approximate PIR database,
+so the provider answers kNN queries without learning where the user is.
+
+Run:  python examples/location_privacy.py
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import SecureRandom
+from repro.index import PrivateSpatialStore, SpatialPoint
+
+
+def main() -> None:
+    # A city of 800 restaurants on a 10 km x 10 km map.
+    rng = SecureRandom(2026)
+    city = [
+        SpatialPoint(
+            rng.random() * 10_000,
+            rng.random() * 10_000,
+            f"restaurant-{i}".encode(),
+        )
+        for i in range(800)
+    ]
+
+    store = PrivateSpatialStore.create(
+        city,
+        cache_capacity=32,
+        target_c=2.0,
+        page_capacity=1024,
+        seed=11,
+    )
+    geometry = store._index.geometry
+    print(f"grid: {geometry.cells_x} x {geometry.cells_y} cells "
+          f"-> {store.database.num_pages} pages; "
+          f"k = {store.database.params.block_size}, "
+          f"c = {store.database.achieved_c:.3f}")
+
+    # A user walking across town issues kNN queries; each one touches only
+    # private page retrievals.
+    walk = [(1200.0, 3400.0), (1900.0, 3600.0), (2600.0, 4100.0)]
+    for x, y in walk:
+        distance, place = store.nearest(x, y)
+        print(f"user at ({x:6.0f}, {y:6.0f}) -> nearest: "
+              f"{place.label.decode():15s} at {distance:6.1f} m")
+
+    top3 = store.knn(5000, 5000, k=3)
+    print("\n3 nearest to the city centre:")
+    for distance, place in top3:
+        print(f"  {place.label.decode():15s} {distance:7.1f} m")
+
+    # Verify against brute force (we can, we own the data).
+    expected = min(city, key=lambda p: p.distance_to(5000, 5000))
+    assert top3[0][1].label == expected.label
+
+    # Private spatial range query: "what's in this neighbourhood?"
+    neighbourhood = store.within(4000, 4000, 6000, 6000)
+    print(f"\nrestaurants in the 2km x 2km downtown square: "
+          f"{len(neighbourhood)}")
+
+    print(f"\nprivate retrievals for the whole session: {store.retrievals}")
+    print("provider's view: fixed-size encrypted block reads/writes only —")
+    print("no cell ids, no coordinates, no query contents.")
+
+
+if __name__ == "__main__":
+    main()

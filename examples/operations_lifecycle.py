@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Operating a private database over its whole lifecycle.
+
+Production concerns beyond a single session: serving many clients through
+the three-party front-end (Figure 1), rotating the encryption key online
+with zero extra I/O (a free consequence of the continuous reshuffle), and
+surviving a restart via sealed snapshots.
+
+Run:  python examples/operations_lifecycle.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import PirDatabase
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.service import QueryFrontend, ServiceClient
+
+
+def main() -> None:
+    records = [f"account balance row {i}".encode() for i in range(120)]
+    db = PirDatabase.create(
+        records,
+        cache_capacity=16,
+        target_c=2.0,
+        page_capacity=64,
+        reserve_fraction=0.1,
+        seed=99,
+        master_key=b"2026-Q2-key",
+    )
+    print("created:", db.params.describe())
+
+    # -- multiple clients through the secure-hardware front-end ---------------
+    frontend = QueryFrontend(db)
+    alice = ServiceClient(frontend)
+    bob = ServiceClient(frontend)
+    alice.update(10, b"updated by alice")
+    print("bob reads alice's write:", bob.query(10).decode())
+    print(f"sessions: {frontend.counters.get('sessions')}, "
+          f"requests: {frontend.counters.get('requests')}; each session has "
+          "its own keys, so clients cannot read each other's traffic")
+
+    # -- online key rotation ----------------------------------------------------
+    db.rotate_master_key(b"2026-Q3-key")
+    remaining = db.engine.rotation_requests_remaining
+    print(f"\nkey rotation started: completes within T = {remaining} requests")
+    while db.cop.rotation_in_progress:
+        alice.query(db.engine.request_count % 120)  # normal traffic
+    print("rotation finished during ordinary traffic — zero extra disk I/O")
+
+    # -- snapshot, 'crash', restore -----------------------------------------------
+    with tempfile.TemporaryDirectory() as directory:
+        save_snapshot(db, directory)
+        print(f"\nsnapshot written to {directory} "
+              "(encrypted frames + sealed trusted state)")
+        restored = load_snapshot(directory, master_key=b"2026-Q3-key", seed=7)
+        assert restored.query(10) == b"updated by alice"
+        restored.consistency_check()
+        print("restored database verified: payloads, position map, cache, "
+              "round-robin pointer all intact")
+        try:
+            load_snapshot(directory, master_key=b"stolen-guess")
+        except Exception as exc:
+            print(f"restore with wrong key -> {type(exc).__name__} (as it should)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Privacy analysis (Eqs. 1-5), Monte-Carlo validation, adversary model,
+and the §5 analytical cost model that regenerates the paper's figures."""
+
+from .adversary import TrackingAdversary
+from .costmodel import (
+    AnalyticalCostModel,
+    ConfigurationPoint,
+    TwoPartyCostModel,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    headline_numbers,
+)
+from .empirical import LandingExperiment, measure_landing_distribution
+from .frequency import (
+    FrequencyAnalyst,
+    FrequencyExperimentResult,
+    StaticEncryptedStore,
+    run_frequency_experiment,
+)
+from .mixing import (
+    DisplacementSeries,
+    measure_displacement,
+    measure_location_mixing,
+)
+from .plots import ascii_bar_chart, ascii_plot
+from .stats import (
+    ChiSquareResult,
+    chi_square_test,
+    fit_geometric,
+    spearman_rank_correlation,
+    wilson_interval,
+)
+from .sweep import EnginePoint, run_engine_sweep, write_csv
+from .privacy import (
+    empirical_ratio,
+    landing_entropy_bits,
+    location_landing_distribution,
+    max_landing_probability,
+    min_landing_probability,
+    offset_landing_probabilities,
+    privacy_ratio,
+    total_variation_from_uniform,
+)
+
+__all__ = [
+    "TrackingAdversary",
+    "AnalyticalCostModel",
+    "ConfigurationPoint",
+    "TwoPartyCostModel",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+    "headline_numbers",
+    "LandingExperiment",
+    "measure_landing_distribution",
+    "FrequencyAnalyst",
+    "FrequencyExperimentResult",
+    "StaticEncryptedStore",
+    "run_frequency_experiment",
+    "DisplacementSeries",
+    "measure_displacement",
+    "measure_location_mixing",
+    "ascii_bar_chart",
+    "ascii_plot",
+    "ChiSquareResult",
+    "chi_square_test",
+    "fit_geometric",
+    "spearman_rank_correlation",
+    "wilson_interval",
+    "empirical_ratio",
+    "landing_entropy_bits",
+    "location_landing_distribution",
+    "max_landing_probability",
+    "min_landing_probability",
+    "offset_landing_probabilities",
+    "privacy_ratio",
+    "total_variation_from_uniform",
+    "EnginePoint",
+    "run_engine_sweep",
+    "write_csv",
+]

@@ -1,0 +1,139 @@
+"""A Bayesian tracking adversary over the observable disk trace.
+
+Threat model (§3.2): the server sees which locations are read/written and
+knows every algorithm inside the secure hardware, but not the keys, the
+cache contents, or the client queries.  The strongest thing it can do about
+a single page is *probabilistic tracking*: suppose the adversary learns (by
+out-of-band means) that page ``p`` was the page fetched as the extra read of
+request ``t0``.  From that instant:
+
+* ``p`` sits in the cache; each subsequent request evicts it with
+  probability 1/m (Eq. 1),
+* if evicted at request ``t``, it lands uniformly on the k block locations
+  of request ``t`` (Eq. 2) — the adversary sees exactly which block that is,
+* once relocated, a later request may pick ``p`` up again (as target or
+  random extra) — but the adversary cannot tell which of the k+1 touched
+  pages moved, so its belief spreads.
+
+:class:`TrackingAdversary` maintains the exact posterior over "still cached"
+vs. each disk location, folding in one observed request at a time.  The
+posterior's max/min ratio over fully-mixed locations is the operational
+meaning of Definition 1, and the tests check it never exceeds the configured
+``c`` once every location has been swept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+__all__ = ["TrackingAdversary"]
+
+
+class TrackingAdversary:
+    """Posterior tracker for one page, fed with observed request footprints."""
+
+    def __init__(self, num_locations: int, block_size: int, cache_capacity: int):
+        if num_locations <= 0 or block_size <= 0 or cache_capacity < 2:
+            raise ConfigurationError("invalid adversary model parameters")
+        if num_locations % block_size != 0:
+            raise ConfigurationError("num_locations must be a multiple of block_size")
+        self.num_locations = num_locations
+        self.block_size = block_size
+        self.cache_capacity = cache_capacity
+        # Belief state: probability the page is still cached, plus a
+        # probability per disk location.  Initialised to "just entered cache".
+        self.cached_probability = 1.0
+        self.location_probability: List[float] = [0.0] * num_locations
+        self.requests_observed = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe_request(self, block_start: int, extra_location: int) -> None:
+        """Fold in one observed request: block [block_start, +k) and one extra read.
+
+        Belief update:
+
+        1. If the page is cached (prob ``q``), this request evicts it with
+           probability 1/m, spreading ``q/m`` uniformly over the k block
+           locations.
+        2. If the page sits on a location touched by this request (any of
+           the k block slots or the extra), it may have been picked up into
+           the cache: exactly one of the k+1 pages read moves to the cache,
+           each equally likely from the adversary's viewpoint (the swap
+           randomisation of lines 17-20 makes the moved slot uniform).
+           The remaining mass redistributes uniformly over the k+1 written
+           locations.
+        """
+        k = self.block_size
+        if block_start % k != 0 or not 0 <= block_start < self.num_locations:
+            raise ConfigurationError(f"invalid block start {block_start}")
+        if not 0 <= extra_location < self.num_locations:
+            raise ConfigurationError(f"invalid extra location {extra_location}")
+        touched = list(range(block_start, block_start + k))
+        if extra_location not in touched:
+            touched.append(extra_location)
+
+        # Mass currently sitting on touched locations.
+        touched_mass = sum(self.location_probability[loc] for loc in touched)
+
+        # Step 2: of the touched mass, 1/(k+1) moves to the cache, the rest
+        # is shuffled uniformly across the written-back slots.
+        to_cache = touched_mass / (k + 1)
+        stays = touched_mass - to_cache
+
+        # Step 1: cached mass may be evicted into the k block slots.
+        evicted = self.cached_probability / self.cache_capacity
+        self.cached_probability = self.cached_probability - evicted + to_cache
+
+        per_block_slot = evicted / k
+        per_touched_slot = stays / len(touched)
+        for loc in touched:
+            self.location_probability[loc] = per_touched_slot
+        for loc in range(block_start, block_start + k):
+            self.location_probability[loc] += per_block_slot
+
+        self.requests_observed += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def belief(self) -> Dict[str, float]:
+        """Summary of the posterior (should always sum to ~1)."""
+        disk_mass = sum(self.location_probability)
+        return {
+            "cached": self.cached_probability,
+            "on_disk": disk_mass,
+            "total": self.cached_probability + disk_mass,
+        }
+
+    def normalisation_error(self) -> float:
+        return abs(self.belief()["total"] - 1.0)
+
+    def max_location_probability(self) -> float:
+        return max(self.location_probability)
+
+    def min_location_probability(self) -> float:
+        return min(self.location_probability)
+
+    def posterior_ratio(self) -> float:
+        """Max/min posterior over locations — compare against Definition 1's c.
+
+        Meaningful once every location has been written at least once since
+        tracking started (one full scan, T = n/k requests); before that the
+        minimum is a structural zero.
+        """
+        low = self.min_location_probability()
+        if low <= 0:
+            raise ConfigurationError(
+                "posterior ratio undefined before a full scan has completed"
+            )
+        return self.max_location_probability() / low
+
+    def guess(self) -> int:
+        """The adversary's single best location guess (argmax posterior)."""
+        best, best_probability = 0, -1.0
+        for location, probability in enumerate(self.location_probability):
+            if probability > best_probability:
+                best, best_probability = location, probability
+        return best

@@ -1,0 +1,122 @@
+"""ASCII rendering of figure series for terminal benchmark output.
+
+The paper's Figures 4-7 are log-scale line plots; the benches print tables
+*and* a terminal sketch of each curve, so the reproduced shapes can be
+eyeballed directly in ``bench_output.txt`` without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_plot", "ascii_bar_chart"]
+
+
+def _log_position(value: float, low: float, high: float) -> float:
+    return (math.log10(value) - math.log10(low)) / (
+        math.log10(high) - math.log10(low)
+    )
+
+
+def _linear_position(value: float, low: float, high: float) -> float:
+    return (value - low) / (high - low)
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = True,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (label, xs, ys) series on a character grid.
+
+    Each series gets a distinct marker; points are connected visually by
+    their placement only (scatter-style), which is plenty for monotone
+    cost curves.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    markers = "*o+x#@%&"
+    all_x = [x for _label, xs, _ys in series for x in xs]
+    all_y = [y for _label, _xs, ys in series for y in ys]
+    if not all_x:
+        raise ConfigurationError("series contain no points")
+    if log_x and min(all_x) <= 0:
+        raise ConfigurationError("log x-axis requires positive x values")
+    if log_y and min(all_y) <= 0:
+        raise ConfigurationError("log y-axis requires positive y values")
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if x_low == x_high:
+        x_high = x_low + 1
+    if y_low == y_high:
+        y_high = y_low * 10 if log_y else y_low + 1
+
+    position_x = _log_position if log_x else _linear_position
+    position_y = _log_position if log_y else _linear_position
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, xs, ys) in enumerate(series):
+        if len(xs) != len(ys):
+            raise ConfigurationError(f"series {label!r} has mismatched lengths")
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            column = round(position_x(x, x_low, x_high) * (width - 1))
+            row = round(position_y(y, y_low, y_high) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_value = f"{y_high:.3g}"
+    bottom_value = f"{y_low:.3g}"
+    gutter = max(len(top_value), len(bottom_value)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_value.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_value.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}|")
+    axis = f"{x_low:.3g}".ljust(width - 10) + f"{x_high:.3g}".rjust(10)
+    lines.append(" " * gutter + "+" + "-" * width + "+")
+    lines.append(" " * (gutter + 1) + axis)
+    scale = f"[{y_label}{' log' if log_y else ''}] vs [{x_label}{' log' if log_x else ''}]"
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {label}"
+        for i, (label, _xs, _ys) in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + scale + "   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bars, linear scale — for distributions and comparisons."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have equal length")
+    if not labels:
+        raise ConfigurationError("need at least one bar")
+    if min(values) < 0:
+        raise ConfigurationError("bar values must be non-negative")
+    peak = max(values) or 1.0
+    name_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{str(label).rjust(name_width)} |{bar.ljust(width)} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Baseline private-retrieval schemes for like-for-like comparison.
+
+Includes an adapter exposing :class:`~repro.core.database.PirDatabase`
+through the same :class:`RetrievalScheme` interface, so the benchmark
+harness can measure all four schemes with identical code.
+"""
+
+from .base import CryptoEndpoint, RetrievalScheme, make_records, measure_latencies
+from .pyramid import PyramidOram
+from .sqrt_oram import SquareRootOram
+from .trivial import TrivialPir
+from .wang import WangPir
+from ..core.database import PirDatabase
+from ..sim.clock import VirtualClock
+
+__all__ = [
+    "CryptoEndpoint",
+    "RetrievalScheme",
+    "make_records",
+    "measure_latencies",
+    "PyramidOram",
+    "SquareRootOram",
+    "TrivialPir",
+    "WangPir",
+    "CApproxScheme",
+]
+
+
+class CApproxScheme(RetrievalScheme):
+    """The paper's scheme viewed through the common baseline interface."""
+
+    name = "c-approx"
+
+    def __init__(self, database: PirDatabase):
+        self.database = database
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.database.clock
+
+    @property
+    def num_pages(self) -> int:
+        return self.database.num_pages
+
+    def retrieve(self, page_id: int) -> bytes:
+        return self.database.query(page_id)

@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     resolve (n, m, c) into k/T and the Eq. 7/8 costs
+``headline``  print the §5 headline table (paper vs model)
+``figure``    print one of the paper's figure series (4, 5, 6 or 7)
+``privacy``   run the Monte-Carlo landing experiment on the real engine
+``demo``      build a small database and run an end-to-end exercise
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.costmodel import (
+    AnalyticalCostModel,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    headline_numbers,
+)
+from .analysis.empirical import measure_landing_distribution
+from .analysis.sweep import EnginePoint, run_engine_sweep, write_csv
+from .baselines import make_records
+from .core.database import PirDatabase
+from .core.params import SystemParameters
+from .crypto.rng import SecureRandom
+from .errors import ReproError
+from .storage.trace import shapes_identical
+
+__all__ = ["main"]
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    printable = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in printable))
+        if printable else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in printable:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    params = SystemParameters.solve(
+        args.pages, args.cache, args.c, page_capacity=args.page_size
+    )
+    model = AnalyticalCostModel()
+    print(params.describe())
+    print(_format_table(
+        ["quantity", "value"],
+        [
+            ["block size k (Eq. 6)", params.block_size],
+            ["scan period T = n/k", params.scan_period],
+            ["achieved c (Eq. 5)", params.achieved_c],
+            ["query time (Eq. 8, Table-2 HW)",
+             f"{model.query_time(params.block_size, args.page_size):.4f} s"],
+            ["secure storage (Eq. 7)",
+             f"{model.secure_storage_bytes(params.num_locations, args.cache, params.block_size, args.page_size) / 1e6:.2f} MB"],
+        ],
+    ))
+    return 0
+
+
+def _cmd_headline(_args: argparse.Namespace) -> int:
+    rows = headline_numbers()
+    print(_format_table(
+        ["configuration", "paper (s)", "model (s)", "k", "storage (MB)", "units"],
+        [
+            [r["label"], r["paper_seconds"], r["model_seconds"],
+             r["block_size"], r["storage_mb"], r["units"]]
+            for r in rows
+        ],
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    series_by_number = {
+        "4": figure4_series,
+        "5": figure5_series,
+        "6": figure6_series,
+        "7": figure7_series,
+    }
+    series = series_by_number[args.number]()
+    for panel, points in series.items():
+        print(f"Figure {args.number} — panel {panel}")
+        print(_format_table(
+            ["m (pages)", "k", "c", "response (s)", "storage (MB)"],
+            [
+                [p.cache_pages, p.block_size, p.privacy_c, p.query_time,
+                 p.secure_storage_mb]
+                for p in points
+            ],
+        ))
+        print()
+    return 0
+
+
+def _cmd_privacy(args: argparse.Namespace) -> int:
+    db = PirDatabase.create(
+        make_records(args.pages, 16),
+        cache_capacity=args.cache,
+        target_c=args.c,
+        page_capacity=16,
+        reserve_fraction=0.2,
+        cipher_backend="null",
+        trace_enabled=False,
+        seed=args.seed,
+    )
+    print(db.params.describe())
+    experiment = measure_landing_distribution(
+        db, trials=args.trials, rng=SecureRandom(args.seed + 1)
+    )
+    theory = experiment.theoretical_offset_probabilities()
+    observed = experiment.observed_offset_frequencies()
+    print(_format_table(
+        ["offset t", "theory", "observed"],
+        [[t + 1, theory[t], observed[t]] for t in range(len(theory))],
+    ))
+    print(f"configured c = {db.params.achieved_c:.4f}; "
+          f"measured c = {experiment.empirical_c():.4f}; "
+          f"TV error = {experiment.total_variation_error():.4f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import build_report
+
+    document = build_report(privacy_trials=args.trials, seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    records = make_records(args.pages, 16)
+    db = PirDatabase.create(
+        records, cache_capacity=max(2, args.pages // 8), target_c=2.0,
+        page_capacity=16, reserve_fraction=0.1, seed=args.seed,
+    )
+    print(db.params.describe())
+    for step in range(args.pages):
+        assert db.query(step) == records[step]
+    db.update(0, b"demo update")
+    new_id = db.insert(b"demo insert")
+    db.delete(1)
+    db.consistency_check()
+    print(f"ran {db.engine.request_count} requests; "
+          f"trace uniform: {shapes_identical(db.trace, 0)}; "
+          f"inserted page id {new_id}; consistency check passed")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    caches = [int(value) for value in args.caches.split(",") if value]
+    points = run_engine_sweep(
+        num_records=args.pages,
+        cache_capacities=caches,
+        target_c=args.c,
+        trials=args.trials,
+        workload_length=args.workload,
+        seed=args.seed,
+    )
+    print(_format_table(
+        ["m", "k", "c achieved", "c measured", "mean latency (s)"],
+        [
+            [p.cache_capacity, p.block_size, p.achieved_c, p.measured_c,
+             p.mean_latency]
+            for p in points
+        ],
+    ))
+    if args.out:
+        written = write_csv(args.out, EnginePoint.csv_header(),
+                            [p.csv_row() for p in points])
+        print(f"wrote {written} rows to {args.out}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="c-approximate secure-hardware PIR (Bakiras & "
+                    "Nikolopoulos, SDM@VLDB 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="resolve (n, m, c) into k and costs")
+    solve.add_argument("--pages", type=int, required=True, help="database pages n")
+    solve.add_argument("--cache", type=int, required=True, help="cache pages m")
+    solve.add_argument("--c", type=float, default=2.0, help="privacy target c")
+    solve.add_argument("--page-size", type=int, default=1000, help="page bytes B")
+    solve.set_defaults(handler=_cmd_solve)
+
+    headline = sub.add_parser("headline", help="§5 headline numbers table")
+    headline.set_defaults(handler=_cmd_headline)
+
+    figure = sub.add_parser("figure", help="print a paper figure's series")
+    figure.add_argument("number", choices=["4", "5", "6", "7"])
+    figure.set_defaults(handler=_cmd_figure)
+
+    privacy = sub.add_parser("privacy", help="Monte-Carlo landing experiment")
+    privacy.add_argument("--pages", type=int, default=40)
+    privacy.add_argument("--cache", type=int, default=8)
+    privacy.add_argument("--c", type=float, default=2.0)
+    privacy.add_argument("--trials", type=int, default=500)
+    privacy.add_argument("--seed", type=int, default=1)
+    privacy.set_defaults(handler=_cmd_privacy)
+
+    sweep = sub.add_parser("sweep", help="executed cache-size sweep (+CSV)")
+    sweep.add_argument("--pages", type=int, default=60)
+    sweep.add_argument("--caches", default="4,8,16",
+                       help="comma-separated cache sizes")
+    sweep.add_argument("--c", type=float, default=2.0)
+    sweep.add_argument("--trials", type=int, default=200)
+    sweep.add_argument("--workload", type=int, default=100)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--out", default="", help="optional CSV output path")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    demo = sub.add_parser("demo", help="end-to-end exercise of the system")
+    demo.add_argument("--pages", type=int, default=48)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(handler=_cmd_demo)
+
+    report = sub.add_parser(
+        "report", help="write a full markdown reproduction report"
+    )
+    report.add_argument("--out", default="", help="output path (default stdout)")
+    report.add_argument("--trials", type=int, default=400)
+    report.add_argument("--seed", type=int, default=1)
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

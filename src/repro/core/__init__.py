@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the c-approximate PIR scheme."""
+
+from .database import PirDatabase
+from .engine import RequestOutcome, RetrievalEngine
+from .sharded import ShardedPirDatabase
+from .snapshot import load_snapshot, save_snapshot
+from .params import (
+    SystemParameters,
+    achieved_privacy,
+    eviction_probability,
+    landing_probability,
+    required_block_size,
+    scan_period_for_privacy,
+)
+
+__all__ = [
+    "PirDatabase",
+    "RequestOutcome",
+    "RetrievalEngine",
+    "ShardedPirDatabase",
+    "load_snapshot",
+    "save_snapshot",
+    "SystemParameters",
+    "achieved_privacy",
+    "eviction_probability",
+    "landing_probability",
+    "required_block_size",
+    "scan_period_for_privacy",
+]

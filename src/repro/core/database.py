@@ -1,0 +1,310 @@
+"""High-level public API: a private page store over untrusted storage.
+
+:class:`PirDatabase` wires together the whole stack — parameters (Eq. 6),
+secure coprocessor, encrypted disk, initial oblivious permutation, retrieval
+engine — behind a small surface:
+
+>>> db = PirDatabase.create([b"alpha", b"beta", b"gamma"], cache_capacity=2,
+...                         target_c=2.0, page_capacity=16, seed=7)
+>>> db.query(1)
+b'beta'
+
+Everything observable by the server (disk trace, virtual-clock charges) is
+reachable via :attr:`trace` and :attr:`clock` for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .engine import RetrievalEngine
+from .params import SystemParameters
+from ..crypto.rng import SecureRandom
+from ..errors import ConfigurationError, PageDeletedError
+from ..hardware.cache import RANDOM_POLICY
+from ..hardware.coprocessor import SecureCoprocessor, SecureStorageReport
+from ..hardware.specs import HardwareSpec
+from ..shuffle.oblivious import ObliviousShuffler
+from ..shuffle.permutation import Permutation
+from ..sim.clock import VirtualClock
+from ..storage.disk import DiskStore
+from ..storage.merkle import AuthenticatedDisk
+from ..storage.page import Page
+from ..storage.trace import AccessTrace
+
+__all__ = ["PirDatabase"]
+
+SETUP_DIRECT = "direct"
+SETUP_OBLIVIOUS = "oblivious"
+
+
+class PirDatabase:
+    """A c-approximate-PIR protected page database (the paper's full system)."""
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        coprocessor: SecureCoprocessor,
+        disk: DiskStore,
+        engine: RetrievalEngine,
+    ):
+        self.params = params
+        self.cop = coprocessor
+        self.disk = disk
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        records: Sequence[bytes],
+        cache_capacity: int,
+        target_c: float = 2.0,
+        page_capacity: int = 1024,
+        reserve_fraction: float = 0.0,
+        block_size: Optional[int] = None,
+        spec: Optional[HardwareSpec] = None,
+        seed: Optional[int] = None,
+        cipher_backend: str = "blake2",
+        cache_policy: str = RANDOM_POLICY,
+        setup_mode: str = SETUP_DIRECT,
+        trace_enabled: bool = True,
+        master_key: bytes = b"repro-master-key",
+        enforce_memory_limit: bool = False,
+        disk_factory=None,
+        rollback_protection: bool = False,
+    ) -> "PirDatabase":
+        """Build, encrypt, permute and warm up a database from raw records.
+
+        Parameters mirror the paper's knobs: ``cache_capacity`` is m,
+        ``target_c`` the privacy parameter (ignored when ``block_size``
+        pins k directly), ``page_capacity`` is B, ``reserve_fraction``
+        pre-allocates dummy pages for future insertions (§4.3).
+        ``setup_mode`` selects the faithful O(n log^2 n) oblivious shuffle
+        or the fast trusted-ingest permutation (DESIGN.md §3).
+        ``disk_factory(num_locations, frame_size, timing, clock, trace)``
+        substitutes a different untrusted store, e.g.
+        :class:`repro.storage.filedisk.FileDiskStore` for real file I/O.
+        ``rollback_protection=True`` wraps the store in a Merkle-tree
+        freshness layer (detects a *malicious* server replaying stale
+        frames — hardening beyond the paper's honest-but-curious model).
+        """
+        if not records:
+            raise ConfigurationError("records must be non-empty")
+        if setup_mode not in (SETUP_DIRECT, SETUP_OBLIVIOUS):
+            raise ConfigurationError(f"unknown setup_mode {setup_mode!r}")
+        if block_size is not None:
+            params = SystemParameters.from_block_size(
+                len(records), cache_capacity, block_size,
+                page_capacity=page_capacity, reserve_fraction=reserve_fraction,
+            )
+        else:
+            params = SystemParameters.solve(
+                len(records), cache_capacity, target_c,
+                page_capacity=page_capacity, reserve_fraction=reserve_fraction,
+            )
+
+        rng = SecureRandom(seed)
+        clock = VirtualClock()
+        trace = AccessTrace(enabled=trace_enabled)
+        cop = SecureCoprocessor(
+            num_pages=params.total_pages,
+            cache_capacity=params.cache_capacity,
+            block_size=params.block_size,
+            page_capacity=params.page_capacity,
+            master_key=master_key,
+            spec=spec,
+            clock=clock,
+            rng=rng,
+            cipher_backend=cipher_backend,
+            cache_policy=cache_policy,
+            enforce_memory_limit=enforce_memory_limit,
+        )
+        if disk_factory is None:
+            disk = DiskStore(
+                num_locations=params.num_locations,
+                frame_size=cop.frame_size,
+                timing=cop.spec.disk,
+                clock=clock,
+                trace=trace,
+            )
+        else:
+            disk = disk_factory(
+                params.num_locations, cop.frame_size, cop.spec.disk, clock, trace
+            )
+        if rollback_protection:
+            disk = AuthenticatedDisk(disk)
+
+        # Logical pages: ids [0, n_user) are live records, [n_user, N) are
+        # free reserve/padding pages, [N, N + m) start inside the cache.
+        disk_pages: List[Page] = []
+        for page_id in range(params.num_locations):
+            if page_id < len(records):
+                disk_pages.append(Page(page_id, bytes(records[page_id])))
+            else:
+                disk_pages.append(Page(page_id, b"", deleted=True))
+
+        if setup_mode == SETUP_OBLIVIOUS:
+            layout = cls._oblivious_layout(cop, disk_pages, clock)
+        else:
+            permutation = Permutation.random(params.num_locations, rng.spawn("setup"))
+            layout = [0] * params.num_locations
+            for page_id in range(params.num_locations):
+                layout[permutation.apply(page_id)] = page_id
+
+        page_by_id = {page.page_id: page for page in disk_pages}
+        batch = 4096
+        for start in range(0, params.num_locations, batch):
+            stop = min(start + batch, params.num_locations)
+            frames = [cop.seal(page_by_id[layout[pos]]) for pos in range(start, stop)]
+            disk.write_range(start, frames)
+
+        cache_pages = [
+            Page(params.num_locations + slot, b"", deleted=True)
+            for slot in range(params.cache_capacity)
+        ]
+        cop.cache.fill(cache_pages)
+
+        for position, page_id in enumerate(layout):
+            cop.page_map.set_disk(page_id, position)
+        for page in disk_pages:
+            if page.deleted:
+                cop.page_map.mark_deleted(page.page_id)
+        for slot, page in enumerate(cache_pages):
+            cop.page_map.set_cached(page.page_id, slot)
+            cop.page_map.mark_deleted(page.page_id)
+
+        engine = RetrievalEngine(params, cop, disk)
+        return cls(params, cop, disk, engine)
+
+    @staticmethod
+    def _oblivious_layout(
+        cop: SecureCoprocessor, disk_pages: List[Page], clock: VirtualClock
+    ) -> List[int]:
+        """Run the tagged oblivious sort on a scratch area and return the layout."""
+        shuffler = ObliviousShuffler(cop.suite, cop.rng.spawn("shuffle"),
+                                     cop.page_capacity)
+        scratch = DiskStore(
+            num_locations=len(disk_pages),
+            frame_size=shuffler.tagged_frame_size,
+            timing=cop.spec.disk,
+            clock=clock,
+            trace=AccessTrace(enabled=False),
+        )
+        return shuffler.shuffle(disk_pages, scratch)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def query(self, page_id: int) -> bytes:
+        """Privately retrieve the payload of ``page_id``.
+
+        The request is always executed in full (so the server-side trace is
+        independent of page state) before a deleted page raises
+        :class:`PageDeletedError`.
+        """
+        page = self.engine.retrieve(page_id)
+        if self.cop.page_map.is_deleted(page_id):
+            raise PageDeletedError(f"page {page_id} is deleted")
+        return page.payload
+
+    def update(self, page_id: int, payload: bytes) -> None:
+        """Replace the payload of an existing page (§4.3 modification)."""
+        self.engine.modify(page_id, payload)
+
+    def insert(self, payload: bytes) -> int:
+        """Add a new page, consuming one reserved free slot; returns its id."""
+        return self.engine.insert(payload)
+
+    def delete(self, page_id: int) -> None:
+        """Remove a page; its storage becomes available to ``insert`` (§4.3)."""
+        self.engine.delete(page_id)
+
+    def touch(self) -> None:
+        """Issue a dummy request to keep the background reshuffle mixing."""
+        self.engine.touch()
+
+    def rotate_master_key(self, new_master_key: bytes) -> None:
+        """Online key rotation, piggybacked on the continuous reshuffle.
+
+        Completes automatically after one scan period (``params.scan_period``
+        further requests); check progress via
+        ``engine.rotation_requests_remaining``.
+        """
+        self.engine.begin_key_rotation(new_master_key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.cop.clock
+
+    @property
+    def trace(self) -> AccessTrace:
+        return self.disk.trace
+
+    @property
+    def achieved_c(self) -> float:
+        """Privacy level actually enforced by the chosen k (Eq. 5)."""
+        return self.params.achieved_c
+
+    @property
+    def num_pages(self) -> int:
+        """User-visible page count (live + deleted user ids)."""
+        return self.params.num_user_pages
+
+    def storage_report(self) -> SecureStorageReport:
+        """Secure-memory footprint, the measured counterpart of Eq. 7."""
+        return self.cop.storage_report()
+
+    def consistency_check(self) -> None:
+        """Verify disk/cache/page-map agreement (test & debugging aid).
+
+        Decrypts the whole database, so only call this on small instances.
+        Raises :class:`ConfigurationError` on any mismatch.
+        """
+        pm = self.cop.page_map
+        seen = set()
+        for location in range(self.disk.num_locations):
+            frame = self.disk.peek(location)
+            if frame is None:
+                raise ConfigurationError(f"location {location} uninitialised")
+            page = self.cop.unseal(frame)
+            entry = pm.lookup(page.page_id)
+            if entry.in_cache or entry.position != location:
+                raise ConfigurationError(
+                    f"page {page.page_id} stored at {location} but mapped to {entry}"
+                )
+            seen.add(page.page_id)
+        for page in self.cop.cache:
+            entry = pm.lookup(page.page_id)
+            if not entry.in_cache:
+                raise ConfigurationError(f"cached page {page.page_id} mapped to disk")
+            seen.add(page.page_id)
+        if len(seen) != self.params.total_pages:
+            raise ConfigurationError(
+                f"{len(seen)} distinct pages found, expected {self.params.total_pages}"
+            )
+        if pm.cached_count != self.params.cache_capacity:
+            raise ConfigurationError("page map cached-count drifted from m")
+
+    def expected_query_time(self) -> float:
+        """Eq. 8 evaluated for this configuration's spec and frame size."""
+        spec = self.cop.spec
+        frame = self.cop.frame_size
+        k = self.params.block_size
+        per_byte = (
+            1.0 / spec.disk.read_bandwidth
+            + 1.0 / spec.link_bandwidth
+            + 1.0 / spec.crypto_throughput
+        )
+        return 4 * spec.disk.seek_time + 2 * (k + 1) * frame * per_byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PirDatabase({self.params.describe()})"

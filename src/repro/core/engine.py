@@ -1,0 +1,356 @@
+"""The private page retrieval algorithm (Figure 3) and §4.3 updates.
+
+Every client operation — query, modification, deletion, insertion — executes
+the *identical* observable sequence:
+
+1. read the next round-robin block of ``k`` consecutive frames,
+2. read one extra frame (the target page, or a random / free page),
+3. decrypt all ``k + 1`` pages inside the tamper boundary,
+4. swap the target into a uniformly random block slot ``r`` (line 18),
+5. swap it with a cache slot ``s`` (line 20) — the evicted cache page
+   lands in block slot ``r``, i.e. uniformly over the block's k locations,
+   which is precisely what Eq. 2 analyses,
+6. re-encrypt everything with fresh nonces and write the ``k + 1`` frames
+   back (one contiguous block write + one extra write).
+
+Four random disk accesses, ``2(k+1)`` frames over the link and through the
+crypto engine per request (Eq. 8), with *zero* dependence of the trace shape
+on the operation type or on cache hits — the property §4.3 sells for update
+privacy and the tests verify byte-for-byte on the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .params import SystemParameters
+from ..errors import CapacityError, ConfigurationError, PageNotFoundError
+from ..hardware.coprocessor import SecureCoprocessor
+from ..storage.disk import DiskStore
+from ..storage.page import Page
+
+__all__ = ["RetrievalEngine", "RequestOutcome"]
+
+_MAX_REJECTION_ROUNDS = 10_000_000
+
+
+@dataclass
+class RequestOutcome:
+    """What one request did, for metrics and tests (never leaves the TCB)."""
+
+    request_index: int
+    block_start: int
+    extra_location: int
+    cache_hit: bool
+    victim_slot: int
+    block_slot: int
+    elapsed: float
+
+
+class RetrievalEngine:
+    """Executes Figure 3 over a prepared coprocessor + disk pair.
+
+    The engine assumes setup already happened (cache full, every disk
+    location holds a frame, page map consistent) —
+    :class:`repro.core.database.PirDatabase` is the friendly constructor
+    that performs that setup.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        coprocessor: SecureCoprocessor,
+        disk: DiskStore,
+    ):
+        if disk.num_locations != params.num_locations:
+            raise ConfigurationError("disk size does not match parameters")
+        if coprocessor.cache.capacity != params.cache_capacity:
+            raise ConfigurationError("cache capacity does not match parameters")
+        if coprocessor.page_map.num_pages != params.total_pages:
+            raise ConfigurationError("page map size does not match parameters")
+        self.params = params
+        self.cop = coprocessor
+        self.disk = disk
+        self._next_block = 0
+        self._request_count = 0
+        self._rotation_requests_left: Optional[int] = None
+        self.last_outcome: Optional[RequestOutcome] = None
+
+    # -- public operations -------------------------------------------------------
+
+    @property
+    def request_count(self) -> int:
+        return self._request_count
+
+    @property
+    def next_block_index(self) -> int:
+        """Round-robin position (0..num_blocks-1) of the next request's block."""
+        return self._next_block
+
+    def retrieve(self, page_id: int) -> Page:
+        """Q(i): privately fetch page ``page_id`` (Figure 3's Retrieve)."""
+        self._check_user_id(page_id)
+        return self._execute(target_id=page_id)
+
+    def modify(self, page_id: int, payload: bytes) -> None:
+        """Replace a page's payload; trace-identical to a query (§4.3)."""
+        self._check_user_id(page_id)
+        self._check_payload(payload)
+        self._execute(target_id=page_id, new_payload=payload, revive=True)
+
+    def delete(self, page_id: int) -> None:
+        """Mark a page deleted; its slot joins the insertion free pool (§4.3)."""
+        self._check_user_id(page_id)
+        if self.cop.page_map.is_deleted(page_id):
+            raise PageNotFoundError(f"page {page_id} is already deleted")
+        self._execute(target_id=page_id, deleting=True)
+
+    def insert(self, payload: bytes) -> int:
+        """Store a new page in a reclaimed free slot; returns its page id (§4.3)."""
+        self._check_payload(payload)
+        target = self._pick_free_disk_page()
+        self._execute(target_id=target, new_payload=payload, revive=True)
+        return target
+
+    def touch(self) -> None:
+        """One dummy request (random page), e.g. to keep the reshuffle mixing
+        during idle periods.  Observable trace identical to any query."""
+        self._execute(target_id=None)
+
+    def begin_key_rotation(self, new_master_key: bytes) -> None:
+        """Rotate the database encryption key online, for free.
+
+        Sealing switches to the new key immediately; the legacy key stays
+        available for reads.  Because every request rewrites its whole
+        round-robin block (plus one extra page), all n locations carry
+        new-key frames after exactly one scan period of further requests,
+        at which point the legacy key is dropped automatically.  The server
+        observes nothing: write-backs are always freshly re-encrypted.
+        """
+        self.cop.begin_key_rotation(new_master_key)
+        self._rotation_requests_left = self.params.num_blocks
+
+    @property
+    def rotation_requests_remaining(self) -> Optional[int]:
+        """Requests until the legacy key can be dropped (None if no rotation)."""
+        return self._rotation_requests_left
+
+    # -- the unified request ---------------------------------------------------------
+
+    def _execute(
+        self,
+        target_id: Optional[int],
+        new_payload: Optional[bytes] = None,
+        deleting: bool = False,
+        revive: bool = False,
+    ) -> Page:
+        pm = self.cop.page_map
+        cache = self.cop.cache
+        rng = self.cop.rng
+        k = self.params.block_size
+        started = self.cop.clock.now
+
+        request_index = self._request_count
+        self._request_count += 1
+        self.disk.current_request = request_index
+
+        # The next block of k contiguous pages, round-robin (line 1).
+        block_start = self._next_block * k
+        self._next_block = (self._next_block + 1) % self.params.num_blocks
+
+        # Lines 2-9: decide the (k+1)-th page and capture a cached result.
+        # Both depend only on the page map and cache, never on block
+        # contents, so the decision is made before any disk access — which
+        # lets remote transports issue the block and the extra page as one
+        # batched read (the paper's two-party prototype does the same).
+        result: Optional[Page] = None
+        cache_hit = False
+        if target_id is None:
+            extra_id = self._random_free_candidate(block_start)
+        else:
+            location = pm.lookup(target_id)
+            if location.in_cache:
+                cache_hit = True
+                result = cache.get(location.position)
+                extra_id = self._random_free_candidate(block_start)
+            elif deleting:
+                # Deletions are handled as cache hits (§4.3): random extra page.
+                extra_id = self._random_free_candidate(block_start)
+            elif block_start <= location.position < block_start + k:
+                extra_id = self._random_free_candidate(block_start)
+            else:
+                extra_id = target_id  # line 9: p <- i
+
+        # Lines 1 and 10: read the block and page p from the disk.
+        extra_location = pm.disk_location(extra_id)
+        frames, extra_frame = self.disk.read_request(block_start, k, extra_location)
+
+        # Line 11: move k+1 frames across the link and decrypt them.
+        self.cop.charge_ingest(k + 1)
+        block: List[Page] = [self.cop.unseal(f) for f in frames]
+        block.append(self.cop.unseal(extra_frame))
+
+        # Lines 12-16: locate the relocation target q within serverBlock.
+        wants_fetched_target = (
+            target_id is not None and not cache_hit and not deleting
+        )
+        if wants_fetched_target:
+            q = self._index_of(block, target_id, block_start, extra_location)
+            result = block[q]
+        else:
+            q = k
+
+        # Apply §4.3 content edits to the target page wherever it lives.
+        if target_id is not None:
+            if new_payload is not None:
+                self._rewrite_target(target_id, new_payload, revive,
+                                     cache_hit, block, q)
+            if deleting:
+                self._wipe_target(target_id, cache_hit, block)
+
+        # Lines 17-18: move the target to a uniform slot within the block.
+        r = rng.randrange(k)
+        block[r], block[q] = block[q], block[r]
+
+        # Lines 19-20: swap with a cache slot.  A deletion of a cached page
+        # always selects that page as the victim (§4.3); otherwise the
+        # victim is the policy's choice (uniform under the paper's policy).
+        if deleting and target_id is not None and cache_hit:
+            s = pm.lookup(target_id).position
+        else:
+            s = cache.victim_slot()
+        evicted = cache.put(s, block[r])
+        entering = block[r]
+        block[r] = evicted
+
+        # Lines 21-22: re-encrypt with fresh nonces, write k+1 frames back.
+        self.cop.charge_egress(k + 1)
+        self.disk.write_request(
+            block_start,
+            [self.cop.seal(p) for p in block[:k]],
+            extra_location,
+            self.cop.seal(block[k]),
+        )
+
+        # Lines 23-25: update the page map for the three relocated pages.
+        pm.set_cached(entering.page_id, s)
+        pm.set_disk(block[r].page_id, block_start + r)
+        if q < k:
+            pm.set_disk(block[q].page_id, block_start + q)
+        else:
+            pm.set_disk(block[q].page_id, extra_location)
+
+        if self._rotation_requests_left is not None:
+            self._rotation_requests_left -= 1
+            if self._rotation_requests_left <= 0:
+                self.cop.finish_key_rotation()
+                self._rotation_requests_left = None
+
+        self.disk.current_request = -1
+        self.last_outcome = RequestOutcome(
+            request_index=request_index,
+            block_start=block_start,
+            extra_location=extra_location,
+            cache_hit=cache_hit,
+            victim_slot=s,
+            block_slot=r,
+            elapsed=self.cop.clock.now - started,
+        )
+
+        # Line 26: return the page (queries only reach here with result set).
+        if target_id is None or deleting:
+            return Page.dummy()
+        assert result is not None
+        if new_payload is not None:
+            return result.with_payload(new_payload)
+        return result
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _check_payload(self, payload: bytes) -> None:
+        """Reject oversized payloads at the API boundary — never let one sit
+        in the cache waiting to fail at eviction time."""
+        if len(payload) > self.params.page_capacity:
+            raise ConfigurationError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self.params.page_capacity}"
+            )
+
+    def _check_user_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self.params.total_pages:
+            raise PageNotFoundError(
+                f"page id {page_id} out of range [0, {self.params.total_pages})"
+            )
+
+    def _index_of(
+        self, block: List[Page], target_id: int, block_start: int, extra_location: int
+    ) -> int:
+        """Line 13: index of the target page within serverBlock."""
+        for index, page in enumerate(block):
+            if page.page_id == target_id:
+                return index
+        raise PageNotFoundError(
+            f"page {target_id} not found in serverBlock (map expected it at "
+            f"block {block_start} or extra location {extra_location}); "
+            "page map and disk are inconsistent"
+        )
+
+    def _random_free_candidate(self, block_start: int) -> int:
+        """Lines 3-5: a uniform page id that is neither cached nor in the block."""
+        pm = self.cop.page_map
+        k = self.params.block_size
+        total = self.params.total_pages
+        for _ in range(_MAX_REJECTION_ROUNDS):
+            candidate = self.cop.rng.randrange(total)
+            if pm.is_cached(candidate):
+                continue
+            position = pm.lookup(candidate).position
+            if block_start <= position < block_start + k:
+                continue
+            return candidate
+        raise CapacityError(
+            "rejection sampling failed to find an eligible random page; the "
+            "configuration violates num_locations >= block_size + 2"
+        )
+
+    def _pick_free_disk_page(self) -> int:
+        """A deleted/dummy page currently resident on disk, for insertion."""
+        pm = self.cop.page_map
+        for candidate in pm.free_ids():
+            if not pm.is_cached(candidate):
+                return candidate
+        raise CapacityError(
+            "no disk-resident free page available for insertion; delete pages "
+            "or provision a reserve_fraction at setup"
+        )
+
+    def _rewrite_target(
+        self,
+        target_id: int,
+        payload: bytes,
+        revive: bool,
+        cache_hit: bool,
+        block: List[Page],
+        q: int,
+    ) -> None:
+        pm = self.cop.page_map
+        if cache_hit:
+            slot = pm.lookup(target_id).position
+            self.cop.cache.put(slot, Page(target_id, payload, deleted=False))
+        else:
+            block[q] = Page(target_id, payload, deleted=False)
+        if revive:
+            pm.mark_live(target_id)
+
+    def _wipe_target(self, target_id: int, cache_hit: bool, block: List[Page]) -> None:
+        pm = self.cop.page_map
+        if cache_hit:
+            slot = pm.lookup(target_id).position
+            self.cop.cache.put(slot, Page(target_id, b"", deleted=True))
+        else:
+            # The carcass stays encrypted wherever it is; only metadata changes.
+            for index, page in enumerate(block):
+                if page.page_id == target_id:
+                    block[index] = page.mark_deleted()
+        pm.mark_deleted(target_id)

@@ -1,0 +1,177 @@
+"""Sharded deployment across multiple secure coprocessors.
+
+§5 observes that larger databases need more secure memory than one IBM 4764
+provides and suggests deploying several units.  Two architectures follow:
+
+* **pooled** — one logical engine whose cache/pageMap span all units'
+  memory; that is what the analytical model's ``units_required`` prices,
+  and it needs no new code (the parameters just use the bigger m).
+* **partitioned** (this module) — each unit runs an *independent*
+  c-approximate PIR instance over a contiguous slice of the database.
+  Partitioning multiplies throughput (shards operate in parallel) and
+  shrinks each instance's n, but the request's *shard id* becomes visible
+  to the server, leaking coarse popularity at shard granularity.
+
+:class:`ShardedPirDatabase` therefore issues **cover traffic** by default:
+every operation drives one real request on the owning shard and a dummy
+request (``touch``) on every other shard, restoring indistinguishability at
+the cost of the parallel-hardware latency max instead of a single shard's.
+Setting ``cover_traffic=False`` exposes the trade-off for the ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .database import PirDatabase
+from ..errors import ConfigurationError, PageNotFoundError
+from ..hardware.coprocessor import SecureStorageReport
+from ..hardware.specs import HardwareSpec
+
+__all__ = ["ShardedPirDatabase"]
+
+
+class ShardedPirDatabase:
+    """A database partitioned over independent coprocessor instances."""
+
+    def __init__(self, shards: List[PirDatabase], records_per_shard: int,
+                 num_records: int, cover_traffic: bool):
+        self.shards = shards
+        self._per_shard = records_per_shard
+        self.num_records = num_records
+        self.cover_traffic = cover_traffic
+        # Inserted pages get fresh global ids above the record space; the
+        # routing table lives with the rest of the trusted metadata.
+        self._inserted: Dict[int, Tuple[int, int]] = {}
+        self._next_inserted_id = num_records
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        records: Sequence[bytes],
+        num_shards: int,
+        cache_capacity_per_shard: int,
+        target_c: float = 2.0,
+        page_capacity: int = 1024,
+        reserve_fraction: float = 0.0,
+        cover_traffic: bool = True,
+        spec: Optional[HardwareSpec] = None,
+        seed: Optional[int] = None,
+        **database_options,
+    ) -> "ShardedPirDatabase":
+        """Partition ``records`` into contiguous shards, one engine each."""
+        if num_shards <= 0:
+            raise ConfigurationError("need at least one shard")
+        if len(records) < num_shards:
+            raise ConfigurationError("fewer records than shards")
+        per_shard = (len(records) + num_shards - 1) // num_shards
+        shards: List[PirDatabase] = []
+        for index in range(num_shards):
+            slice_ = records[index * per_shard : (index + 1) * per_shard]
+            if not slice_:
+                raise ConfigurationError(
+                    "empty shard; lower num_shards for this record count"
+                )
+            shards.append(
+                PirDatabase.create(
+                    slice_,
+                    cache_capacity=cache_capacity_per_shard,
+                    target_c=target_c,
+                    page_capacity=page_capacity,
+                    reserve_fraction=reserve_fraction,
+                    spec=spec,
+                    seed=None if seed is None else seed * 1000 + index,
+                    **database_options,
+                )
+            )
+        return cls(shards, per_shard, len(records), cover_traffic)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def _route(self, global_id: int) -> Tuple[int, int]:
+        """Global id -> (shard index, local page id)."""
+        if 0 <= global_id < self.num_records:
+            return global_id // self._per_shard, global_id % self._per_shard
+        if global_id in self._inserted:
+            return self._inserted[global_id]
+        raise PageNotFoundError(f"unknown global page id {global_id}")
+
+    def _with_cover(self, shard_index: int, operation):
+        result = operation(self.shards[shard_index])
+        if self.cover_traffic:
+            for other, shard in enumerate(self.shards):
+                if other != shard_index:
+                    shard.touch()
+        return result
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def query(self, global_id: int) -> bytes:
+        shard_index, local = self._route(global_id)
+        return self._with_cover(shard_index, lambda db: db.query(local))
+
+    def update(self, global_id: int, payload: bytes) -> None:
+        shard_index, local = self._route(global_id)
+        self._with_cover(shard_index, lambda db: db.update(local, payload))
+
+    def delete(self, global_id: int) -> None:
+        shard_index, local = self._route(global_id)
+        self._with_cover(shard_index, lambda db: db.delete(local))
+
+    def insert(self, payload: bytes) -> int:
+        """Insert into the emptiest shard; returns a fresh global id."""
+        best = max(
+            range(self.num_shards),
+            key=lambda index: self.shards[index].cop.page_map.free_count,
+        )
+        local = self._with_cover(best, lambda db: db.insert(payload))
+        global_id = self._next_inserted_id
+        self._next_inserted_id += 1
+        self._inserted[global_id] = (best, local)
+        return global_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def achieved_c(self) -> float:
+        """Worst (largest) per-shard privacy level."""
+        return max(shard.achieved_c for shard in self.shards)
+
+    def elapsed(self) -> float:
+        """Simulated time so far, assuming shards run on parallel hardware."""
+        return max(shard.clock.now for shard in self.shards)
+
+    def total_requests(self) -> int:
+        return sum(shard.engine.request_count for shard in self.shards)
+
+    def storage_report(self) -> SecureStorageReport:
+        """Aggregate secure-memory footprint across all units."""
+        reports = [shard.storage_report() for shard in self.shards]
+        return SecureStorageReport(
+            page_map=sum(r.page_map for r in reports),
+            page_cache=sum(r.page_cache for r in reports),
+            server_block=sum(r.server_block for r in reports),
+        )
+
+    def shard_request_counts(self) -> List[int]:
+        """Per-shard request totals — equal under cover traffic."""
+        return [shard.engine.request_count for shard in self.shards]
+
+    def consistency_check(self) -> None:
+        for shard in self.shards:
+            shard.consistency_check()

@@ -1,0 +1,288 @@
+"""Snapshot and restore a running private database.
+
+A production deployment must survive restarts: the encrypted pages live on
+the untrusted disk anyway, but the trusted state — position map, cached
+plaintext pages, round-robin pointer — exists only inside the tamper
+boundary.  The coprocessor therefore exports it as a single *sealed blob*
+(encrypted and authenticated under a key derived from the master key), the
+same way real secure hardware seals state to host storage.
+
+Snapshot layout on the host filesystem::
+
+    <directory>/
+      manifest.json    # public parameters (nothing secret: n, k, m, B, ...)
+      frames.bin       # the untrusted page array, verbatim
+      sealed.bin       # encrypted trusted state (pageMap, cache, pointer)
+
+Restoring requires the same master key; a wrong key fails authentication
+rather than yielding garbage.  The restored instance draws fresh randomness
+(relocation randomness is memoryless, so privacy is unaffected by not
+persisting the RNG position).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Optional
+
+from .database import PirDatabase
+from .engine import RetrievalEngine
+from .params import SystemParameters
+from ..crypto.rng import SecureRandom
+from ..crypto.suite import CipherSuite
+from ..errors import ConfigurationError, StorageError
+from ..hardware.coprocessor import SecureCoprocessor
+from ..hardware.specs import HardwareSpec
+from ..sim.clock import VirtualClock
+from ..storage.disk import DiskStore
+from ..storage.merkle import AuthenticatedDisk
+from ..storage.page import Page
+from ..storage.trace import AccessTrace
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+_MANIFEST = "manifest.json"
+_FRAMES = "frames.bin"
+_SEALED = "sealed.bin"
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+# ---------------------------------------------------------------------------
+# Trusted-state codec (runs inside the boundary; output is then sealed)
+# ---------------------------------------------------------------------------
+
+
+def _encode_trusted_state(db: PirDatabase) -> bytes:
+    pm = db.cop.page_map
+    parts = [_U64.pack(db.engine.next_block_index),
+             _U64.pack(db.engine.request_count)]
+    # Page map: per id -> (flags, position).
+    parts.append(_U64.pack(pm.num_pages))
+    for page_id in range(pm.num_pages):
+        entry = pm.lookup(page_id)
+        flags = (1 if entry.in_cache else 0) | (2 if entry.deleted else 0)
+        parts.append(bytes([flags]))
+        parts.append(_U64.pack(entry.position))
+    # Cache: slot order matters (positions in the map point at slots).
+    parts.append(_U64.pack(db.cop.cache.capacity))
+    for slot in range(db.cop.cache.capacity):
+        page = db.cop.cache.get(slot)
+        flags = 2 if page.deleted else 0
+        parts.append(_U64.pack(page.page_id))
+        parts.append(bytes([flags]))
+        parts.append(_U32.pack(len(page.payload)))
+        parts.append(page.payload)
+    return b"".join(parts)
+
+
+def _decode_trusted_state(blob: bytes, db: PirDatabase) -> None:
+    offset = 0
+
+    def take_u64() -> int:
+        nonlocal offset
+        value = _U64.unpack_from(blob, offset)[0]
+        offset += 8
+        return value
+
+    def take_u32() -> int:
+        nonlocal offset
+        value = _U32.unpack_from(blob, offset)[0]
+        offset += 4
+        return value
+
+    def take_byte() -> int:
+        nonlocal offset
+        value = blob[offset]
+        offset += 1
+        return value
+
+    db.engine._next_block = take_u64() % db.params.num_blocks
+    db.engine._request_count = take_u64()
+
+    num_pages = take_u64()
+    if num_pages != db.params.total_pages:
+        raise StorageError("snapshot page count does not match parameters")
+    pm = db.cop.page_map
+    for page_id in range(num_pages):
+        flags = take_byte()
+        position = take_u64()
+        if flags & 1:
+            pm.set_cached(page_id, position)
+        else:
+            pm.set_disk(page_id, position)
+        if flags & 2:
+            pm.mark_deleted(page_id)
+
+    capacity = take_u64()
+    if capacity != db.cop.cache.capacity:
+        raise StorageError("snapshot cache capacity does not match parameters")
+    pages = []
+    for _slot in range(capacity):
+        page_id = take_u64()
+        flags = take_byte()
+        length = take_u32()
+        payload = blob[offset : offset + length]
+        offset += length
+        pages.append(Page(page_id, payload, deleted=bool(flags & 2)))
+    db.cop.cache.fill(pages)
+    if offset != len(blob):
+        raise StorageError("trailing bytes in trusted-state blob")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def save_snapshot(db: PirDatabase, directory: str) -> None:
+    """Persist the database (untrusted frames + sealed trusted state).
+
+    Refuses to snapshot during a key rotation: frames would be split across
+    two keys while the sealed state can only name one.  Finish the rotation
+    (one scan period of requests) first.
+    """
+    if db.cop.rotation_in_progress:
+        raise ConfigurationError(
+            "cannot snapshot during a key rotation; drive "
+            f"{db.engine.rotation_requests_remaining} more requests to finish "
+            "it first"
+        )
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "format": 1,
+        "num_user_pages": db.params.num_user_pages,
+        "reserve_pages": db.params.reserve_pages,
+        "cache_capacity": db.params.cache_capacity,
+        "block_size": db.params.block_size,
+        "num_locations": db.params.num_locations,
+        "page_capacity": db.params.page_capacity,
+        "target_c": db.params.target_c,
+        "frame_size": db.cop.frame_size,
+        "cipher_backend": db.cop.suite.backend,
+    }
+    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+
+    with open(os.path.join(directory, _FRAMES), "wb") as f:
+        for location in range(db.disk.num_locations):
+            frame = db.disk.peek(location)
+            if frame is None:
+                raise StorageError(f"cannot snapshot uninitialised location {location}")
+            f.write(frame)
+
+    sealing = CipherSuite(
+        b"snapshot-sealing:" + db.cop.suite.backend.encode(),
+        backend="blake2",
+        rng=db.cop.rng,
+    )
+    # Seal under a key derived from the *database's* master key so only the
+    # rightful owner can restore: reuse the page suite for the inner layer.
+    inner = db.cop.suite.encrypt_page(_encode_trusted_state(db))
+    sealed = sealing.encrypt_page(inner)
+    with open(os.path.join(directory, _SEALED), "wb") as f:
+        f.write(sealed)
+
+
+def load_snapshot(
+    directory: str,
+    master_key: bytes = b"repro-master-key",
+    spec: Optional[HardwareSpec] = None,
+    seed: Optional[int] = None,
+    trace_enabled: bool = True,
+    rollback_protection: bool = False,
+) -> PirDatabase:
+    """Reconstruct a database saved by :func:`save_snapshot`.
+
+    The master key must match the one the database was created with; an
+    incorrect key raises :class:`~repro.errors.AuthenticationError`.
+    """
+    manifest_path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise ConfigurationError(f"no snapshot manifest in {directory!r}")
+    with open(manifest_path, encoding="utf-8") as f:
+        manifest = json.load(f)
+    if manifest.get("format") != 1:
+        raise ConfigurationError("unsupported snapshot format")
+
+    params = SystemParameters(
+        num_user_pages=manifest["num_user_pages"],
+        reserve_pages=manifest["reserve_pages"],
+        cache_capacity=manifest["cache_capacity"],
+        block_size=manifest["block_size"],
+        num_locations=manifest["num_locations"],
+        page_capacity=manifest["page_capacity"],
+        target_c=manifest["target_c"],
+    )
+    rng = SecureRandom(seed)
+    clock = VirtualClock()
+    cop = SecureCoprocessor(
+        num_pages=params.total_pages,
+        cache_capacity=params.cache_capacity,
+        block_size=params.block_size,
+        page_capacity=params.page_capacity,
+        master_key=master_key,
+        spec=spec,
+        clock=clock,
+        rng=rng,
+        cipher_backend=manifest["cipher_backend"],
+    )
+    if cop.frame_size != manifest["frame_size"]:
+        raise ConfigurationError("snapshot frame size does not match suite")
+
+    disk = DiskStore(
+        num_locations=params.num_locations,
+        frame_size=cop.frame_size,
+        timing=cop.spec.disk,
+        clock=clock,
+        trace=AccessTrace(enabled=trace_enabled),
+    )
+    if rollback_protection:
+        # Wrap before replaying the frames so the fresh Merkle tree is
+        # seeded by the writes below.
+        disk = AuthenticatedDisk(disk)
+    frames_path = os.path.join(directory, _FRAMES)
+    expected_bytes = params.num_locations * cop.frame_size
+    with open(frames_path, "rb") as f:
+        data = f.read()
+    if len(data) != expected_bytes:
+        raise StorageError(
+            f"frames file is {len(data)} bytes, expected {expected_bytes}"
+        )
+    batch = 4096
+    for start in range(0, params.num_locations, batch):
+        stop = min(start + batch, params.num_locations)
+        disk.write_range(
+            start,
+            [
+                data[pos * cop.frame_size : (pos + 1) * cop.frame_size]
+                for pos in range(start, stop)
+            ],
+        )
+
+    with open(os.path.join(directory, _SEALED), "rb") as f:
+        sealed = f.read()
+    sealing = CipherSuite(
+        b"snapshot-sealing:" + manifest["cipher_backend"].encode(),
+        backend="blake2",
+        rng=rng,
+    )
+    inner = sealing.decrypt_page(sealed)
+    trusted = cop.suite.decrypt_page(inner)
+
+    # Cache must be filled before the engine's invariant checks; fill with
+    # placeholders, then let the decoder install the real pages.
+    cop.cache.fill([Page.dummy() for _ in range(params.cache_capacity)])
+    engine = RetrievalEngine.__new__(RetrievalEngine)
+    engine.params = params
+    engine.cop = cop
+    engine.disk = disk
+    engine._next_block = 0
+    engine._request_count = 0
+    engine._rotation_requests_left = None
+    engine.last_outcome = None
+    db = PirDatabase(params, cop, disk, engine)
+    _decode_trusted_state(trusted, db)
+    return db

@@ -1,0 +1,225 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+The paper's prototype uses Crypto++ AES inside the secure coprocessor; this
+module is the from-scratch equivalent.  It implements the raw 128-bit block
+transform for AES-128, AES-192 and AES-256, validated against the official
+FIPS-197 appendix vectors (see ``tests/test_crypto_aes.py``).
+
+Performance note: this is a reference implementation driven through table
+lookups (T-tables are deliberately *not* used to keep the code auditable).
+Throughput numbers in the paper's evaluation come from the Table-2 constant
+``r_ed = 10 MB/s`` of the IBM 4764 crypto engine, not from Python speed, so
+clarity wins over micro-optimisation here.  Higher-level code should prefer
+:class:`repro.crypto.suite.CipherSuite` over using this class directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import CryptoError
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16  # bytes; AES always operates on 128-bit blocks
+
+# ---------------------------------------------------------------------------
+# S-box generation.  Rather than hard-coding 256 magic numbers, we derive the
+# S-box from its definition: multiplicative inverse in GF(2^8) followed by the
+# affine transform.  The result is verified against FIPS-197 in the tests.
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    product = 0
+    for _ in range(8):
+        if b & 1:
+            product ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return product
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 is the inverse (Fermat's little theorem for fields).
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, base)
+        base = _gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    """Return (sbox, inverse_sbox) built from the algebraic definition."""
+    sbox = bytearray(256)
+    inv = bytearray(256)
+    for value in range(256):
+        x = _gf_inverse(value)
+        # Affine transform: b_i = x_i ^ x_{i+4} ^ x_{i+5} ^ x_{i+6} ^ x_{i+7} ^ c_i
+        y = 0
+        for bit in range(8):
+            b = (
+                (x >> bit)
+                ^ (x >> ((bit + 4) % 8))
+                ^ (x >> ((bit + 5) % 8))
+                ^ (x >> ((bit + 6) % 8))
+                ^ (x >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            y |= b << bit
+        sbox[value] = y
+        inv[y] = value
+    return bytes(sbox), bytes(inv)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+# Round constants for the key schedule: rcon[i] = x^i in GF(2^8).
+_RCON = [1]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+# Precomputed GF multiplication tables for the MixColumns coefficients.
+_MUL2 = bytes(_gf_mul(i, 2) for i in range(256))
+_MUL3 = bytes(_gf_mul(i, 3) for i in range(256))
+_MUL9 = bytes(_gf_mul(i, 9) for i in range(256))
+_MUL11 = bytes(_gf_mul(i, 11) for i in range(256))
+_MUL13 = bytes(_gf_mul(i, 13) for i in range(256))
+_MUL14 = bytes(_gf_mul(i, 14) for i in range(256))
+
+_ROUNDS_BY_KEY_LENGTH = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """Raw AES block transform with a fixed key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEY_LENGTH:
+            raise CryptoError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = _ROUNDS_BY_KEY_LENGTH[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size (10, 12 or 14)."""
+        return self._rounds
+
+    # -- key schedule -------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion; returns one 16-byte round key per round."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            word = list(words[i - 1])
+            if i % nk == 0:
+                word = word[1:] + word[:1]  # RotWord
+                word = [_SBOX[b] for b in word]  # SubWord
+                word[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                word = [_SBOX[b] for b in word]
+            word = [word[j] ^ words[i - nk][j] for j in range(4)]
+            words.append(word)
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            flat: List[int] = []
+            for w in words[4 * round_index : 4 * round_index + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- forward transform ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = [block[i] ^ self._round_keys[0][i] for i in range(16)]
+        for round_index in range(1, self._rounds):
+            state = self._encrypt_round(state, self._round_keys[round_index])
+        # Final round: no MixColumns.
+        state = self._sub_shift(state)
+        key = self._round_keys[self._rounds]
+        return bytes(state[i] ^ key[i] for i in range(16))
+
+    @staticmethod
+    def _sub_shift(state: List[int]) -> List[int]:
+        """SubBytes followed by ShiftRows (column-major state layout)."""
+        s = _SBOX
+        return [
+            s[state[0]], s[state[5]], s[state[10]], s[state[15]],
+            s[state[4]], s[state[9]], s[state[14]], s[state[3]],
+            s[state[8]], s[state[13]], s[state[2]], s[state[7]],
+            s[state[12]], s[state[1]], s[state[6]], s[state[11]],
+        ]
+
+    @staticmethod
+    def _encrypt_round(state: List[int], round_key: List[int]) -> List[int]:
+        """One full round: SubBytes, ShiftRows, MixColumns, AddRoundKey."""
+        t = AES._sub_shift(state)
+        out = [0] * 16
+        for col in range(4):
+            a0, a1, a2, a3 = t[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3 ^ round_key[4 * col + 0]
+            out[4 * col + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3 ^ round_key[4 * col + 1]
+            out[4 * col + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3] ^ round_key[4 * col + 2]
+            out[4 * col + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3] ^ round_key[4 * col + 3]
+        return out
+
+    # -- inverse transform ----------------------------------------------------
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        key = self._round_keys[self._rounds]
+        state = [block[i] ^ key[i] for i in range(16)]
+        state = self._inv_shift_sub(state)
+        for round_index in range(self._rounds - 1, 0, -1):
+            key = self._round_keys[round_index]
+            state = [state[i] ^ key[i] for i in range(16)]
+            state = self._inv_mix_columns(state)
+            state = self._inv_shift_sub(state)
+        key = self._round_keys[0]
+        return bytes(state[i] ^ key[i] for i in range(16))
+
+    @staticmethod
+    def _inv_shift_sub(state: List[int]) -> List[int]:
+        """InvShiftRows followed by InvSubBytes."""
+        s = _INV_SBOX
+        return [
+            s[state[0]], s[state[13]], s[state[10]], s[state[7]],
+            s[state[4]], s[state[1]], s[state[14]], s[state[11]],
+            s[state[8]], s[state[5]], s[state[2]], s[state[15]],
+            s[state[12]], s[state[9]], s[state[6]], s[state[3]],
+        ]
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 * col + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[4 * col + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[4 * col + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out

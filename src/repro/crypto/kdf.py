@@ -1,0 +1,55 @@
+"""Key derivation for the secure coprocessor.
+
+A single master key lives inside the tamper boundary; per-purpose subkeys
+(page encryption, page authentication, permutation tags) are derived from it
+with HKDF-SHA256 (RFC 5869) so that compromising one purpose never leaks
+another.  Implemented from :func:`repro.crypto.mac.hmac_sha256`.
+"""
+
+from __future__ import annotations
+
+from .mac import hmac_sha256
+from ..errors import CryptoError
+
+__all__ = ["hkdf_extract", "hkdf_expand", "derive_key"]
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudorandom key."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudorandom_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a pseudorandom key into ``length`` output bytes."""
+    if length <= 0:
+        raise CryptoError("HKDF output length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF output length exceeds 255 * hash length")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(pseudorandom_key, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(master_key: bytes, purpose: str, length: int = 16) -> bytes:
+    """Derive a named subkey from the coprocessor master key.
+
+    >>> k1 = derive_key(b"master", "page-encryption")
+    >>> k2 = derive_key(b"master", "page-authentication")
+    >>> k1 != k2
+    True
+    """
+    if not master_key:
+        raise CryptoError("master key must be non-empty")
+    if not purpose:
+        raise CryptoError("purpose label must be non-empty")
+    pseudorandom_key = hkdf_extract(b"repro-secure-hardware-pir", master_key)
+    return hkdf_expand(pseudorandom_key, purpose.encode("utf-8"), length)

@@ -1,0 +1,51 @@
+"""Block cipher modes of operation.
+
+Only CTR mode is needed by the system: pages are re-encrypted with a fresh
+random nonce on every write-back (Figure 3, line 21), so a stream mode with
+no padding is the natural fit.  CTR keystream blocks are ``E_K(nonce || ctr)``
+with a 12-byte nonce and a 4-byte big-endian block counter, matching the
+layout used by standard AES-CTR/GCM deployments.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from ..errors import CryptoError
+
+__all__ = ["ctr_transform", "NONCE_SIZE"]
+
+NONCE_SIZE = 12  # bytes of random nonce per encryption; 4 bytes left for the counter
+
+
+def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
+    """Encrypt or decrypt ``data`` under CTR mode (the operation is its own inverse).
+
+    Parameters
+    ----------
+    cipher:
+        A keyed :class:`~repro.crypto.aes.AES` instance.
+    nonce:
+        Exactly :data:`NONCE_SIZE` bytes.  Each (key, nonce) pair must be used
+        for at most one message; :class:`repro.crypto.suite.CipherSuite` draws
+        nonces from a CSPRNG per page write to enforce this.
+    data:
+        Arbitrary-length plaintext or ciphertext.
+    initial_counter:
+        Starting value of the 32-bit block counter (useful for seeking).
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"CTR nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    if initial_counter < 0:
+        raise CryptoError("initial_counter must be non-negative")
+    block_count = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    if initial_counter + block_count > 2**32:
+        raise CryptoError("CTR counter would overflow 32 bits for this message")
+
+    encrypt = cipher.encrypt_block
+    keystream = b"".join(
+        encrypt(nonce + (initial_counter + block_index).to_bytes(4, "big"))
+        for block_index in range(block_count)
+    )[: len(data)]
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little")
+    ).to_bytes(len(data), "little")

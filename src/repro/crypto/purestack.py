@@ -1,0 +1,50 @@
+"""Fully self-contained crypto primitives (no ``hashlib`` anywhere).
+
+The default stack uses ``hashlib`` for HMAC/HKDF/PRG speed; combined with
+:mod:`repro.crypto.sha256` this module closes the loop so the *entire*
+cryptographic chain — hash, MAC, keystream — can run on code in this
+repository.  Used by the ``pure`` cipher-suite backend and cross-validated
+against the hashlib-based implementations in the tests.
+
+Python-speed only; pick it for auditability, not throughput.
+"""
+
+from __future__ import annotations
+
+from .sha256 import Sha256, sha256
+from ..errors import CryptoError
+
+__all__ = ["pure_hmac_sha256", "pure_keystream_xor"]
+
+_BLOCK = 64
+_IPAD = bytes(0x36 for _ in range(_BLOCK))
+_OPAD = bytes(0x5C for _ in range(_BLOCK))
+
+
+def pure_hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """RFC 2104 HMAC over the pure-Python SHA-256."""
+    if not key:
+        raise CryptoError("HMAC key must be non-empty")
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    inner_key = bytes(k ^ p for k, p in zip(key, _IPAD))
+    outer_key = bytes(k ^ p for k, p in zip(key, _OPAD))
+    inner = Sha256(inner_key + message).digest()
+    return Sha256(outer_key + inner).digest()
+
+
+def pure_keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Counter-mode stream built from the pure hash: block i is
+    ``SHA256(key || nonce || i)``; XOR into ``data``."""
+    if not key:
+        raise CryptoError("keystream key must be non-empty")
+    digest_size = 32
+    blocks = (len(data) + digest_size - 1) // digest_size
+    keystream = b"".join(
+        sha256(key + nonce + block_index.to_bytes(8, "big"))
+        for block_index in range(blocks)
+    )[: len(data)]
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little")
+    ).to_bytes(len(data), "little")

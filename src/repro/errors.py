@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available;
+nothing in the library raises bare ``Exception`` or ``ValueError`` for
+conditions a caller is expected to handle.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid or violates a model constraint.
+
+    Examples: ``c <= 1``, cache larger than the database, or a database too
+    small for the rejection-sampling loop of the retrieval algorithm to
+    terminate (requires ``n > m + k + 1``).
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key size, nonce misuse, ...)."""
+
+
+class AuthenticationError(CryptoError):
+    """A ciphertext failed MAC verification.
+
+    Raised when a page read back from the untrusted server does not
+    authenticate under the coprocessor's key — per the threat model the
+    server is honest-but-curious, so in a healthy deployment this indicates
+    corruption rather than attack, but we surface it either way.
+    """
+
+
+class StorageError(ReproError):
+    """The untrusted page store rejected an operation (bad location, size)."""
+
+
+class PageNotFoundError(StorageError):
+    """A logical page id does not exist in the database."""
+
+
+class PageDeletedError(PageNotFoundError):
+    """The requested logical page exists in the map but is marked deleted."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (cache, secure memory, block) is full."""
+
+
+class ProtocolError(ReproError):
+    """Two-party protocol violation: unexpected message type or framing."""
+
+
+class IndexError_(ReproError):
+    """A paged index structure (B+-tree, grid) detected an inconsistency."""

@@ -1,0 +1,20 @@
+"""Secure-hardware substrate: platform specs, cache, position map, coprocessor."""
+
+from .cache import LRU_POLICY, RANDOM_POLICY, PageCache
+from .coprocessor import SecureCoprocessor, SecureStorageReport
+from .pagemap import PageLocation, PageMap
+from .specs import GIGABYTE, IBM_4764, MEGABYTE, HardwareSpec
+
+__all__ = [
+    "LRU_POLICY",
+    "RANDOM_POLICY",
+    "PageCache",
+    "SecureCoprocessor",
+    "SecureStorageReport",
+    "PageLocation",
+    "PageMap",
+    "GIGABYTE",
+    "IBM_4764",
+    "MEGABYTE",
+    "HardwareSpec",
+]

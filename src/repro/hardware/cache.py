@@ -1,0 +1,111 @@
+"""The coprocessor's internal page cache (``pageCache`` in Figure 2).
+
+The cache is *not* a performance cache: its purpose is to hold a pool of
+``m`` pages whose geometric (memoryless) eviction law drives the continuous
+reshuffle (Eq. 1).  Accordingly, the only replacement policy the scheme's
+analysis supports is *uniformly random victim selection*; the cache therefore
+exposes slots, not lookup-by-recency.  An LRU policy is also provided purely
+so the ablation benchmark can demonstrate that it breaks the privacy bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..crypto.rng import SecureRandom
+from ..errors import CapacityError, ConfigurationError
+from ..storage.page import Page
+
+__all__ = ["PageCache", "RANDOM_POLICY", "LRU_POLICY"]
+
+RANDOM_POLICY = "random"
+LRU_POLICY = "lru"
+
+
+class PageCache:
+    """Fixed-capacity slot vector of plaintext pages inside the tamper boundary."""
+
+    def __init__(self, capacity: int, rng: SecureRandom, policy: str = RANDOM_POLICY):
+        if capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if policy not in (RANDOM_POLICY, LRU_POLICY):
+            raise ConfigurationError(f"unknown cache policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self._rng = rng
+        self._slots: List[Optional[Page]] = [None] * capacity
+        self._filled = 0
+        # For the LRU ablation only: logical use-clock per slot.
+        self._last_use: List[int] = [0] * capacity
+        self._tick = 0
+
+    # -- setup fill -----------------------------------------------------------
+
+    def fill(self, pages: List[Page]) -> None:
+        """Populate all slots at setup time; the cache must end up full."""
+        if len(pages) != self.capacity:
+            raise CapacityError(
+                f"cache fill needs exactly {self.capacity} pages, got {len(pages)}"
+            )
+        self._slots = list(pages)
+        self._filled = self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        return self._filled == self.capacity
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def __iter__(self) -> Iterator[Page]:
+        for page in self._slots:
+            if page is not None:
+                yield page
+
+    # -- slot access ------------------------------------------------------------
+
+    def get(self, slot: int) -> Page:
+        """Read the page in ``slot`` (does not affect victim selection)."""
+        page = self._slots[self._check_slot(slot)]
+        if page is None:
+            raise CapacityError(f"cache slot {slot} is empty")
+        return page
+
+    def put(self, slot: int, page: Page) -> Page:
+        """Replace the page in ``slot``; returns the previous occupant."""
+        self._check_slot(slot)
+        previous = self._slots[slot]
+        if previous is None:
+            raise CapacityError(f"cache slot {slot} is empty; use fill() at setup")
+        self._slots[slot] = page
+        self._tick += 1
+        self._last_use[slot] = self._tick
+        return previous
+
+    def victim_slot(self) -> int:
+        """Pick the slot whose page will be evicted this request.
+
+        Under the paper's policy this is uniform over all slots — including,
+        deliberately, the slot of the page being requested (§4.1).
+        """
+        if not self.is_full:
+            raise CapacityError("victim selection on a cache that was never filled")
+        if self.policy == RANDOM_POLICY:
+            return self._rng.randrange(self.capacity)
+        # LRU ablation: evict the least recently *stored* page.
+        return min(range(self.capacity), key=lambda s: self._last_use[s])
+
+    def slot_of(self, page_id: int) -> Optional[int]:
+        """Linear scan for a page id (diagnostics/tests only; the engine uses
+        the page map for O(1) membership)."""
+        for slot, page in enumerate(self._slots):
+            if page is not None and page.page_id == page_id:
+                return slot
+        return None
+
+    def _check_slot(self, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise ConfigurationError(
+                f"slot {slot} out of range for cache of {self.capacity}"
+            )
+        return slot

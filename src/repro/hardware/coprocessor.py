@@ -1,0 +1,172 @@
+"""The tamper-resistant secure coprocessor (trusted computing base).
+
+Bundles everything that lives inside the tamper boundary:
+
+* the cipher suite and its keys (never leave the boundary),
+* the randomness source,
+* the page cache (``pageCache``) and position map (``pageMap``),
+* secure-memory accounting against the platform spec (Eq. 7).
+
+The coprocessor does not know the retrieval algorithm — that is
+:class:`repro.core.engine.RetrievalEngine` — it only provides the trusted
+primitives (seal/unseal pages, timing charges for its link and crypto
+engine) plus the two internal data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import PageCache, RANDOM_POLICY
+from .pagemap import PageMap
+from .specs import HardwareSpec
+from ..crypto.rng import SecureRandom
+from ..crypto.suite import CipherSuite
+from ..errors import AuthenticationError, CapacityError
+from ..sim.clock import VirtualClock
+from ..storage.page import Page
+
+__all__ = ["SecureCoprocessor", "SecureStorageReport"]
+
+
+@dataclass(frozen=True)
+class SecureStorageReport:
+    """Breakdown of secure-memory consumption in bytes (Eq. 7)."""
+
+    page_map: int
+    page_cache: int
+    server_block: int
+
+    @property
+    def total(self) -> int:
+        return self.page_map + self.page_cache + self.server_block
+
+
+class SecureCoprocessor:
+    """Trusted hardware state and primitives.
+
+    Parameters
+    ----------
+    num_pages:
+        Total logical pages (disk locations + cached pages).
+    cache_capacity:
+        ``m``, the number of pages held in the internal cache.
+    block_size:
+        ``k``; only used for the server-block term of storage accounting.
+    page_capacity:
+        Payload capacity of each page in bytes.
+    spec:
+        Platform performance envelope; storage is checked against
+        ``spec.total_secure_memory`` and timing charged via ``clock``.
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        cache_capacity: int,
+        block_size: int,
+        page_capacity: int,
+        master_key: bytes = b"repro-master-key",
+        spec: Optional[HardwareSpec] = None,
+        clock: Optional[VirtualClock] = None,
+        rng: Optional[SecureRandom] = None,
+        cipher_backend: str = "blake2",
+        cache_policy: str = RANDOM_POLICY,
+        enforce_memory_limit: bool = False,
+    ):
+        self.spec = spec if spec is not None else HardwareSpec.instantaneous()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = rng if rng is not None else SecureRandom()
+        self.suite = CipherSuite(master_key, backend=cipher_backend, rng=self.rng)
+        self._legacy_suite: Optional[CipherSuite] = None
+        self.page_capacity = page_capacity
+        self.block_size = block_size
+        self.page_map = PageMap(num_pages)
+        self.cache = PageCache(cache_capacity, self.rng.spawn("cache"), cache_policy)
+        if enforce_memory_limit:
+            report = self.storage_report()
+            if report.total > self.spec.total_secure_memory:
+                raise CapacityError(
+                    f"configuration needs {report.total} bytes of secure memory "
+                    f"but the platform provides {self.spec.total_secure_memory} "
+                    f"({self.spec.units} unit(s))"
+                )
+
+    # -- page sealing ---------------------------------------------------------
+    #
+    # Key rotation rides on the continuous reshuffle for free: every request
+    # rewrites its whole block plus one extra page with fresh encryptions, and
+    # the round-robin schedule touches every location exactly once per scan
+    # period.  So switching the *sealing* key while keeping the old key for
+    # unsealing makes the entire database migrate to the new key within one
+    # scan — no extra I/O, no downtime, and the server cannot even tell a
+    # rotation happened (write-backs always look fresh).  The engine counts
+    # down the scan and calls finish_key_rotation().
+
+    @property
+    def rotation_in_progress(self) -> bool:
+        return self._legacy_suite is not None
+
+    def begin_key_rotation(self, new_master_key: bytes) -> None:
+        """Start sealing under a new master key; old frames remain readable."""
+        if self.rotation_in_progress:
+            raise CapacityError("a key rotation is already in progress")
+        self._legacy_suite = self.suite
+        self.suite = CipherSuite(
+            new_master_key, backend=self.suite.backend, rng=self.rng
+        )
+        if self.suite.frame_size(self.plaintext_page_size) != self.frame_size:
+            raise CapacityError("rotation must preserve the frame size")
+
+    def finish_key_rotation(self) -> None:
+        """Drop the legacy key once a full scan has re-encrypted everything."""
+        self._legacy_suite = None
+
+    @property
+    def plaintext_page_size(self) -> int:
+        return Page.plaintext_size(self.page_capacity)
+
+    @property
+    def frame_size(self) -> int:
+        """Bytes of one encrypted page frame as stored on the untrusted disk."""
+        return self.suite.frame_size(self.plaintext_page_size)
+
+    def seal(self, page: Page) -> bytes:
+        """Encode + encrypt a page with a fresh nonce (Figure 3, line 21)."""
+        return self.suite.encrypt_page(page.encode(self.page_capacity))
+
+    def unseal(self, frame: bytes) -> Page:
+        """Decrypt + authenticate + decode a page frame.
+
+        During a key rotation, frames written before the switch still
+        authenticate under the legacy key and are accepted; everything
+        written from now on uses the new key.
+        """
+        try:
+            return Page.decode(self.suite.decrypt_page(frame))
+        except AuthenticationError:
+            if self._legacy_suite is None:
+                raise
+            return Page.decode(self._legacy_suite.decrypt_page(frame))
+
+    # -- timing charges (link + crypto engine) -----------------------------------
+
+    def charge_ingest(self, num_frames: int) -> None:
+        """Clock cost of pulling ``num_frames`` frames in and decrypting them."""
+        self.clock.advance(self.spec.ingest_time(num_frames * self.frame_size))
+
+    def charge_egress(self, num_frames: int) -> None:
+        """Clock cost of re-encrypting ``num_frames`` frames and pushing them out."""
+        self.clock.advance(self.spec.egress_time(num_frames * self.frame_size))
+
+    # -- storage accounting --------------------------------------------------------
+
+    def storage_report(self) -> SecureStorageReport:
+        """Actual secure-memory footprint, mirroring Eq. 7's three terms."""
+        page_bytes = self.plaintext_page_size
+        return SecureStorageReport(
+            page_map=self.page_map.storage_bytes(),
+            page_cache=self.cache.capacity * page_bytes,
+            server_block=(self.block_size + 1) * page_bytes,
+        )

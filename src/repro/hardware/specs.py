@@ -1,0 +1,88 @@
+"""Secure-hardware platform specifications (Table 2 of the paper).
+
+The reference platform is the IBM 4764 PCI-X secure coprocessor: up to 64 MB
+of tamper-protected internal memory, an 80 MB/s host link and a 10 MB/s
+AES engine.  §5 notes that larger databases can aggregate several coprocessor
+units purely for their combined secure memory; :meth:`HardwareSpec.scaled`
+models that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..storage.timing import DiskTimingModel
+
+__all__ = ["HardwareSpec", "IBM_4764", "MEGABYTE", "GIGABYTE"]
+
+MEGABYTE = 10**6
+GIGABYTE = 10**9
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Performance envelope of the secure hardware and its environment.
+
+    Attributes mirror Table 2: ``secure_memory`` bytes of internal cache,
+    link bandwidth ``r_b``, crypto throughput ``r_ed`` and the disk model
+    (``t_s``, ``r_d``).
+    """
+
+    secure_memory: int = 64 * MEGABYTE
+    link_bandwidth: float = 80e6
+    crypto_throughput: float = 10e6
+    disk: DiskTimingModel = DiskTimingModel()
+    units: int = 1
+
+    def __post_init__(self) -> None:
+        if self.secure_memory <= 0:
+            raise ConfigurationError("secure_memory must be positive")
+        if self.link_bandwidth <= 0 or self.crypto_throughput <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if self.units <= 0:
+            raise ConfigurationError("units must be positive")
+
+    @property
+    def total_secure_memory(self) -> int:
+        """Aggregate secure memory across all coprocessor units."""
+        return self.secure_memory * self.units
+
+    def scaled(self, units: int) -> "HardwareSpec":
+        """The same platform with ``units`` coprocessors pooled for storage."""
+        return replace(self, units=units)
+
+    # -- per-operation timing ----------------------------------------------------
+
+    def link_time(self, num_bytes: int) -> float:
+        """Seconds to move ``num_bytes`` across the host<->coprocessor link."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        return num_bytes / self.link_bandwidth
+
+    def crypto_time(self, num_bytes: int) -> float:
+        """Seconds for the crypto engine to (en|de)crypt ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        return num_bytes / self.crypto_throughput
+
+    def ingest_time(self, num_bytes: int) -> float:
+        """Link + decrypt cost of pulling bytes from the server into the HW."""
+        return self.link_time(num_bytes) + self.crypto_time(num_bytes)
+
+    def egress_time(self, num_bytes: int) -> float:
+        """Encrypt + link cost of pushing bytes from the HW to the server."""
+        return self.link_time(num_bytes) + self.crypto_time(num_bytes)
+
+    @staticmethod
+    def instantaneous() -> "HardwareSpec":
+        """Zero-cost spec for access-pattern-only experiments."""
+        return HardwareSpec(
+            secure_memory=2**62,
+            link_bandwidth=float("inf"),
+            crypto_throughput=float("inf"),
+            disk=DiskTimingModel.instantaneous(),
+        )
+
+
+IBM_4764 = HardwareSpec()

@@ -1,0 +1,31 @@
+"""Private query processing: paged B+-tree and spatial grid over PIR pages."""
+
+from .btree import NO_PAGE, BTree, BTreeBuilder, InternalNode, LeafNode, decode_node
+from .btree_writer import BTreeWriter
+from .grid import (
+    NO_CELL,
+    GridBuilder,
+    GridGeometry,
+    GridIndex,
+    SpatialPoint,
+    decode_cell,
+)
+from .private_index import PrivateKeyValueStore, PrivateSpatialStore
+
+__all__ = [
+    "NO_PAGE",
+    "BTree",
+    "BTreeBuilder",
+    "BTreeWriter",
+    "InternalNode",
+    "LeafNode",
+    "decode_node",
+    "NO_CELL",
+    "GridBuilder",
+    "GridGeometry",
+    "GridIndex",
+    "SpatialPoint",
+    "decode_cell",
+    "PrivateKeyValueStore",
+    "PrivateSpatialStore",
+]

@@ -1,0 +1,249 @@
+"""A paged B+-tree laid out on PIR pages.
+
+The paper's motivation (§1-2, following [23]) is private query processing:
+the client resolves queries by privately retrieving pages of a disk-resident
+index.  This module provides that index: a bulk-loaded B+-tree whose nodes
+serialise into fixed-capacity page payloads, so a tree built here can be
+stored directly as the record list of a :class:`~repro.core.PirDatabase`
+and traversed with one private page retrieval per level.
+
+Node wire format (inside one page payload):
+
+* leaf:      ``0x01 | u16 n | u64 next_leaf | n * (u64 key, u16 len, bytes)``
+* internal:  ``0x02 | u16 n | (n+1) * u64 child | n * u64 key``
+
+Keys are unsigned 64-bit integers; ``next_leaf`` is ``NO_PAGE`` for the last
+leaf.  Page ids are assigned contiguously, leaves first, root last — the
+root id is returned by the builder and is the only piece of metadata the
+client must remember.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import IndexError_
+
+__all__ = ["NO_PAGE", "LeafNode", "InternalNode", "BTreeBuilder", "BTree"]
+
+NO_PAGE = 2**64 - 1
+
+_LEAF = 0x01
+_INTERNAL = 0x02
+_U64 = struct.Struct(">Q")
+_U16 = struct.Struct(">H")
+
+
+@dataclass
+class LeafNode:
+    """Sorted (key, value) entries plus the sibling pointer."""
+
+    keys: List[int]
+    values: List[bytes]
+    next_leaf: int = NO_PAGE
+
+    def encode(self) -> bytes:
+        if len(self.keys) != len(self.values):
+            raise IndexError_("leaf keys/values length mismatch")
+        parts = [bytes([_LEAF]), _U16.pack(len(self.keys)), _U64.pack(self.next_leaf)]
+        for key, value in zip(self.keys, self.values):
+            if len(value) > 0xFFFF:
+                raise IndexError_("value longer than 65535 bytes")
+            parts.append(_U64.pack(key))
+            parts.append(_U16.pack(len(value)))
+            parts.append(value)
+        return b"".join(parts)
+
+    def encoded_size(self) -> int:
+        return 3 + 8 + sum(8 + 2 + len(v) for v in self.values)
+
+
+@dataclass
+class InternalNode:
+    """Separator keys and child page ids: child[i] covers keys < keys[i]."""
+
+    keys: List[int]
+    children: List[int]
+
+    def encode(self) -> bytes:
+        if len(self.children) != len(self.keys) + 1:
+            raise IndexError_("internal node needs len(children) == len(keys) + 1")
+        parts = [bytes([_INTERNAL]), _U16.pack(len(self.keys))]
+        parts.extend(_U64.pack(child) for child in self.children)
+        parts.extend(_U64.pack(key) for key in self.keys)
+        return b"".join(parts)
+
+    def encoded_size(self) -> int:
+        return 3 + 8 * (len(self.children) + len(self.keys))
+
+    def child_for(self, key: int) -> int:
+        """The child page to descend into for ``key``."""
+        index = 0
+        while index < len(self.keys) and key >= self.keys[index]:
+            index += 1
+        return self.children[index]
+
+
+def decode_node(payload: bytes):
+    """Parse a page payload into a :class:`LeafNode` or :class:`InternalNode`."""
+    if not payload:
+        raise IndexError_("empty page is not a B+-tree node")
+    kind = payload[0]
+    count = _U16.unpack_from(payload, 1)[0]
+    if kind == _LEAF:
+        next_leaf = _U64.unpack_from(payload, 3)[0]
+        offset = 11
+        keys: List[int] = []
+        values: List[bytes] = []
+        for _ in range(count):
+            keys.append(_U64.unpack_from(payload, offset)[0])
+            length = _U16.unpack_from(payload, offset + 8)[0]
+            start = offset + 10
+            values.append(payload[start : start + length])
+            offset = start + length
+        return LeafNode(keys, values, next_leaf)
+    if kind == _INTERNAL:
+        offset = 3
+        children = []
+        for _ in range(count + 1):
+            children.append(_U64.unpack_from(payload, offset)[0])
+            offset += 8
+        keys = []
+        for _ in range(count):
+            keys.append(_U64.unpack_from(payload, offset)[0])
+            offset += 8
+        return InternalNode(keys, children)
+    raise IndexError_(f"unknown node tag 0x{kind:02x}")
+
+
+class BTreeBuilder:
+    """Bottom-up bulk loader producing page payloads ready for PirDatabase."""
+
+    def __init__(self, page_capacity: int):
+        if page_capacity < 64:
+            raise IndexError_("page_capacity too small for any useful node")
+        self.page_capacity = page_capacity
+
+    def build(self, items: Sequence[Tuple[int, bytes]]) -> Tuple[List[bytes], int, int]:
+        """Return ``(page_payloads, root_page_id, height)``.
+
+        ``items`` must be sorted by key and keys must be unique.
+        """
+        if not items:
+            raise IndexError_("cannot build an empty B+-tree")
+        for (a, _), (b, _) in zip(items, items[1:]):
+            if a >= b:
+                raise IndexError_("items must be strictly sorted by key")
+
+        pages: List[bytes] = []
+
+        def emit(encoded: bytes) -> int:
+            if len(encoded) > self.page_capacity:
+                raise IndexError_(
+                    f"node of {len(encoded)} bytes exceeds page capacity "
+                    f"{self.page_capacity}"
+                )
+            pages.append(encoded)
+            return len(pages) - 1
+
+        # Leaves: greedy fill under the byte budget.
+        leaves: List[LeafNode] = []
+        current = LeafNode([], [])
+        for key, value in items:
+            entry_size = 8 + 2 + len(value)
+            if current.keys and current.encoded_size() + entry_size > self.page_capacity:
+                leaves.append(current)
+                current = LeafNode([], [])
+            if LeafNode([key], [value]).encoded_size() > self.page_capacity:
+                raise IndexError_(f"single entry for key {key} exceeds page capacity")
+            current.keys.append(key)
+            current.values.append(bytes(value))
+        leaves.append(current)
+
+        # Leaves occupy ids [0, len(leaves)), so sibling pointers are known
+        # before encoding.
+        leaf_ids = list(range(len(leaves)))
+        for index, leaf in enumerate(leaves):
+            leaf.next_leaf = leaf_ids[index + 1] if index + 1 < len(leaves) else NO_PAGE
+            emit(leaf.encode())
+
+        # Internal levels.
+        level_ids = leaf_ids
+        level_min_keys = [leaf.keys[0] for leaf in leaves]
+        height = 1
+        while len(level_ids) > 1:
+            height += 1
+            next_ids: List[int] = []
+            next_min_keys: List[int] = []
+            node = InternalNode([], [level_ids[0]])
+            node_min = level_min_keys[0]
+            for child_id, child_min in zip(level_ids[1:], level_min_keys[1:]):
+                trial = InternalNode(node.keys + [child_min],
+                                     node.children + [child_id])
+                if trial.encoded_size() > self.page_capacity:
+                    next_ids.append(emit(node.encode()))
+                    next_min_keys.append(node_min)
+                    node = InternalNode([], [child_id])
+                    node_min = child_min
+                else:
+                    node = trial
+            next_ids.append(emit(node.encode()))
+            next_min_keys.append(node_min)
+            level_ids = next_ids
+            level_min_keys = next_min_keys
+
+        return pages, level_ids[0], height
+
+
+class BTree:
+    """Read-side traversal over any page-fetching function.
+
+    ``fetch(page_id) -> payload bytes`` decouples the tree from the storage:
+    pass ``db.query`` for private traversal, or a plain list getter for
+    direct (non-private) access in tests.
+    """
+
+    def __init__(self, fetch: Callable[[int], bytes], root_page_id: int):
+        self._fetch = fetch
+        self.root_page_id = root_page_id
+        self.pages_fetched = 0
+
+    def _load(self, page_id: int):
+        self.pages_fetched += 1
+        return decode_node(self._fetch(page_id))
+
+    def _descend_to_leaf(self, key: int) -> LeafNode:
+        node = self._load(self.root_page_id)
+        while isinstance(node, InternalNode):
+            node = self._load(node.child_for(key))
+        if not isinstance(node, LeafNode):
+            raise IndexError_("descent did not end at a leaf")
+        return node
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Point lookup; None if the key is absent."""
+        leaf = self._descend_to_leaf(key)
+        for leaf_key, value in zip(leaf.keys, leaf.values):
+            if leaf_key == key:
+                return value
+        return None
+
+    def range(self, low: int, high: int) -> Iterator[Tuple[int, bytes]]:
+        """All (key, value) with ``low <= key <= high``, in key order."""
+        if low > high:
+            return
+        leaf = self._descend_to_leaf(low)
+        while True:
+            for key, value in zip(leaf.keys, leaf.values):
+                if key > high:
+                    return
+                if key >= low:
+                    yield key, value
+            if leaf.next_leaf == NO_PAGE:
+                return
+            node = self._load(leaf.next_leaf)
+            if not isinstance(node, LeafNode):
+                raise IndexError_("sibling pointer led to a non-leaf page")
+            leaf = node

@@ -1,0 +1,188 @@
+"""Read-write B+-tree over a private page store.
+
+The bulk loader in :mod:`repro.index.btree` builds a static tree; real
+workloads also insert and delete keys.  This module adds that, with every
+node touch being a private page operation:
+
+* node rewrites go through ``db.update`` (trace-identical to queries, §4.3),
+* node *allocations* for splits consume the database's reserved free pages
+  via ``db.insert`` — page ids double as child pointers, so a freshly
+  allocated id plugs straight into the parent node,
+* key deletion rewrites the leaf in place (no rebalancing — leaves may
+  underflow, which costs read amplification but never correctness; classic
+  B-link-tree pragmatism).
+
+The writer keeps no plaintext copy of the tree: every descent re-reads the
+(private) pages, so concurrent writers through the same database would see
+each other's committed node images.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .btree import InternalNode, LeafNode, decode_node
+from ..core.database import PirDatabase
+from ..errors import CapacityError, IndexError_
+
+__all__ = ["BTreeWriter"]
+
+
+class BTreeWriter:
+    """Mutating operations over a B+-tree stored in a :class:`PirDatabase`."""
+
+    def __init__(self, database: PirDatabase, root_page_id: int,
+                 page_capacity: Optional[int] = None):
+        self.database = database
+        self.root_page_id = root_page_id
+        self.page_capacity = (
+            page_capacity if page_capacity is not None
+            else database.params.page_capacity
+        )
+
+    # -- reads -------------------------------------------------------------
+
+    def _load(self, page_id: int):
+        return decode_node(self.database.query(page_id))
+
+    def get(self, key: int) -> Optional[bytes]:
+        node = self._load(self.root_page_id)
+        while isinstance(node, InternalNode):
+            node = self._load(node.child_for(key))
+        for leaf_key, value in zip(node.keys, node.values):
+            if leaf_key == key:
+                return value
+        return None
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key``; splits nodes as necessary."""
+        split = self._insert_into(self.root_page_id, key, value)
+        if split is not None:
+            separator, new_child = split
+            old_root = self.root_page_id
+            new_root = InternalNode([separator], [old_root, new_child])
+            encoded = new_root.encode()
+            if len(encoded) > self.page_capacity:
+                raise IndexError_("new root does not fit a page")
+            try:
+                self.root_page_id = self.database.insert(encoded)
+            except CapacityError as exc:
+                raise IndexError_(
+                    "tree grew past the database's reserved free pages; "
+                    "provision a larger reserve_fraction"
+                ) from exc
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False if it was absent.  No rebalancing."""
+        path: List[Tuple[int, InternalNode]] = []
+        page_id = self.root_page_id
+        node = self._load(page_id)
+        while isinstance(node, InternalNode):
+            path.append((page_id, node))
+            page_id = node.child_for(key)
+            node = self._load(page_id)
+        if key not in node.keys:
+            return False
+        index = node.keys.index(key)
+        del node.keys[index]
+        del node.values[index]
+        self.database.update(page_id, node.encode())
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert_into(
+        self, page_id: int, key: int, value: bytes
+    ) -> Optional[Tuple[int, int]]:
+        """Insert under ``page_id``; returns (separator, new_page_id) if split."""
+        node = self._load(page_id)
+        if isinstance(node, LeafNode):
+            return self._insert_into_leaf(page_id, node, key, value)
+
+        child_index = 0
+        while child_index < len(node.keys) and key >= node.keys[child_index]:
+            child_index += 1
+        split = self._insert_into(node.children[child_index], key, value)
+        if split is None:
+            return None
+        separator, new_child = split
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, new_child)
+        if node.encoded_size() <= self.page_capacity:
+            self.database.update(page_id, node.encode())
+            return None
+        return self._split_internal(page_id, node)
+
+    def _insert_into_leaf(
+        self, page_id: int, leaf: LeafNode, key: int, value: bytes
+    ) -> Optional[Tuple[int, int]]:
+        if LeafNode([key], [value]).encoded_size() > self.page_capacity:
+            raise IndexError_("entry larger than a page")
+        position = 0
+        while position < len(leaf.keys) and leaf.keys[position] < key:
+            position += 1
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            leaf.values[position] = value  # overwrite
+        else:
+            leaf.keys.insert(position, key)
+            leaf.values.insert(position, value)
+        if leaf.encoded_size() <= self.page_capacity:
+            self.database.update(page_id, leaf.encode())
+            return None
+        return self._split_leaf(page_id, leaf)
+
+    def _allocate(self, encoded: bytes) -> int:
+        try:
+            return self.database.insert(encoded)
+        except CapacityError as exc:
+            raise IndexError_(
+                "no free pages left for a node split; provision a larger "
+                "reserve_fraction at database creation"
+            ) from exc
+
+    def _split_leaf(self, page_id: int, leaf: LeafNode) -> Tuple[int, int]:
+        # Split by *bytes*, not entry count: with variable-size values an
+        # entry-count middle can leave one half still over capacity.  Pick
+        # the split point that minimises the larger half (leaves hold few
+        # entries, so the scan is cheap).
+        sizes = [8 + 2 + len(value) for value in leaf.values]
+        total = sum(sizes)
+        best_middle, best_worst = 1, float("inf")
+        running = 0
+        for index in range(len(sizes) - 1):
+            running += sizes[index]
+            worst_half = max(running, total - running)
+            if worst_half < best_worst:
+                best_middle, best_worst = index + 1, worst_half
+        middle = best_middle
+        right = LeafNode(leaf.keys[middle:], leaf.values[middle:],
+                         next_leaf=leaf.next_leaf)
+        if right.encoded_size() > self.page_capacity:
+            raise IndexError_(
+                "leaf split cannot satisfy page capacity; entries are too "
+                "large relative to the page size"
+            )
+        right_id = self._allocate(right.encode())
+        left = LeafNode(leaf.keys[:middle], leaf.values[:middle],
+                        next_leaf=right_id)
+        if left.encoded_size() > self.page_capacity:
+            raise IndexError_(
+                "leaf split cannot satisfy page capacity; entries are too "
+                "large relative to the page size"
+            )
+        self.database.update(page_id, left.encode())
+        return right.keys[0], right_id
+
+    def _split_internal(
+        self, page_id: int, node: InternalNode
+    ) -> Tuple[int, int]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = InternalNode(node.keys[middle + 1 :],
+                             node.children[middle + 1 :])
+        right_id = self._allocate(right.encode())
+        left = InternalNode(node.keys[:middle], node.children[: middle + 1])
+        self.database.update(page_id, left.encode())
+        return separator, right_id

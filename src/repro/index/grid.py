@@ -1,0 +1,287 @@
+"""A paged spatial grid for private location-based queries.
+
+The paper's opening motivation is location privacy: an LBS can track a user
+through its query log (§1).  With the grid below stored in a
+:class:`~repro.core.PirDatabase`, nearest-neighbour queries touch only
+private page retrievals, so the provider learns nothing about the user's
+location — the application studied in [17, 23].
+
+Layout: the bounding box is cut into ``cells_x x cells_y`` cells; each cell
+serialises into one *head* page
+(``u64 next_page | u16 n | n * (f64 x, f64 y, u16 len, bytes label)``)
+plus, when a dense cell overflows the page capacity, a chain of overflow
+pages linked by ``next_page`` (``NO_CELL`` terminates).  The builder first
+refines the grid resolution toward balanced cells, then chains whatever
+residual density remains — so arbitrarily clustered data always builds.  kNN
+search expands rings of cells around the query point and stops once the
+next ring cannot contain a closer point than the current k-th best — the
+textbook CPM-style expansion.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import IndexError_
+
+__all__ = ["SpatialPoint", "GridBuilder", "GridIndex", "decode_cell", "NO_CELL"]
+
+_U16 = struct.Struct(">H")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+#: Sentinel terminating a cell's overflow chain.
+NO_CELL = 2**64 - 1
+
+
+@dataclass(frozen=True)
+class SpatialPoint:
+    """A labelled point of interest."""
+
+    x: float
+    y: float
+    label: bytes = b""
+
+    def distance_to(self, x: float, y: float) -> float:
+        return math.hypot(self.x - x, self.y - y)
+
+
+def encode_cell(points: Sequence[SpatialPoint], next_page: int = NO_CELL) -> bytes:
+    """Serialise one cell page: chain pointer, count, then the points."""
+    parts = [_U64.pack(next_page), _U16.pack(len(points))]
+    for point in points:
+        if len(point.label) > 0xFFFF:
+            raise IndexError_("label longer than 65535 bytes")
+        parts.append(_F64.pack(point.x))
+        parts.append(_F64.pack(point.y))
+        parts.append(_U16.pack(len(point.label)))
+        parts.append(point.label)
+    return b"".join(parts)
+
+
+def decode_cell(payload: bytes) -> Tuple[List[SpatialPoint], int]:
+    """Parse a cell page payload; returns (points, next_page)."""
+    if len(payload) < 10:
+        raise IndexError_("cell payload too short")
+    next_page = _U64.unpack_from(payload, 0)[0]
+    count = _U16.unpack_from(payload, 8)[0]
+    offset = 10
+    points: List[SpatialPoint] = []
+    for _ in range(count):
+        x = _F64.unpack_from(payload, offset)[0]
+        y = _F64.unpack_from(payload, offset + 8)[0]
+        length = _U16.unpack_from(payload, offset + 16)[0]
+        start = offset + 18
+        points.append(SpatialPoint(x, y, payload[start : start + length]))
+        offset = start + length
+    return points, next_page
+
+
+def _entry_size(point: SpatialPoint) -> int:
+    return 8 + 8 + 2 + len(point.label)
+
+
+_CELL_HEADER = 8 + 2
+
+
+@dataclass(frozen=True)
+class GridGeometry:
+    """Where the grid sits in space and how it maps to page ids."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    cells_x: int
+    cells_y: int
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Clamped cell coordinates of an arbitrary point."""
+        span_x = max(self.max_x - self.min_x, 1e-12)
+        span_y = max(self.max_y - self.min_y, 1e-12)
+        cx = int((x - self.min_x) / span_x * self.cells_x)
+        cy = int((y - self.min_y) / span_y * self.cells_y)
+        return (
+            min(max(cx, 0), self.cells_x - 1),
+            min(max(cy, 0), self.cells_y - 1),
+        )
+
+    def page_of(self, cx: int, cy: int) -> int:
+        return cy * self.cells_x + cx
+
+    @property
+    def cell_width(self) -> float:
+        return (self.max_x - self.min_x) / self.cells_x
+
+    @property
+    def cell_height(self) -> float:
+        return (self.max_y - self.min_y) / self.cells_y
+
+
+class GridBuilder:
+    """Partition points into cell pages sized to the page capacity."""
+
+    def __init__(self, page_capacity: int):
+        if page_capacity < 32:
+            raise IndexError_("page_capacity too small for any cell")
+        self.page_capacity = page_capacity
+
+    def build(
+        self, points: Sequence[SpatialPoint], max_cells: int = 256
+    ) -> Tuple[List[bytes], GridGeometry]:
+        """Return (page payloads, geometry).
+
+        Pages ``[0, cells_x * cells_y)`` are the row-major cell heads;
+        overflow pages for dense cells follow, linked via each page's
+        ``next_page`` pointer.  Resolution is refined until cells fit or
+        ``max_cells`` per axis is reached, after which density is absorbed
+        by chaining.
+        """
+        if not points:
+            raise IndexError_("cannot build a grid over no points")
+        for point in points:
+            if _CELL_HEADER + _entry_size(point) > self.page_capacity:
+                raise IndexError_("a single point exceeds the page capacity")
+        min_x = min(p.x for p in points)
+        max_x = max(p.x for p in points)
+        min_y = min(p.y for p in points)
+        max_y = max(p.y for p in points)
+        # Refine toward one-page cells, then chain whatever remains.
+        cells = max(1, math.isqrt(len(points) // 4) or 1)
+        while True:
+            geometry = GridGeometry(min_x, min_y, max_x, max_y, cells, cells)
+            buckets: List[List[SpatialPoint]] = [
+                [] for _ in range(cells * cells)
+            ]
+            for point in points:
+                cx, cy = geometry.cell_of(point.x, point.y)
+                buckets[geometry.page_of(cx, cy)].append(point)
+            fits = all(
+                _CELL_HEADER + sum(_entry_size(p) for p in bucket)
+                <= self.page_capacity
+                for bucket in buckets
+            )
+            if fits or cells >= max_cells:
+                break
+            cells *= 2
+        return self._paginate(buckets), geometry
+
+    def _paginate(self, buckets: List[List[SpatialPoint]]) -> List[bytes]:
+        """Lay out head pages and overflow chains."""
+        # First split every bucket into page-sized groups.
+        groups_per_cell: List[List[List[SpatialPoint]]] = []
+        for bucket in buckets:
+            groups: List[List[SpatialPoint]] = [[]]
+            used = _CELL_HEADER
+            for point in bucket:
+                size = _entry_size(point)
+                if used + size > self.page_capacity and groups[-1]:
+                    groups.append([])
+                    used = _CELL_HEADER
+                groups[-1].append(point)
+                used += size
+            groups_per_cell.append(groups)
+        # Assign ids: heads are [0, len(buckets)); overflow pages follow.
+        next_overflow_id = len(buckets)
+        chain_ids: List[List[int]] = []
+        for cell_index, groups in enumerate(groups_per_cell):
+            ids = [cell_index]
+            for _ in groups[1:]:
+                ids.append(next_overflow_id)
+                next_overflow_id += 1
+            chain_ids.append(ids)
+        payloads: List[bytes] = [b""] * next_overflow_id
+        for groups, ids in zip(groups_per_cell, chain_ids):
+            for position, (group, page_id) in enumerate(zip(groups, ids)):
+                next_page = ids[position + 1] if position + 1 < len(ids) else NO_CELL
+                payloads[page_id] = encode_cell(group, next_page)
+        return payloads
+
+
+class GridIndex:
+    """kNN search over any page-fetching function (pass ``db.query``)."""
+
+    def __init__(self, fetch: Callable[[int], bytes], geometry: GridGeometry):
+        self._fetch = fetch
+        self.geometry = geometry
+        self.pages_fetched = 0
+
+    def _cell_points(self, cx: int, cy: int) -> List[SpatialPoint]:
+        """All points of a cell, following its overflow chain."""
+        page_id = self.geometry.page_of(cx, cy)
+        points: List[SpatialPoint] = []
+        hops = 0
+        while page_id != NO_CELL:
+            self.pages_fetched += 1
+            chunk, page_id = decode_cell(self._fetch(page_id))
+            points.extend(chunk)
+            hops += 1
+            if hops > 1_000_000:
+                raise IndexError_("overflow chain does not terminate")
+        return points
+
+    def knn(self, x: float, y: float, k: int = 1) -> List[Tuple[float, SpatialPoint]]:
+        """The k nearest points to (x, y) as (distance, point), ascending.
+
+        Ring expansion: ring r holds the cells at Chebyshev distance r from
+        the query cell; once the best possible distance of ring r exceeds
+        the current k-th best, the search is complete.
+        """
+        if k <= 0:
+            raise IndexError_("k must be positive")
+        geometry = self.geometry
+        qx, qy = geometry.cell_of(x, y)
+        best: List[Tuple[float, SpatialPoint]] = []
+        min_cell_span = min(geometry.cell_width, geometry.cell_height)
+        max_ring = max(geometry.cells_x, geometry.cells_y)
+        for ring in range(max_ring + 1):
+            if len(best) >= k:
+                # Any point in ring r is at least (r-1) cell spans away.
+                lower_bound = max(0, ring - 1) * min_cell_span
+                if lower_bound > best[k - 1][0]:
+                    break
+            for cx, cy in self._ring_cells(qx, qy, ring):
+                for point in self._cell_points(cx, cy):
+                    best.append((point.distance_to(x, y), point))
+            best.sort(key=lambda pair: pair[0])
+            del best[k:]
+        return best
+
+    def range_query(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> List[SpatialPoint]:
+        """All points inside the axis-aligned rectangle (inclusive bounds).
+
+        Fetches exactly the cells intersecting the rectangle — for the
+        private deployment that is one retrieval per intersected cell page
+        (plus overflow chain hops).
+        """
+        if min_x > max_x or min_y > max_y:
+            raise IndexError_("empty rectangle: min must not exceed max")
+        geometry = self.geometry
+        low_cx, low_cy = geometry.cell_of(min_x, min_y)
+        high_cx, high_cy = geometry.cell_of(max_x, max_y)
+        results: List[SpatialPoint] = []
+        for cy in range(low_cy, high_cy + 1):
+            for cx in range(low_cx, high_cx + 1):
+                for point in self._cell_points(cx, cy):
+                    if min_x <= point.x <= max_x and min_y <= point.y <= max_y:
+                        results.append(point)
+        return results
+
+    def _ring_cells(self, qx: int, qy: int, ring: int):
+        geometry = self.geometry
+        if ring == 0:
+            yield qx, qy
+            return
+        for cx in range(qx - ring, qx + ring + 1):
+            for cy in (qy - ring, qy + ring):
+                if 0 <= cx < geometry.cells_x and 0 <= cy < geometry.cells_y:
+                    yield cx, cy
+        for cy in range(qy - ring + 1, qy + ring):
+            for cx in (qx - ring, qx + ring):
+                if 0 <= cx < geometry.cells_x and 0 <= cy < geometry.cells_y:
+                    yield cx, cy

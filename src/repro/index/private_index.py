@@ -1,0 +1,155 @@
+"""Private query processing: indexes stored in a PirDatabase.
+
+These classes bind an index structure to a private page store so that every
+index-page access is a private retrieval — the architecture of [23] that
+motivates the paper.  They also count retrievals per query, the quantity
+that makes perfect-privacy PIR "tens of seconds even for moderate databases"
+and the c-approximate scheme attractive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .btree import BTree, BTreeBuilder
+from .btree_writer import BTreeWriter
+from .grid import GridBuilder, GridIndex, SpatialPoint
+from ..core.database import PirDatabase
+from ..errors import IndexError_
+
+__all__ = ["PrivateKeyValueStore", "PrivateSpatialStore"]
+
+
+class PrivateKeyValueStore:
+    """An ordered key-value store with private point and range lookups."""
+
+    def __init__(self, database: PirDatabase, root_page_id: int, height: int):
+        self.database = database
+        self.root_page_id = root_page_id
+        self.height = height
+        self._retrievals = 0
+
+    @classmethod
+    def create(
+        cls,
+        items: Sequence[Tuple[int, bytes]],
+        cache_capacity: int,
+        target_c: float = 2.0,
+        page_capacity: int = 256,
+        **database_options,
+    ) -> "PrivateKeyValueStore":
+        """Bulk-load a B+-tree over ``items`` and wrap it in a PirDatabase.
+
+        Extra keyword arguments are forwarded to
+        :meth:`~repro.core.PirDatabase.create` (seed, spec, backend, ...).
+        """
+        builder = BTreeBuilder(page_capacity)
+        pages, root, height = builder.build(sorted(items))
+        database = PirDatabase.create(
+            pages,
+            cache_capacity=cache_capacity,
+            target_c=target_c,
+            page_capacity=page_capacity,
+            **database_options,
+        )
+        return cls(database, root, height)
+
+    def _tree(self) -> BTree:
+        def fetch(page_id: int) -> bytes:
+            self._retrievals += 1
+            return self.database.query(page_id)
+
+        return BTree(fetch, self.root_page_id)
+
+    @property
+    def retrievals(self) -> int:
+        """Total private page retrievals performed by index queries so far."""
+        return self._retrievals
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Private point lookup: one retrieval per tree level."""
+        return self._tree().get(key)
+
+    def range(self, low: int, high: int) -> List[Tuple[int, bytes]]:
+        """Private range scan (descent + one retrieval per touched leaf)."""
+        return list(self._tree().range(low, high))
+
+    def query_cost_estimate(self) -> float:
+        """Expected seconds per point lookup (height x Eq. 8 per-request cost)."""
+        return self.height * self.database.expected_query_time()
+
+    # -- mutation (requires reserve pages for node splits) --------------------
+
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite a key; node splits consume reserve pages."""
+        writer = BTreeWriter(self.database, self.root_page_id)
+        writer.insert(key, value)
+        if writer.root_page_id != self.root_page_id:
+            self.root_page_id = writer.root_page_id
+            self.height += 1
+
+    def remove(self, key: int) -> bool:
+        """Delete a key; returns False if it was absent."""
+        writer = BTreeWriter(self.database, self.root_page_id)
+        return writer.delete(key)
+
+
+class PrivateSpatialStore:
+    """Location-private nearest-neighbour search over a paged grid."""
+
+    def __init__(self, database: PirDatabase, index: GridIndex):
+        self.database = database
+        self._index = index
+        self._retrievals = 0
+
+    @classmethod
+    def create(
+        cls,
+        points: Sequence[SpatialPoint],
+        cache_capacity: int,
+        target_c: float = 2.0,
+        page_capacity: int = 512,
+        **database_options,
+    ) -> "PrivateSpatialStore":
+        builder = GridBuilder(page_capacity)
+        pages, geometry = builder.build(points)
+        database = PirDatabase.create(
+            pages,
+            cache_capacity=cache_capacity,
+            target_c=target_c,
+            page_capacity=page_capacity,
+            **database_options,
+        )
+        store = cls.__new__(cls)
+        store.database = database
+        store._retrievals = 0
+
+        def fetch(page_id: int) -> bytes:
+            store._retrievals += 1
+            return database.query(page_id)
+
+        store._index = GridIndex(fetch, geometry)
+        return store
+
+    @property
+    def retrievals(self) -> int:
+        return self._retrievals
+
+    def knn(self, x: float, y: float, k: int = 1) -> List[Tuple[float, SpatialPoint]]:
+        """The k nearest points of interest; the provider learns nothing
+        about (x, y) beyond the c-approximate relocation bound."""
+        if k <= 0:
+            raise IndexError_("k must be positive")
+        return self._index.knn(x, y, k)
+
+    def nearest(self, x: float, y: float) -> Tuple[float, SpatialPoint]:
+        results = self.knn(x, y, 1)
+        if not results:
+            raise IndexError_("spatial store is empty")
+        return results[0]
+
+    def within(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> List[SpatialPoint]:
+        """Private spatial range query over an axis-aligned rectangle."""
+        return self._index.range_query(min_x, min_y, max_x, max_y)

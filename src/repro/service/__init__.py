@@ -1,0 +1,28 @@
+"""Three-party query service: clients <-> secure hardware over SSL (Fig. 1)."""
+
+from .frontend import QueryFrontend, ServiceClient
+from .protocol import (
+    Delete,
+    Insert,
+    Ok,
+    Query,
+    Refused,
+    Result,
+    Update,
+    decode_client_message,
+    encode_client_message,
+)
+
+__all__ = [
+    "QueryFrontend",
+    "ServiceClient",
+    "Delete",
+    "Insert",
+    "Ok",
+    "Query",
+    "Refused",
+    "Result",
+    "Update",
+    "decode_client_message",
+    "encode_client_message",
+]

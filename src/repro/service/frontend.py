@@ -1,0 +1,164 @@
+"""The query front-end running inside the secure hardware (Figure 1).
+
+Terminates per-client encrypted sessions, decodes requests, drives the
+retrieval engine, and returns results — all inside the tamper boundary.
+The host server relays opaque ciphertext blobs between clients and the
+coprocessor and observes only the disk trace plus message timing.
+
+Each connected client gets its own session keys (standing in for a TLS
+handshake), so clients cannot read each other's traffic either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import protocol
+from ..core.database import PirDatabase
+from ..crypto.suite import CipherSuite
+from ..errors import (
+    CapacityError,
+    ConfigurationError,
+    PageDeletedError,
+    PageNotFoundError,
+    ProtocolError,
+    ReproError,
+)
+from ..sim.clock import VirtualClock
+from ..sim.metrics import CounterSet, LatencySeries
+from ..twoparty.channel import SimulatedChannel
+
+__all__ = ["QueryFrontend", "ServiceClient"]
+
+
+class QueryFrontend:
+    """Session manager + request dispatcher inside the coprocessor."""
+
+    def __init__(self, database: PirDatabase):
+        self.database = database
+        self._sessions: Dict[int, CipherSuite] = {}
+        self._next_session = 1
+        self.counters = CounterSet()
+
+    # -- session management ----------------------------------------------------
+
+    def open_session(self) -> int:
+        """Establish a client session; returns the session id.
+
+        Stands in for the SSL handshake: a per-session key pair is derived
+        inside the boundary and (conceptually) shared with the client via
+        the handshake.  :meth:`session_suite` hands the client its copy.
+        """
+        session_id = self._next_session
+        self._next_session += 1
+        self._sessions[session_id] = CipherSuite(
+            b"client-session:" + session_id.to_bytes(8, "big"),
+            backend="blake2",
+            rng=self.database.cop.rng.spawn(f"session-{session_id}"),
+        )
+        self.counters.increment("sessions")
+        return session_id
+
+    def session_suite(self, session_id: int) -> CipherSuite:
+        if session_id not in self._sessions:
+            raise ProtocolError(f"unknown session {session_id}")
+        return self._sessions[session_id]
+
+    def close_session(self, session_id: int) -> None:
+        self._sessions.pop(session_id, None)
+
+    # -- request dispatch ----------------------------------------------------------
+
+    def serve(self, session_id: int, sealed_request: bytes) -> bytes:
+        """Handle one encrypted client request; always returns a sealed reply."""
+        suite = self.session_suite(session_id)
+        try:
+            request = protocol.decode_client_message(
+                suite.decrypt_page(sealed_request)
+            )
+            reply = self._dispatch(request)
+        except ReproError as exc:
+            reply = protocol.Refused(f"{type(exc).__name__}: {exc}")
+        self.counters.increment("requests")
+        return suite.encrypt_page(protocol.encode_client_message(reply))
+
+    def _dispatch(self, request: protocol.ClientMessage) -> protocol.ClientMessage:
+        db = self.database
+        if isinstance(request, protocol.Query):
+            try:
+                payload = db.query(request.page_id)
+            except (PageDeletedError, PageNotFoundError) as exc:
+                return protocol.Refused(f"{type(exc).__name__}: {exc}")
+            return protocol.Result(request.page_id, payload)
+        if isinstance(request, protocol.Update):
+            db.update(request.page_id, request.payload)
+            return protocol.Ok()
+        if isinstance(request, protocol.Insert):
+            try:
+                new_id = db.insert(request.payload)
+            except CapacityError as exc:
+                return protocol.Refused(f"CapacityError: {exc}")
+            return protocol.Result(new_id, request.payload)
+        if isinstance(request, protocol.Delete):
+            db.delete(request.page_id)
+            return protocol.Ok()
+        raise ProtocolError(
+            f"frontend cannot handle {type(request).__name__}"
+        )
+
+
+class ServiceClient:
+    """A client of the three-party service, talking over its own channel."""
+
+    def __init__(
+        self,
+        frontend: QueryFrontend,
+        rtt: float = 0.02,
+        bandwidth: float = 10e6,
+        clock: Optional[VirtualClock] = None,
+    ):
+        self.frontend = frontend
+        self.session_id = frontend.open_session()
+        self._suite = frontend.session_suite(self.session_id)
+        self.channel = SimulatedChannel(
+            clock if clock is not None else frontend.database.clock,
+            lambda blob: frontend.serve(self.session_id, blob),
+            rtt=rtt,
+            bandwidth=bandwidth,
+        )
+        self.latencies = LatencySeries()
+
+    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+        sealed = self._suite.encrypt_page(protocol.encode_client_message(message))
+        started = self.channel.clock.now
+        sealed_reply = self.channel.call(sealed)
+        self.latencies.record(self.channel.clock.now - started)
+        reply = protocol.decode_client_message(self._suite.decrypt_page(sealed_reply))
+        if isinstance(reply, protocol.Refused):
+            raise ConfigurationError(f"request refused: {reply.reason}")
+        return reply
+
+    def query(self, page_id: int) -> bytes:
+        reply = self._call(protocol.Query(page_id))
+        if not isinstance(reply, protocol.Result):
+            raise ProtocolError(f"expected Result, got {type(reply).__name__}")
+        return reply.payload
+
+    def update(self, page_id: int, payload: bytes) -> None:
+        reply = self._call(protocol.Update(page_id, payload))
+        if not isinstance(reply, protocol.Ok):
+            raise ProtocolError(f"expected Ok, got {type(reply).__name__}")
+
+    def insert(self, payload: bytes) -> int:
+        reply = self._call(protocol.Insert(payload))
+        if not isinstance(reply, protocol.Result):
+            raise ProtocolError(f"expected Result, got {type(reply).__name__}")
+        return reply.page_id
+
+    def delete(self, page_id: int) -> None:
+        reply = self._call(protocol.Delete(page_id))
+        if not isinstance(reply, protocol.Ok):
+            raise ProtocolError(f"expected Ok, got {type(reply).__name__}")
+
+    def close(self) -> None:
+        self.frontend.close_session(self.session_id)

@@ -1,0 +1,163 @@
+"""Client <-> secure-hardware wire protocol (the SSL link of Figure 1).
+
+In the three-party model any client may query the database; requests and
+replies travel over per-client SSL connections that terminate *inside* the
+coprocessor, so the server never sees their contents — only their timing.
+We model the link as an authenticated-encrypted channel: the codec below
+defines the plaintext structure, and :class:`repro.service.frontend` wraps
+each message in a per-session :class:`~repro.crypto.suite.CipherSuite`
+frame, standing in for the TLS record layer.
+
+========  ==========  ===========================================
+opcode    message     body
+========  ==========  ===========================================
+0x10      QUERY       u64 page_id
+0x11      UPDATE      u64 page_id, u32 len, payload
+0x12      INSERT      u32 len, payload
+0x13      DELETE      u64 page_id
+0x20      RESULT      u64 page_id, u32 len, payload
+0x21      OK          (empty)
+0x2F      REFUSED     u32 len, utf-8 reason
+========  ==========  ===========================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "Query",
+    "Update",
+    "Insert",
+    "Delete",
+    "Result",
+    "Ok",
+    "Refused",
+    "encode_client_message",
+    "decode_client_message",
+]
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+
+_OP_QUERY = 0x10
+_OP_UPDATE = 0x11
+_OP_INSERT = 0x12
+_OP_DELETE = 0x13
+_OP_RESULT = 0x20
+_OP_OK = 0x21
+_OP_REFUSED = 0x2F
+
+
+@dataclass(frozen=True)
+class Query:
+    page_id: int
+
+
+@dataclass(frozen=True)
+class Update:
+    page_id: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Insert:
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Delete:
+    page_id: int
+
+
+@dataclass(frozen=True)
+class Result:
+    page_id: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Ok:
+    pass
+
+
+@dataclass(frozen=True)
+class Refused:
+    reason: str
+
+
+ClientMessage = Union[Query, Update, Insert, Delete, Result, Ok, Refused]
+
+
+def encode_client_message(message: ClientMessage) -> bytes:
+    """Serialise one client-protocol message to its wire bytes."""
+    if isinstance(message, Query):
+        return bytes([_OP_QUERY]) + _U64.pack(message.page_id)
+    if isinstance(message, Update):
+        return (bytes([_OP_UPDATE]) + _U64.pack(message.page_id)
+                + _U32.pack(len(message.payload)) + message.payload)
+    if isinstance(message, Insert):
+        return bytes([_OP_INSERT]) + _U32.pack(len(message.payload)) + message.payload
+    if isinstance(message, Delete):
+        return bytes([_OP_DELETE]) + _U64.pack(message.page_id)
+    if isinstance(message, Result):
+        return (bytes([_OP_RESULT]) + _U64.pack(message.page_id)
+                + _U32.pack(len(message.payload)) + message.payload)
+    if isinstance(message, Ok):
+        return bytes([_OP_OK])
+    if isinstance(message, Refused):
+        body = message.reason.encode("utf-8")
+        return bytes([_OP_REFUSED]) + _U32.pack(len(body)) + body
+    raise ProtocolError(f"cannot encode {type(message).__name__}")
+
+
+def _take_payload(buffer: bytes, offset: int) -> bytes:
+    length = _U32.unpack_from(buffer, offset)[0]
+    start = offset + 4
+    if start + length != len(buffer):
+        raise ProtocolError("payload length does not match message size")
+    return buffer[start : start + length]
+
+
+def decode_client_message(buffer: bytes) -> ClientMessage:
+    """Parse wire bytes; raises :class:`ProtocolError` on malformed input."""
+    try:
+        return _decode_client_message(buffer)
+    except struct.error as exc:
+        raise ProtocolError(f"truncated client message: {exc}") from exc
+
+
+def _decode_client_message(buffer: bytes) -> ClientMessage:
+    if not buffer:
+        raise ProtocolError("empty client message")
+    opcode = buffer[0]
+    if opcode == _OP_QUERY:
+        if len(buffer) != 9:
+            raise ProtocolError("bad QUERY length")
+        return Query(_U64.unpack_from(buffer, 1)[0])
+    if opcode == _OP_UPDATE:
+        page_id = _U64.unpack_from(buffer, 1)[0]
+        return Update(page_id, _take_payload(buffer, 9))
+    if opcode == _OP_INSERT:
+        return Insert(_take_payload(buffer, 1))
+    if opcode == _OP_DELETE:
+        if len(buffer) != 9:
+            raise ProtocolError("bad DELETE length")
+        return Delete(_U64.unpack_from(buffer, 1)[0])
+    if opcode == _OP_RESULT:
+        page_id = _U64.unpack_from(buffer, 1)[0]
+        return Result(page_id, _take_payload(buffer, 9))
+    if opcode == _OP_OK:
+        if len(buffer) != 1:
+            raise ProtocolError("bad OK length")
+        return Ok()
+    if opcode == _OP_REFUSED:
+        body = _take_payload(buffer, 1)
+        # The reason is display text; tolerate mangled bytes rather than
+        # letting a corrupted reply crash the client.
+        return Refused(body.decode("utf-8", errors="replace"))
+    raise ProtocolError(f"unknown client opcode 0x{opcode:02x}")

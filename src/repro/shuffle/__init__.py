@@ -1,0 +1,12 @@
+"""Oblivious permutation substrate for the setup phase."""
+
+from .oblivious import ObliviousShuffler, batcher_network, direct_permute, network_size
+from .permutation import Permutation
+
+__all__ = [
+    "ObliviousShuffler",
+    "batcher_network",
+    "direct_permute",
+    "network_size",
+    "Permutation",
+]

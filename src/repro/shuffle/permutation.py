@@ -1,0 +1,89 @@
+"""Secret permutations of page locations.
+
+The initial database layout is a uniformly random permutation known only to
+the secure hardware (it is implicit in ``pageMap`` afterwards).  This module
+provides the permutation object used at setup plus composition/inversion
+helpers used by tests and the Wang-et-al. baseline's periodic reshuffles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..crypto.rng import SecureRandom
+from ..errors import ConfigurationError
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A bijection on ``[0, n)`` with forward and inverse application."""
+
+    def __init__(self, mapping: Sequence[int]):
+        n = len(mapping)
+        if n == 0:
+            raise ConfigurationError("permutation must be non-empty")
+        seen = [False] * n
+        for value in mapping:
+            if not 0 <= value < n or seen[value]:
+                raise ConfigurationError("mapping is not a permutation of [0, n)")
+            seen[value] = True
+        self._forward: List[int] = list(mapping)
+        self._inverse: List[int] = [0] * n
+        for index, value in enumerate(self._forward):
+            self._inverse[value] = index
+
+    @staticmethod
+    def identity(n: int) -> "Permutation":
+        return Permutation(range(n))
+
+    @staticmethod
+    def random(n: int, rng: SecureRandom) -> "Permutation":
+        """Uniformly random permutation via Fisher-Yates on the secure RNG."""
+        mapping = list(range(n))
+        rng.shuffle(mapping)
+        return Permutation(mapping)
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._forward)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self._forward == other._forward
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._forward))
+
+    def apply(self, index: int) -> int:
+        """Where item ``index`` is sent: ``pi(index)``."""
+        return self._forward[self._check(index)]
+
+    def invert(self, position: int) -> int:
+        """Which item occupies ``position``: ``pi^{-1}(position)``."""
+        return self._inverse[self._check(position)]
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """``self after other``: ``(self.compose(other)).apply(i) == self.apply(other.apply(i))``."""
+        if len(other) != len(self):
+            raise ConfigurationError("cannot compose permutations of different sizes")
+        return Permutation([self._forward[other.apply(i)] for i in range(len(self))])
+
+    def inverse(self) -> "Permutation":
+        return Permutation(self._inverse)
+
+    def is_identity(self) -> bool:
+        return all(value == index for index, value in enumerate(self._forward))
+
+    def as_list(self) -> List[int]:
+        return list(self._forward)
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < len(self._forward):
+            raise ConfigurationError(
+                f"index {index} out of range for permutation of {len(self._forward)}"
+            )
+        return index

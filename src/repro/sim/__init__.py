@@ -1,0 +1,6 @@
+"""Simulation support: virtual time and experiment metrics."""
+
+from .clock import VirtualClock
+from .metrics import CounterSet, LatencySeries
+
+__all__ = ["VirtualClock", "CounterSet", "LatencySeries"]

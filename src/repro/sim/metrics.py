@@ -1,0 +1,117 @@
+"""Latency and counter metrics for experiments.
+
+Small, dependency-light accumulators used by the benchmark harness and the
+baseline comparisons.  The paper's central empirical claim is about latency
+*distribution shape* (constant for this scheme, heavy-tailed for amortized
+schemes), so :class:`LatencySeries` keeps the full sample and exposes exact
+order statistics rather than streaming approximations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigurationError
+
+__all__ = ["LatencySeries", "CounterSet"]
+
+
+class LatencySeries:
+    """Collects per-operation latencies (seconds) and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"negative latency {latency}")
+        self._samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        for value in latencies:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the raw sample list, in arrival order."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        self._require_data()
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        self._require_data()
+        return min(self._samples)
+
+    def maximum(self) -> float:
+        self._require_data()
+        return max(self._samples)
+
+    def stddev(self) -> float:
+        self._require_data()
+        if len(self._samples) == 1:
+            return 0.0
+        mu = self.mean()
+        variance = sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
+        self._require_data()
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile {q} out of [0, 100]")
+        ordered = sorted(self._samples)
+        if q == 0:
+            return ordered[0]
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def coefficient_of_variation(self) -> float:
+        """stddev / mean — near zero for a constant-time scheme."""
+        mu = self.mean()
+        if mu == 0:
+            return 0.0
+        return self.stddev() / mu
+
+    def summary(self) -> Dict[str, float]:
+        """All headline statistics in one dict (for table printing)."""
+        return {
+            "count": float(len(self._samples)),
+            "mean": self.mean(),
+            "min": self.minimum(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum(),
+            "stddev": self.stddev(),
+            "cv": self.coefficient_of_variation(),
+        }
+
+    def _require_data(self) -> None:
+        if not self._samples:
+            raise ConfigurationError("no latency samples recorded")
+
+
+class CounterSet:
+    """Named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError("counter increments must be non-negative")
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()

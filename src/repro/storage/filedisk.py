@@ -1,0 +1,123 @@
+"""File-backed page store: the untrusted disk as an actual file.
+
+:class:`DiskStore` keeps frames in memory, which is right for simulation.
+For deployments (and for exercising the system against real I/O paths)
+:class:`FileDiskStore` provides the same interface over a single flat file
+of fixed-size frames — location ``i`` lives at byte offset ``i * frame_size``.
+
+Timing note: the *virtual* timing model is still applied (that is what the
+cost reproduction is calibrated on); real I/O latency additionally shows up
+as wall-clock time, which the micro-benchmarks measure separately.  An
+uninitialised location is all zero bytes, which can never be a valid frame
+(the MAC check fails), so reads of never-written locations surface as
+:class:`~repro.errors.StorageError` here just like the in-memory store.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .disk import DiskStore
+from .timing import DiskTimingModel
+from .trace import READ, WRITE, AccessEvent, AccessTrace
+from ..errors import StorageError
+from ..sim.clock import VirtualClock
+
+__all__ = ["FileDiskStore"]
+
+
+class FileDiskStore(DiskStore):
+    """Drop-in :class:`DiskStore` storing frames in one file on the host FS."""
+
+    def __init__(
+        self,
+        path: str,
+        num_locations: int,
+        frame_size: int,
+        timing: Optional[DiskTimingModel] = None,
+        clock: Optional[VirtualClock] = None,
+        trace: Optional[AccessTrace] = None,
+    ):
+        super().__init__(num_locations, frame_size, timing, clock, trace)
+        self._frames = []  # type: ignore[assignment]  # unused by this subclass
+        self.path = path
+        self._written = bytearray((num_locations + 7) // 8)
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        self._file.truncate(num_locations * frame_size)
+
+    # -- bitmap of initialised locations ---------------------------------------
+
+    def _mark_written(self, location: int) -> None:
+        self._written[location // 8] |= 1 << (location % 8)
+
+    def _is_written(self, location: int) -> bool:
+        return bool(self._written[location // 8] >> (location % 8) & 1)
+
+    # -- overridden access primitives -------------------------------------------
+
+    def read_range(self, location: int, count: int) -> List[bytes]:
+        self._check_range(location, count)
+        for offset in range(count):
+            if not self._is_written(location + offset):
+                raise StorageError(
+                    f"location {location + offset} was never written"
+                )
+        self.clock.advance(self.timing.read_time(count * self.frame_size))
+        self._file.seek(location * self.frame_size)
+        blob = self._file.read(count * self.frame_size)
+        if len(blob) != count * self.frame_size:
+            raise StorageError("short read from backing file")
+        frames = [
+            blob[i * self.frame_size : (i + 1) * self.frame_size]
+            for i in range(count)
+        ]
+        self.trace.record(
+            AccessEvent(READ, location, count, self.current_request, self.clock.now)
+        )
+        return frames
+
+    def write_range(self, location: int, frames: Sequence[bytes]) -> None:
+        self._check_range(location, len(frames))
+        for frame in frames:
+            self._check_frame(frame)
+        self.clock.advance(self.timing.write_time(len(frames) * self.frame_size))
+        self._file.seek(location * self.frame_size)
+        self._file.write(b"".join(frames))
+        for offset in range(len(frames)):
+            self._mark_written(location + offset)
+        self.trace.record(
+            AccessEvent(WRITE, location, len(frames), self.current_request,
+                        self.clock.now)
+        )
+
+    def peek(self, location: int) -> Optional[bytes]:
+        if location < 0 or location >= self.num_locations:
+            raise StorageError(f"location {location} out of range")
+        if not self._is_written(location):
+            return None
+        self._file.seek(location * self.frame_size)
+        return self._file.read(self.frame_size)
+
+    def initialised_locations(self) -> int:
+        return sum(
+            1 for loc in range(self.num_locations) if self._is_written(loc)
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "FileDiskStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

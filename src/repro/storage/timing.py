@@ -1,0 +1,57 @@
+"""Disk and link timing model (Table 2 of the paper).
+
+The paper's §5 evaluation is analytical over four constants:
+
+========================  =========  ==========================
+Secure hardware cache      64 MB      :class:`repro.hardware.specs`
+Disk seek time t_s         5 ms       per random access
+Disk read/write r_d        100 MB/s   sequential transfer
+Link bandwidth r_b         80 MB/s    coprocessor <-> host
+Crypto throughput r_ed     10 MB/s    AES engine in the 4764
+========================  =========  ==========================
+
+:class:`DiskTimingModel` charges ``t_s + bytes / r_d`` per contiguous access,
+which is exactly the accounting behind Eq. 8's ``4 t_s`` term (two contiguous
+reads + two contiguous writes per retrieval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["DiskTimingModel"]
+
+
+@dataclass(frozen=True)
+class DiskTimingModel:
+    """Seek + streaming-transfer cost model for the untrusted disk."""
+
+    seek_time: float = 5e-3
+    read_bandwidth: float = 100e6
+    write_bandwidth: float = 100e6
+
+    def __post_init__(self) -> None:
+        if self.seek_time < 0:
+            raise ConfigurationError("seek_time must be non-negative")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+
+    def read_time(self, num_bytes: int) -> float:
+        """Seconds to randomly seek and read ``num_bytes`` contiguous bytes."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        return self.seek_time + num_bytes / self.read_bandwidth
+
+    def write_time(self, num_bytes: int) -> float:
+        """Seconds to randomly seek and write ``num_bytes`` contiguous bytes."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        return self.seek_time + num_bytes / self.write_bandwidth
+
+    @staticmethod
+    def instantaneous() -> "DiskTimingModel":
+        """A zero-cost model for experiments that only study access patterns."""
+        return DiskTimingModel(seek_time=0.0, read_bandwidth=float("inf"),
+                               write_bandwidth=float("inf"))

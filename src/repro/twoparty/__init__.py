@@ -1,0 +1,14 @@
+"""Two-party outsourcing deployment (§3.1, §5 / Figure 7)."""
+
+from .channel import SimulatedChannel
+from .owner import DataOwner, RemoteDisk
+from .provider import ServiceProvider
+from .session import TwoPartySession
+
+__all__ = [
+    "SimulatedChannel",
+    "DataOwner",
+    "RemoteDisk",
+    "ServiceProvider",
+    "TwoPartySession",
+]

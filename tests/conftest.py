@@ -1,0 +1,49 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PirDatabase
+from repro.baselines import make_records
+from repro.crypto.rng import SecureRandom
+from repro.hardware.specs import HardwareSpec
+
+
+@pytest.fixture
+def rng() -> SecureRandom:
+    return SecureRandom(12345)
+
+
+@pytest.fixture
+def records():
+    return make_records(40, 16)
+
+
+@pytest.fixture
+def small_db(records) -> PirDatabase:
+    """A small but fully featured database: n=48 locations, k=8, m=8."""
+    return PirDatabase.create(
+        records,
+        cache_capacity=8,
+        target_c=2.0,
+        page_capacity=16,
+        reserve_fraction=0.2,
+        seed=777,
+    )
+
+
+@pytest.fixture
+def timed_db(records) -> PirDatabase:
+    """Same shape, but with the real Table-2 timing model attached."""
+    return PirDatabase.create(
+        records,
+        cache_capacity=8,
+        target_c=2.0,
+        page_capacity=16,
+        reserve_fraction=0.2,
+        seed=778,
+        spec=HardwareSpec(),
+    )
+
+

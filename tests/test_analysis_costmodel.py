@@ -1,0 +1,187 @@
+"""§5 analytical cost model: the paper's figures and prose numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import (
+    FIGURE6_EPSILONS,
+    AnalyticalCostModel,
+    TwoPartyCostModel,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    headline_numbers,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.specs import GIGABYTE
+
+_KB = 1000
+
+
+class TestEquations:
+    def test_eq8_structure(self):
+        model = AnalyticalCostModel()
+        # 4 seeks = 20 ms at k -> 0 contribution limit.
+        assert model.query_time(1, 1) == pytest.approx(0.02, abs=1e-3)
+
+    def test_eq8_paper_27ms(self):
+        model = AnalyticalCostModel()
+        assert model.query_time(29, 1024) == pytest.approx(0.027, abs=0.001)
+
+    def test_eq7_paper_1gb_storage(self):
+        storage = AnalyticalCostModel.secure_storage_bytes(10**6, 50_000, 29, 1024)
+        # Paper's Figure 4a tops out near 55-60 MB at m = 50000.
+        assert 50e6 < storage < 60e6
+
+    def test_eq7_pagemap_dominates_1tb(self):
+        storage = AnalyticalCostModel.secure_storage_bytes(10**9, 500_000, 2886, 1024)
+        assert storage == pytest.approx(4.37e9, rel=0.02)
+
+    def test_invalid_inputs(self):
+        model = AnalyticalCostModel()
+        with pytest.raises(ConfigurationError):
+            model.query_time(0, 1024)
+        with pytest.raises(ConfigurationError):
+            AnalyticalCostModel.secure_storage_bytes(0, 1, 1, 1)
+
+
+class TestHeadlineNumbers:
+    @pytest.mark.parametrize("index,tolerance", list(zip(range(6), [0.02] * 6)))
+    def test_matches_paper_within_rounding(self, index, tolerance):
+        row = headline_numbers()[index]
+        assert row["model_seconds"] == pytest.approx(
+            row["paper_seconds"], rel=0.05
+        ), row["label"]
+
+    def test_units_for_1tb(self):
+        rows = headline_numbers()
+        one_tb = next(r for r in rows if "1TB" in r["label"])
+        # Paper: over 4 GB of secure storage -> "over 70 coprocessor units"
+        # (we compute 69 with exact 64 MB units; the paper rounds up).
+        assert one_tb["units"] >= 65
+
+
+class TestFigure4And5:
+    def test_panels_present(self):
+        assert set(figure4_series()) == {"1GB", "10GB", "100GB", "1TB"}
+        assert set(figure5_series()) == {"1GB", "10GB", "100GB", "1TB"}
+
+    def test_time_decreases_with_cache(self):
+        for series in (figure4_series(), figure5_series()):
+            for panel, points in series.items():
+                times = [p.query_time for p in points]
+                assert times == sorted(times, reverse=True), panel
+
+    def test_storage_increases_with_cache(self):
+        for panel, points in figure4_series().items():
+            storages = [p.secure_storage_bytes for p in points]
+            assert storages == sorted(storages), panel
+
+    def test_figure4a_anchor_point(self):
+        points = figure4_series()["1GB"]
+        final = points[-1]
+        assert final.cache_pages == 50_000
+        assert final.query_time == pytest.approx(0.027, abs=0.002)
+
+    def test_figure5_slower_than_figure4(self):
+        """10 KB pages cost more than 1 KB pages at every matched sweep end."""
+        f4 = {p: pts[-1].query_time for p, pts in figure4_series().items()}
+        f5 = {p: pts[-1].query_time for p, pts in figure5_series().items()}
+        for panel in f4:
+            assert f5[panel] > f4[panel] * 0.9  # 10x bytes but smaller n
+
+
+class TestFigure6:
+    def test_time_decreases_with_epsilon(self):
+        for panel, points in figure6_series().items():
+            times = [p.query_time for p in points]
+            assert times == sorted(times, reverse=True), panel
+
+    def test_epsilon_sweep_values(self):
+        points = figure6_series()["1GB"]
+        assert [p.privacy_c for p in points] == [1 + e for e in FIGURE6_EPSILONS]
+
+    def test_100gb_subsecond_at_c_1_1(self):
+        """§5: 'for databases up to 100GB, sub-second query response times
+        are achievable even for c = 1.1'."""
+        points = figure6_series()["100GB"]
+        c_11 = next(p for p in points if abs(p.privacy_c - 1.1) < 1e-9)
+        assert c_11.query_time < 1.0
+
+    def test_1tb_not_subsecond_at_tight_epsilon(self):
+        points = figure6_series()["1TB"]
+        tightest = points[0]
+        assert tightest.query_time > 1.0
+
+
+class TestFigure7:
+    def test_panels(self):
+        series = figure7_series()
+        assert set(series) == {"1KB", "10KB"}
+
+    def test_calibration_anchor(self):
+        """Paper: 2M-page cache -> 0.737 s per 1 KB-page query on 1 TB."""
+        final = figure7_series()["1KB"][-1]
+        assert final.cache_pages == 2_000_000
+        assert final.query_time == pytest.approx(0.737, rel=0.05)
+
+    def test_owner_storage_anchor(self):
+        """Paper: ~6 GB of owner storage at m = 2 x 10^6 (1 KB pages)."""
+        final = figure7_series()["1KB"][-1]
+        assert final.secure_storage_gb == pytest.approx(5.9, rel=0.05)
+
+    def test_10kb_needs_over_10gb_for_1_3s(self):
+        """Paper: 'over 10GB of space is necessary to achieve ... 1.3s'."""
+        final = figure7_series()["10KB"][-1]
+        assert final.secure_storage_gb > 10
+        assert final.query_time == pytest.approx(1.4, rel=0.1)
+
+    def test_two_party_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPartyCostModel(rtt=-1)
+        with pytest.raises(ConfigurationError):
+            TwoPartyCostModel().query_time(0, 100)
+
+
+class TestCacheRequired:
+    def test_paper_1tb_subsecond_needs_over_4gb(self):
+        """§5: sub-second 1 TB retrieval 'only feasible with over 4GB of
+        secure storage'."""
+        model = AnalyticalCostModel()
+        point = model.cache_required(1000 * GIGABYTE, _KB, 2.0, 1.0)
+        assert point.query_time <= 1.0
+        assert point.secure_storage_bytes > 4e9
+
+    def test_meets_target_exactly_or_better(self):
+        model = AnalyticalCostModel()
+        for target in (0.05, 0.1, 0.5):
+            point = model.cache_required(10 * GIGABYTE, _KB, 2.0, target)
+            assert point.query_time <= target
+
+    def test_tighter_target_needs_bigger_cache(self):
+        model = AnalyticalCostModel()
+        loose = model.cache_required(10 * GIGABYTE, _KB, 2.0, 0.2)
+        tight = model.cache_required(10 * GIGABYTE, _KB, 2.0, 0.05)
+        assert tight.cache_pages > loose.cache_pages
+
+    def test_impossible_targets_rejected(self):
+        model = AnalyticalCostModel()
+        with pytest.raises(ConfigurationError):
+            model.cache_required(GIGABYTE, _KB, 2.0, 0.019)  # below 4 seeks
+        with pytest.raises(ConfigurationError):
+            model.cache_required(GIGABYTE, _KB, 2.0, 0.0201)  # no room for k>=1
+
+
+class TestUnitsRequired:
+    def test_one_unit_fits_1gb(self):
+        model = AnalyticalCostModel()
+        point = model.point(1 * GIGABYTE, _KB, 50_000, 2.0)
+        assert model.units_required(point) == 1
+
+    def test_ten_units_for_100gb(self):
+        """§5: '100GB databases will require 10 coprocessors' (m = 500k)."""
+        model = AnalyticalCostModel()
+        point = model.point(100 * GIGABYTE, _KB, 500_000, 2.0)
+        assert 9 <= model.units_required(point) <= 14

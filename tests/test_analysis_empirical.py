@@ -1,0 +1,95 @@
+"""Monte-Carlo validation: the real engine obeys the Eqs. 1-5 analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.empirical import measure_landing_distribution
+from repro.crypto.rng import SecureRandom
+from repro.errors import ConfigurationError
+
+from tests.helpers import make_db
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    """One decently sized Monte-Carlo run shared by the assertions below.
+
+    Configuration: n=48 locations, k=8, T=6, m=8 -> theoretical
+    c = (1 - 1/8)^-5 ~= 1.95.  The null cipher keeps 2000 trials fast.
+    """
+    db = make_db(
+        num_records=40,
+        cache_capacity=8,
+        target_c=2.0,
+        page_capacity=16,
+        reserve_fraction=0.2,
+        cipher_backend="null",
+        trace_enabled=False,
+        seed=2024,
+    )
+    assert db.params.block_size == 8 and db.params.scan_period == 6
+    return measure_landing_distribution(
+        db, trials=2000, rng=SecureRandom(55)
+    )
+
+
+class TestLandingDistribution:
+    def test_all_trials_recorded(self, experiment):
+        assert sum(experiment.offset_counts) == 2000
+
+    def test_offsets_decay(self, experiment):
+        counts = experiment.offset_counts
+        # First offset strictly more popular than last; allow sampling noise
+        # in the middle by only checking the endpoints and the global trend.
+        assert counts[0] > counts[-1]
+        first_half = sum(counts[: len(counts) // 2])
+        second_half = sum(counts[len(counts) // 2 :])
+        assert first_half > second_half
+
+    def test_fitted_c_matches_theory_tightly(self, experiment):
+        """The MLE estimator has far lower variance than the max/min ratio."""
+        theory = experiment.theoretical_offset_probabilities()
+        expected_c = theory[0] / theory[-1]
+        assert experiment.fitted_c() == pytest.approx(expected_c, rel=0.08)
+
+    def test_empirical_c_matches_theory(self, experiment):
+        theory = experiment.theoretical_offset_probabilities()
+        expected_c = theory[0] / theory[-1]
+        measured = experiment.empirical_c(smoothing=1.0)
+        assert measured == pytest.approx(expected_c, rel=0.25)
+
+    def test_total_variation_small(self, experiment):
+        assert experiment.total_variation_error() < 0.05
+
+    def test_mean_eviction_time_near_m(self, experiment):
+        # Geometric with success probability 1/m has mean m = 8.
+        assert experiment.mean_eviction_time() == pytest.approx(8.0, rel=0.15)
+
+    def test_within_block_uniformity(self, experiment):
+        counts = experiment.slot_counts
+        expected = sum(counts) / len(counts)
+        for count in counts:
+            assert abs(count - expected) < 5 * (expected**0.5) + 5, counts
+
+
+class TestExperimentApi:
+    def test_zero_trials_rejected(self, small_db):
+        with pytest.raises(ConfigurationError):
+            measure_landing_distribution(small_db, trials=0)
+
+    def test_observed_frequencies_need_data(self):
+        from repro.analysis.empirical import LandingExperiment
+
+        empty = LandingExperiment(48, 8, 8, 0, [0] * 6, [0] * 8)
+        with pytest.raises(ConfigurationError):
+            empty.observed_offset_frequencies()
+        with pytest.raises(ConfigurationError):
+            empty.mean_eviction_time()
+
+    def test_small_run_smoke(self, small_db):
+        result = measure_landing_distribution(
+            small_db, trials=20, rng=SecureRandom(3)
+        )
+        assert sum(result.offset_counts) == 20
+        assert len(result.eviction_times) == 20

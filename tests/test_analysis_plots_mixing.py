@@ -1,0 +1,103 @@
+"""ASCII plotting helpers and the long-run mixing analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mixing import measure_displacement, measure_location_mixing
+from repro.analysis.plots import ascii_bar_chart, ascii_plot
+from repro.crypto.rng import SecureRandom
+from repro.errors import ConfigurationError
+
+from tests.helpers import make_db
+
+
+class TestAsciiPlot:
+    def test_renders_points_and_legend(self):
+        chart = ascii_plot(
+            [("ours", [1, 10, 100], [0.5, 0.05, 0.005])],
+            width=30, height=8, log_x=True, log_y=True,
+            title="demo", x_label="m", y_label="s",
+        )
+        assert "demo" in chart
+        assert "*" in chart
+        assert "ours" in chart
+        assert "[s log] vs [m log]" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot(
+            [("a", [1, 2], [1, 2]), ("b", [1, 2], [2, 1])],
+            width=20, height=6, log_y=False,
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_constant_series_handled(self):
+        chart = ascii_plot([("flat", [1, 2, 3], [5.0, 5.0, 5.0])],
+                           log_y=False)
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("bad", [1], [1, 2])])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("neg", [1], [-1])], log_y=True)
+
+    def test_grid_dimensions(self):
+        chart = ascii_plot([("s", [1, 2], [1, 2])], width=25, height=5,
+                           log_y=False)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_rows) == 5
+        assert all(line.count("|") == 2 for line in plot_rows)
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_bar(self):
+        chart = ascii_bar_chart(["z"], [0.0])
+        assert "#" not in chart.splitlines()[0].split("|")[1].rstrip()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["a"], [-1])
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["a"], [1, 2])
+
+
+class TestMixing:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return make_db(num_records=40, reserve_fraction=0.2, seed=321,
+                       cipher_backend="null", trace_enabled=False)
+
+    def test_displacement_grows_then_saturates(self, db):
+        series = measure_displacement(db, total_requests=1200,
+                                      checkpoints=6, rng=SecureRandom(1))
+        assert len(series.checkpoints) == len(series.mean_displacement)
+        # Early displacement far below the uniform plateau; final near it.
+        assert series.mean_displacement[0] < series.mean_displacement[-1]
+        assert 0.6 < series.final_relative_to_uniform() < 1.5
+
+    def test_location_mixing_near_uniform(self):
+        db = make_db(num_records=40, reserve_fraction=0.2, seed=322,
+                     cipher_backend="null", trace_enabled=False)
+        tv = measure_location_mixing(db, tracked_page=3, samples=120,
+                                     rng=SecureRandom(2),
+                                     interval_requests=60)
+        # 120 samples over 48 locations: multinomial noise floor ~ 0.25;
+        # a *non*-mixing scheme would sit near 1.0.
+        assert tv < 0.45
+
+    def test_validation(self, db):
+        with pytest.raises(ConfigurationError):
+            measure_displacement(db, total_requests=0)
+        with pytest.raises(ConfigurationError):
+            measure_location_mixing(db, 0, samples=0)

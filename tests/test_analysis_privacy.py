@@ -1,0 +1,111 @@
+"""Closed-form privacy model (Eqs. 1-5) internal consistency."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.privacy import (
+    empirical_ratio,
+    landing_entropy_bits,
+    location_landing_distribution,
+    max_landing_probability,
+    min_landing_probability,
+    offset_landing_probabilities,
+    privacy_ratio,
+    sanity_check,
+    total_variation_from_uniform,
+)
+from repro.core.params import achieved_privacy
+from repro.errors import ConfigurationError
+
+
+class TestOffsetDistribution:
+    def test_sums_to_one(self):
+        probs = location_landing_distribution(120, 10, 6)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_monotone_decay(self):
+        probs = offset_landing_probabilities(120, 10, 6)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_decay_rate_is_geometric(self):
+        m = 10
+        probs = offset_landing_probabilities(120, m, 6)
+        for a, b in zip(probs, probs[1:]):
+            assert b / a == pytest.approx(1 - 1 / m)
+
+    def test_extremes(self):
+        n, m, k = 120, 10, 6
+        probs = offset_landing_probabilities(n, m, k)
+        assert max_landing_probability(n, m, k) == pytest.approx(probs[0])
+        assert min_landing_probability(n, m, k) == pytest.approx(probs[-1])
+
+    def test_uniform_within_block(self):
+        distribution = location_landing_distribution(24, 8, 4)
+        for block in range(6):
+            block_probs = distribution[block * 4 : (block + 1) * 4]
+            assert len(set(block_probs)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            offset_landing_probabilities(10, 8, 3)  # n % k != 0
+        with pytest.raises(ConfigurationError):
+            offset_landing_probabilities(12, 1, 3)
+
+
+class TestPrivacyRatio:
+    def test_equals_achieved_privacy(self):
+        for n, m, k in ((120, 10, 6), (1000, 50, 10), (64, 4, 8)):
+            assert privacy_ratio(n, m, k) == pytest.approx(achieved_privacy(n, m, k))
+
+    def test_ratio_one_when_full_scan(self):
+        assert privacy_ratio(16, 8, 16) == pytest.approx(1.0)
+
+    def test_sanity_check_passes(self):
+        sanity_check(120, 10, 6)
+        sanity_check(1024, 64, 16)
+
+
+class TestInformationMeasures:
+    def test_entropy_below_uniform_ceiling(self):
+        n = 128
+        entropy = landing_entropy_bits(n, 8, 8)
+        assert entropy < math.log2(n)
+        assert entropy > 0
+
+    def test_entropy_approaches_ceiling_with_large_cache(self):
+        n = 128
+        low_m = landing_entropy_bits(n, 4, 8)
+        high_m = landing_entropy_bits(n, 4096, 8)
+        assert high_m > low_m
+        assert math.log2(n) - high_m < 0.01
+
+    def test_tv_distance_bounds(self):
+        tv = total_variation_from_uniform(120, 10, 6)
+        assert 0 <= tv < 1
+
+    def test_tv_shrinks_with_cache(self):
+        small = total_variation_from_uniform(120, 5, 6)
+        large = total_variation_from_uniform(120, 500, 6)
+        assert large < small
+
+    def test_tv_zero_for_full_scan(self):
+        assert total_variation_from_uniform(24, 8, 24) == pytest.approx(0.0)
+
+
+class TestEmpiricalRatio:
+    def test_uniform_counts(self):
+        assert empirical_ratio([100, 100, 100], smoothing=0) == 1.0
+
+    def test_smoothing_handles_zero(self):
+        assert empirical_ratio([10, 0], smoothing=1.0) == 11.0
+
+    def test_zero_without_smoothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_ratio([10, 0], smoothing=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_ratio([])

@@ -1,0 +1,164 @@
+"""Statistical machinery: chi-square, Wilson intervals, MLE fits, Spearman."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    chi_square_test,
+    fit_geometric,
+    spearman_rank_correlation,
+    wilson_interval,
+)
+from repro.crypto.rng import SecureRandom
+from repro.errors import ConfigurationError
+
+
+class TestChiSquare:
+    def test_perfect_fit_has_high_p(self):
+        result = chi_square_test([250, 250, 250, 250], [0.25] * 4)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.rejects_at(0.01)
+
+    def test_gross_misfit_rejected(self):
+        result = chi_square_test([900, 50, 25, 25], [0.25] * 4)
+        assert result.p_value < 1e-10
+        assert result.rejects_at(0.01)
+
+    def test_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        observed = [30, 45, 60, 40, 25]
+        probabilities = [0.2, 0.2, 0.25, 0.2, 0.15]
+        ours = chi_square_test(observed, probabilities)
+        expected = [sum(observed) * p for p in probabilities]
+        reference = scipy_stats.chisquare(observed, expected)
+        assert ours.statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-8)
+
+    def test_degrees_of_freedom(self):
+        result = chi_square_test([10, 10, 10], [1 / 3] * 3)
+        assert result.degrees_of_freedom == 2
+
+    def test_true_distribution_rarely_rejected(self):
+        """Sampling from the model itself should usually pass the test."""
+        rng = SecureRandom(5)
+        probabilities = [0.4, 0.3, 0.2, 0.1]
+        cumulative = [0.4, 0.7, 0.9, 1.0]
+        rejections = 0
+        for _ in range(20):
+            counts = [0, 0, 0, 0]
+            for _ in range(500):
+                roll = rng.random()
+                for bin_index, bound in enumerate(cumulative):
+                    if roll <= bound:
+                        counts[bin_index] += 1
+                        break
+            if chi_square_test(counts, probabilities).rejects_at(0.01):
+                rejections += 1
+        assert rejections <= 2  # ~1% expected rejection rate
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_test([1, 2], [0.5])
+        with pytest.raises(ConfigurationError):
+            chi_square_test([5], [1.0])
+        with pytest.raises(ConfigurationError):
+            chi_square_test([1, 2], [0.9, 0.3])
+        with pytest.raises(ConfigurationError):
+            chi_square_test([0, 0], [0.5, 0.5])
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(40, 100)
+        assert low < 0.4 < high
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(4000, 10000)
+        wide = wilson_interval(40, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_extremes_clamped(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(11, 10)
+
+
+class TestGeometricFit:
+    def test_recovers_parameter(self):
+        rng = SecureRandom(7)
+        m = 10
+        samples = []
+        for _ in range(4000):
+            t = 1
+            while rng.random() >= 1 / m:
+                t += 1
+            samples.append(t)
+        assert fit_geometric(samples) == pytest.approx(1 / m, rel=0.08)
+
+    def test_degenerate(self):
+        assert fit_geometric([1, 1, 1]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_geometric([])
+        with pytest.raises(ConfigurationError):
+            fit_geometric([0, 1])
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman_rank_correlation([1, 2, 3, 4], [9, 7, 5, 3]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [math.exp(v) for v in x]
+        assert spearman_rank_correlation(x, y) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = SecureRandom(9)
+        a = [rng.random() for _ in range(500)]
+        b = [rng.random() for _ in range(500)]
+        assert abs(spearman_rank_correlation(a, b)) < 0.12
+
+    def test_ties_handled(self):
+        rho = spearman_rank_correlation([1, 1, 2, 2], [3, 3, 4, 4])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_sequence_gives_zero(self):
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = SecureRandom(10)
+        a = [rng.random() for _ in range(60)]
+        b = [v + 0.3 * rng.random() for v in a]
+        ours = spearman_rank_correlation(a, b)
+        reference = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spearman_rank_correlation([1], [1])
+        with pytest.raises(ConfigurationError):
+            spearman_rank_correlation([1, 2], [1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=40))
+    def test_self_correlation_property(self, values):
+        if len(set(values)) > 1:
+            assert spearman_rank_correlation(values, values) == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Executed parameter sweeps and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.sweep import EnginePoint, run_engine_sweep, write_csv
+from repro.errors import ConfigurationError
+
+
+class TestEngineSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_engine_sweep(
+            num_records=40,
+            cache_capacities=[4, 8, 16],
+            trials=120,
+            workload_length=60,
+            seed=7,
+        )
+
+    def test_one_point_per_cache_size(self, points):
+        assert [p.cache_capacity for p in points] == [4, 8, 16]
+
+    def test_block_size_shrinks_with_cache(self, points):
+        block_sizes = [p.block_size for p in points]
+        assert block_sizes == sorted(block_sizes, reverse=True)
+
+    def test_latency_decreases_with_cache(self, points):
+        latencies = [p.mean_latency for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_measured_c_tracks_achieved(self, points):
+        for point in points:
+            assert point.measured_c == pytest.approx(point.achieved_c, rel=0.5)
+            assert point.achieved_c <= point.target_c * (1 + 1e-9)
+
+    def test_storage_grows_with_cache(self, points):
+        # At toy scale the shrinking serverBlock term (k+1)B can locally
+        # offset the growing cache term mB, so only compare the endpoints.
+        assert points[-1].secure_storage_bytes > points[0].secure_storage_bytes
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_engine_sweep(40, [])
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        rows = [[1, "a", 0.5], [2, "b", 1.5]]
+        written = write_csv(str(path), ["id", "name", "value"], rows)
+        assert written == 2
+        with open(path, newline="") as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == ["id", "name", "value"]
+        assert parsed[1] == ["1", "a", "0.5"]
+
+    def test_engine_point_csv_shape(self):
+        header = EnginePoint.csv_header()
+        assert "measured_c" in header and "mean_latency" in header
+
+    def test_mismatched_row_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(str(tmp_path / "x.csv"), ["a", "b"], [[1]])
+
+    def test_empty_header_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(str(tmp_path / "x.csv"), [], [])

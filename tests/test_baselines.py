@@ -1,0 +1,177 @@
+"""Baseline schemes: correctness and the constant-vs-amortized contrast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CApproxScheme,
+    SquareRootOram,
+    TrivialPir,
+    WangPir,
+    make_records,
+    measure_latencies,
+)
+from repro.crypto.rng import SecureRandom
+from repro.errors import ConfigurationError, PageNotFoundError
+from repro.hardware.specs import HardwareSpec
+from repro.storage.trace import READ
+
+from tests.helpers import make_db
+
+RECORDS = make_records(64, 16)
+
+
+def _ids(count, seed=5):
+    rng = SecureRandom(seed)
+    return [rng.randrange(len(RECORDS)) for _ in range(count)]
+
+
+class TestTrivialPir:
+    def test_correctness(self):
+        scheme = TrivialPir.create(RECORDS, page_capacity=16, seed=1)
+        for page_id in (0, 17, 63):
+            assert scheme.retrieve(page_id) == RECORDS[page_id]
+
+    def test_reads_whole_database_every_query(self):
+        scheme = TrivialPir.create(RECORDS, page_capacity=16, seed=2)
+        scheme.retrieve(5)
+        read_pages = sum(e.count for e in scheme.trace if e.op == READ)
+        assert read_pages == len(RECORDS)
+
+    def test_trace_independent_of_target(self):
+        scheme = TrivialPir.create(RECORDS, page_capacity=16, seed=3)
+        scheme.trace.clear()  # drop setup writes
+        scheme.retrieve(0)
+        first = [(e.op, e.location, e.count) for e in scheme.trace]
+        scheme.trace.clear()
+        scheme.retrieve(63)
+        second = [(e.op, e.location, e.count) for e in scheme.trace]
+        assert first == second
+
+    def test_constant_latency(self):
+        scheme = TrivialPir.create(RECORDS, page_capacity=16,
+                                   spec=HardwareSpec(), seed=4)
+        series = measure_latencies(scheme, _ids(6))
+        assert series.coefficient_of_variation() < 1e-9
+
+    def test_bad_id(self):
+        scheme = TrivialPir.create(RECORDS, page_capacity=16, seed=5)
+        with pytest.raises(PageNotFoundError):
+            scheme.retrieve(64)
+
+    def test_empty_records(self):
+        with pytest.raises(ConfigurationError):
+            TrivialPir.create([], page_capacity=16)
+
+
+class TestWangPir:
+    def test_correctness_across_reshuffles(self):
+        scheme = WangPir.create(RECORDS, storage_capacity=8, page_capacity=16,
+                                seed=6)
+        for step in range(40):
+            page_id = (step * 13) % len(RECORDS)
+            assert scheme.retrieve(page_id) == RECORDS[page_id]
+        assert scheme.reshuffle_count >= 4
+
+    def test_repeated_same_page(self):
+        scheme = WangPir.create(RECORDS, storage_capacity=8, page_capacity=16,
+                                seed=7)
+        for _ in range(20):
+            assert scheme.retrieve(3) == RECORDS[3]
+
+    def test_each_location_read_once_per_epoch(self):
+        scheme = WangPir.create(RECORDS, storage_capacity=8, page_capacity=16,
+                                seed=8)
+        for step in range(7):  # stay within one epoch
+            scheme.retrieve(step)
+        single_reads = [
+            e.location for e in scheme.trace if e.op == READ and e.count == 1
+        ]
+        assert len(single_reads) == len(set(single_reads))
+
+    def test_latency_spikes(self):
+        scheme = WangPir.create(RECORDS, storage_capacity=8, page_capacity=16,
+                                spec=HardwareSpec(), seed=9)
+        series = measure_latencies(scheme, _ids(32))
+        assert series.maximum() > 2.5 * series.percentile(50)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            WangPir.create(RECORDS, storage_capacity=0, page_capacity=16)
+        with pytest.raises(ConfigurationError):
+            WangPir.create(RECORDS, storage_capacity=64, page_capacity=16)
+
+
+class TestSquareRootOram:
+    def test_correctness_across_epochs(self):
+        scheme = SquareRootOram.create(RECORDS, page_capacity=16, seed=10)
+        for step in range(30):
+            page_id = (step * 7) % len(RECORDS)
+            assert scheme.retrieve(page_id) == RECORDS[page_id]
+        assert scheme.reshuffle_count >= 3
+
+    def test_shelter_scan_every_access(self):
+        scheme = SquareRootOram.create(RECORDS, page_capacity=16, seed=11)
+        scheme.trace.clear()
+        scheme.retrieve(1)
+        shelter_scans = [
+            e for e in scheme.trace
+            if e.op == READ and e.count == scheme._shelter_size
+        ]
+        assert len(shelter_scans) == 1
+
+    def test_update_freshness_via_shelter(self):
+        """Re-reading a page during the same epoch must hit the shelter copy."""
+        scheme = SquareRootOram.create(RECORDS, page_capacity=16, seed=12)
+        assert scheme.retrieve(5) == RECORDS[5]
+        assert scheme.retrieve(5) == RECORDS[5]  # now sheltered
+
+    def test_latency_spikes(self):
+        scheme = SquareRootOram.create(RECORDS, page_capacity=16,
+                                       spec=HardwareSpec(), seed=13)
+        series = measure_latencies(scheme, _ids(24))
+        assert series.maximum() > 1.8 * series.percentile(50)
+
+    def test_shelter_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            SquareRootOram.create(RECORDS, page_capacity=16, shelter_size=0)
+        with pytest.raises(ConfigurationError):
+            SquareRootOram.create(RECORDS, page_capacity=16, shelter_size=64)
+
+
+class TestContrastWithCApprox:
+    def test_constant_vs_amortized(self):
+        """The paper's core selling point, executed end to end: the
+        c-approximate scheme's latency is constant while the perfect-privacy
+        schemes show reshuffle spikes."""
+        ids = _ids(40, seed=20)
+        db = make_db(num_records=64, cache_capacity=8, page_capacity=16,
+                     spec=HardwareSpec(), seed=21)
+        ours = measure_latencies(CApproxScheme(db), ids)
+        wang = measure_latencies(
+            WangPir.create(RECORDS, storage_capacity=8, page_capacity=16,
+                           spec=HardwareSpec(), seed=22),
+            ids,
+        )
+        oram = measure_latencies(
+            SquareRootOram.create(RECORDS, page_capacity=16,
+                                  spec=HardwareSpec(), seed=23),
+            ids,
+        )
+        assert ours.coefficient_of_variation() < 1e-9
+        assert wang.coefficient_of_variation() > 0.5
+        assert oram.coefficient_of_variation() > 0.3
+        # Worst case equals median for us; the baselines spike well above it.
+        # (At paper scale the absolute worst case also favours this scheme —
+        # that comparison lives in the cost model / bench_baselines, because
+        # at n=64 a full reshuffle is artificially cheap.)
+        assert ours.maximum() == pytest.approx(ours.percentile(50))
+        assert wang.maximum() > 2.5 * wang.percentile(50)
+        assert oram.maximum() > 1.8 * oram.percentile(50)
+
+    def test_scheme_interface(self):
+        db = make_db(seed=24)
+        scheme = CApproxScheme(db)
+        assert scheme.num_pages == db.num_pages
+        assert scheme.retrieve(0) == make_records(40, 16)[0]

@@ -1,0 +1,94 @@
+"""Hierarchical (pyramid) ORAM baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PyramidOram, make_records, measure_latencies
+from repro.crypto.rng import SecureRandom
+from repro.errors import ConfigurationError, PageNotFoundError
+from repro.hardware.specs import HardwareSpec
+from repro.storage.trace import READ
+
+RECORDS = make_records(50, 16)
+
+
+class TestCorrectness:
+    def test_every_page_retrievable(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=1)
+        for page_id in range(len(RECORDS)):
+            assert scheme.retrieve(page_id) == RECORDS[page_id]
+
+    def test_long_random_workload(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=2)
+        rng = SecureRandom(3)
+        for _ in range(600):
+            page_id = rng.randrange(len(RECORDS))
+            assert scheme.retrieve(page_id) == RECORDS[page_id]
+        assert scheme.rebuild_count > 100
+
+    def test_repeated_same_page(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=4)
+        for _ in range(40):
+            assert scheme.retrieve(7) == RECORDS[7]
+
+    def test_tiny_database(self):
+        records = make_records(3, 16)
+        scheme = PyramidOram.create(records, page_capacity=16, seed=5)
+        for _ in range(30):
+            for page_id in range(3):
+                assert scheme.retrieve(page_id) == records[page_id]
+
+    def test_bad_id(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=6)
+        with pytest.raises(PageNotFoundError):
+            scheme.retrieve(len(RECORDS))
+
+    def test_empty_records(self):
+        with pytest.raises(ConfigurationError):
+            PyramidOram.create([], page_capacity=16)
+
+
+class TestObliviousShape:
+    def test_one_read_per_level_per_access(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=7)
+        scheme.trace.clear()
+        scheme.retrieve(5)
+        single_reads = [
+            e for e in scheme.trace if e.op == READ and e.count == 1
+        ]
+        assert len(single_reads) == scheme.num_levels
+
+    def test_bottom_level_slots_never_repeat_within_epoch(self):
+        """Between rebuilds of the deepest level, its accessed slots are all
+        distinct — one real read, then fresh dummy slots (no frequency
+        signal for the server)."""
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=8)
+        bottom = scheme._levels[-1]
+        scheme.trace.clear()
+        locations = []
+        for _ in range(10):  # well under the bottom level's rebuild period
+            scheme.retrieve(9)
+            locations.extend(
+                e.location for e in scheme.trace
+                if e.op == READ and e.count == 1 and e.location >= bottom.base
+            )
+            scheme.trace.clear()
+        assert len(locations) == 10
+        assert len(locations) == len(set(locations))
+
+    def test_latency_spiky(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=9,
+                                    spec=HardwareSpec())
+        rng = SecureRandom(10)
+        series = measure_latencies(
+            scheme, [rng.randrange(len(RECORDS)) for _ in range(64)]
+        )
+        assert series.coefficient_of_variation() > 0.15
+        assert series.maximum() > 1.5 * series.percentile(50)
+
+    def test_levels_grow_geometrically(self):
+        scheme = PyramidOram.create(RECORDS, page_capacity=16, seed=11)
+        sizes = [level.size for level in scheme._levels]
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] // 2 >= len(RECORDS)

@@ -1,0 +1,111 @@
+"""Online key rotation riding on the continuous reshuffle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.suite import CipherSuite
+from repro.errors import AuthenticationError, CapacityError
+from repro.storage.trace import shapes_identical
+
+from tests.helpers import make_db
+
+
+def _count_frames_under(db, master_key: bytes) -> int:
+    """How many disk frames authenticate under ``master_key``."""
+    probe = CipherSuite(master_key, backend=db.cop.suite.backend)
+    count = 0
+    for location in range(db.disk.num_locations):
+        try:
+            probe.decrypt_page(db.disk.peek(location))
+            count += 1
+        except AuthenticationError:
+            pass
+    return count
+
+
+class TestRotation:
+    def test_queries_keep_working_throughout(self):
+        db = make_db(num_records=40, reserve_fraction=0.2, seed=800,
+                     master_key=b"old-key")
+        recs = [i.to_bytes(8, "big") * 2 for i in range(40)]
+        for i in range(10):
+            assert db.query(i) == recs[i]
+        db.rotate_master_key(b"new-key")
+        # During and after the rotation window every page stays readable.
+        for step in range(3 * db.params.scan_period):
+            i = step % 40
+            assert db.query(i) == recs[i]
+        db.consistency_check()
+
+    def test_rotation_completes_after_one_scan(self):
+        db = make_db(num_records=40, seed=801, master_key=b"old-key")
+        db.rotate_master_key(b"new-key")
+        assert db.cop.rotation_in_progress
+        assert db.engine.rotation_requests_remaining == db.params.scan_period
+        for _ in range(db.params.scan_period):
+            db.touch()
+        assert not db.cop.rotation_in_progress
+        assert db.engine.rotation_requests_remaining is None
+
+    def test_all_frames_under_new_key_after_scan(self):
+        db = make_db(num_records=40, seed=802, master_key=b"old-key")
+        db.rotate_master_key(b"new-key")
+        for _ in range(db.params.scan_period):
+            db.touch()
+        n = db.disk.num_locations
+        assert _count_frames_under(db, b"new-key") == n
+        assert _count_frames_under(db, b"old-key") == 0
+
+    def test_old_key_frames_shrink_monotonically(self):
+        db = make_db(num_records=40, seed=803, master_key=b"old-key")
+        db.rotate_master_key(b"new-key")
+        previous = _count_frames_under(db, b"old-key")
+        for _ in range(db.params.scan_period):
+            db.touch()
+            current = _count_frames_under(db, b"old-key")
+            assert current <= previous
+            previous = current
+        assert previous == 0
+
+    def test_updates_during_rotation_persist(self):
+        db = make_db(num_records=40, reserve_fraction=0.2, seed=804,
+                     master_key=b"old-key")
+        db.rotate_master_key(b"new-key")
+        db.update(5, b"mid-rotation")
+        for _ in range(db.params.scan_period):
+            db.touch()
+        assert db.query(5) == b"mid-rotation"
+
+    def test_double_rotation_rejected(self):
+        db = make_db(num_records=40, seed=805)
+        db.rotate_master_key(b"k2")
+        with pytest.raises(CapacityError):
+            db.rotate_master_key(b"k3")
+
+    def test_sequential_rotations_allowed(self):
+        db = make_db(num_records=40, seed=806, master_key=b"k1")
+        recs = [i.to_bytes(8, "big") * 2 for i in range(40)]
+        for key in (b"k2", b"k3"):
+            db.rotate_master_key(key)
+            for _ in range(db.params.scan_period):
+                db.touch()
+        assert _count_frames_under(db, b"k3") == db.disk.num_locations
+        assert db.query(7) == recs[7]
+
+    def test_trace_shape_unchanged_by_rotation(self):
+        db = make_db(num_records=40, seed=807)
+        db.query(0)
+        db.rotate_master_key(b"fresh")
+        db.query(1)
+        for _ in range(db.params.scan_period):
+            db.touch()
+        db.query(2)
+        assert shapes_identical(db.trace, 0)
+
+    def test_wrong_key_still_rejected_during_rotation(self):
+        db = make_db(num_records=40, seed=808, master_key=b"old-key")
+        db.rotate_master_key(b"new-key")
+        probe = CipherSuite(b"attacker-key", backend=db.cop.suite.backend)
+        with pytest.raises(AuthenticationError):
+            probe.decrypt_page(db.disk.peek(0))

@@ -1,0 +1,127 @@
+"""Partitioned multi-coprocessor deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_records
+from repro.core.sharded import ShardedPirDatabase
+from repro.errors import ConfigurationError, PageDeletedError, PageNotFoundError
+from repro.hardware.specs import HardwareSpec
+
+RECORDS = make_records(60, 16)
+
+
+def _sharded(num_shards=3, cover=True, seed=7, **options):
+    defaults = dict(
+        cache_capacity_per_shard=4,
+        target_c=2.0,
+        page_capacity=16,
+        reserve_fraction=0.2,
+    )
+    defaults.update(options)
+    return ShardedPirDatabase.create(
+        RECORDS, num_shards, cover_traffic=cover, seed=seed, **defaults
+    )
+
+
+class TestRoutingAndCorrectness:
+    def test_every_record_retrievable(self):
+        db = _sharded()
+        for global_id in range(60):
+            assert db.query(global_id) == RECORDS[global_id]
+
+    def test_updates_route_correctly(self):
+        db = _sharded(seed=8)
+        db.update(0, b"first shard")
+        db.update(59, b"last shard")
+        assert db.query(0) == b"first shard"
+        assert db.query(59) == b"last shard"
+
+    def test_delete_and_error(self):
+        db = _sharded(seed=9)
+        db.delete(25)
+        with pytest.raises(PageDeletedError):
+            db.query(25)
+
+    def test_insert_returns_routable_global_id(self):
+        db = _sharded(seed=10)
+        ids = [db.insert(f"extra-{i}".encode()) for i in range(6)]
+        assert len(set(ids)) == 6
+        assert all(gid >= 60 for gid in ids)
+        for i, gid in enumerate(ids):
+            assert db.query(gid) == f"extra-{i}".encode()
+
+    def test_unknown_global_id(self):
+        db = _sharded(seed=11)
+        with pytest.raises(PageNotFoundError):
+            db.query(10**9)
+
+    def test_consistency_across_shards(self):
+        db = _sharded(seed=12)
+        for step in range(40):
+            db.query(step % 60)
+        db.consistency_check()
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedPirDatabase.create(RECORDS, 0, cache_capacity_per_shard=4)
+        with pytest.raises(ConfigurationError):
+            ShardedPirDatabase.create(RECORDS[:2], 3,
+                                      cache_capacity_per_shard=4,
+                                      page_capacity=16)
+
+
+class TestCoverTraffic:
+    def test_cover_traffic_equalises_shard_loads(self):
+        db = _sharded(cover=True, seed=13)
+        for _ in range(30):
+            db.query(0)  # always shard 0
+        counts = db.shard_request_counts()
+        assert len(set(counts)) == 1, counts
+
+    def test_without_cover_traffic_loads_leak(self):
+        db = _sharded(cover=False, seed=14)
+        for _ in range(30):
+            db.query(0)
+        counts = db.shard_request_counts()
+        assert counts[0] == 30 and counts[1] == 0 and counts[2] == 0
+
+    def test_total_requests_cost_of_cover(self):
+        covered = _sharded(cover=True, seed=15)
+        bare = _sharded(cover=False, seed=16)
+        for db in (covered, bare):
+            for step in range(10):
+                db.query(step % 60)
+        assert covered.total_requests() == 3 * bare.total_requests()
+
+
+class TestAggregates:
+    def test_achieved_c_is_worst_shard(self):
+        db = _sharded(seed=17)
+        assert db.achieved_c == max(s.achieved_c for s in db.shards)
+        assert db.achieved_c <= 2.0 + 1e-9
+
+    def test_storage_aggregates(self):
+        db = _sharded(seed=18)
+        report = db.storage_report()
+        assert report.total == sum(s.storage_report().total for s in db.shards)
+
+    def test_parallel_elapsed_is_max(self):
+        db = _sharded(seed=19, spec=HardwareSpec())
+        db.query(5)
+        assert db.elapsed() == max(s.clock.now for s in db.shards)
+        assert db.elapsed() > 0
+
+    def test_smaller_shards_give_smaller_blocks(self):
+        """Partitioning shrinks each instance's n, hence k and per-unit cost."""
+        whole = make_records(60, 16)
+        from repro.core.database import PirDatabase
+
+        single = PirDatabase.create(whole, cache_capacity=4, target_c=2.0,
+                                    page_capacity=16, seed=20)
+        sharded = _sharded(seed=21)
+        assert all(
+            s.params.block_size <= single.params.block_size
+            for s in sharded.shards
+        )

@@ -1,0 +1,184 @@
+"""Snapshot/restore of a running database."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.baselines import make_records
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    PageDeletedError,
+    StorageError,
+)
+from repro.storage.trace import shapes_identical
+
+from tests.helpers import make_db
+
+RECORDS = make_records(40, 16)
+
+
+@pytest.fixture
+def warm_db():
+    db = make_db(num_records=40, reserve_fraction=0.2, seed=404)
+    for i in range(30):
+        db.query(i % 40)
+    db.update(5, b"edited-snap")
+    new_id = db.insert(b"inserted-snap")
+    db.delete(9)  # after the insert, so the insert cannot reuse id 9
+    db._snapshot_test_new_id = new_id
+    return db
+
+
+class TestRoundtrip:
+    def test_restore_preserves_every_payload(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=1)
+        for page_id in range(40):
+            if page_id == 9:
+                continue
+            expected = (b"edited-snap" if page_id == 5
+                        else RECORDS[page_id])
+            assert restored.query(page_id) == expected
+        assert restored.query(warm_db._snapshot_test_new_id) == (
+            b"inserted-snap"
+        )
+
+    def test_restore_preserves_deletions(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=2)
+        with pytest.raises(PageDeletedError):
+            restored.query(9)
+
+    def test_restore_preserves_round_robin_pointer(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=3)
+        assert restored.engine.next_block_index == warm_db.engine.next_block_index
+        assert restored.engine.request_count == warm_db.engine.request_count
+
+    def test_restored_database_is_consistent(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=4)
+        restored.consistency_check()
+
+    def test_restored_database_keeps_operating(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=5)
+        for i in range(40):
+            if i != 9:
+                restored.query(i)
+        restored.update(2, b"post-restore")
+        assert restored.query(2) == b"post-restore"
+        restored.consistency_check()
+        # Request numbering continues from the snapshot, so compare shapes
+        # over the post-restore request indices only.
+        first = warm_db.engine.request_count
+        assert shapes_identical(
+            restored.trace, first, restored.engine.request_count - 1
+        )
+
+    def test_snapshot_of_restored_database(self, warm_db, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        save_snapshot(warm_db, str(first))
+        middle = load_snapshot(str(first), seed=6)
+        middle.query(1)
+        save_snapshot(middle, str(second))
+        final = load_snapshot(str(second), seed=7)
+        assert final.query(4) == RECORDS[4]
+
+
+class TestSecurity:
+    def test_wrong_master_key_rejected(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        with pytest.raises(AuthenticationError):
+            load_snapshot(str(tmp_path), master_key=b"wrong key", seed=8)
+
+    def test_tampered_frames_detected_on_use(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        frames = tmp_path / "frames.bin"
+        data = bytearray(frames.read_bytes())
+        data[50] ^= 0xFF
+        frames.write_bytes(bytes(data))
+        restored = load_snapshot(str(tmp_path), seed=9)
+        with pytest.raises(AuthenticationError):
+            for i in range(40):
+                if i != 9:
+                    restored.query(i)
+
+    def test_tampered_sealed_state_rejected(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        sealed = tmp_path / "sealed.bin"
+        data = bytearray(sealed.read_bytes())
+        data[10] ^= 1
+        sealed.write_bytes(bytes(data))
+        with pytest.raises(AuthenticationError):
+            load_snapshot(str(tmp_path), seed=10)
+
+    def test_manifest_contains_no_secrets(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert "key" not in json.dumps(manifest).lower().replace(
+            "cipher_backend", ""
+        )
+        assert set(manifest) == {
+            "format", "num_user_pages", "reserve_pages", "cache_capacity",
+            "block_size", "num_locations", "page_capacity", "target_c",
+            "frame_size", "cipher_backend",
+        }
+
+
+class TestInteractions:
+    def test_snapshot_during_rotation_refused(self, warm_db, tmp_path):
+        warm_db.rotate_master_key(b"next-key")
+        with pytest.raises(ConfigurationError, match="rotation"):
+            save_snapshot(warm_db, str(tmp_path))
+        # Finish the rotation; snapshot then succeeds.
+        for _ in range(warm_db.params.scan_period):
+            warm_db.touch()
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), master_key=b"next-key", seed=20)
+        assert restored.query(0) == RECORDS[0]
+
+    def test_restore_with_rollback_protection(self, warm_db, tmp_path):
+        from repro.storage.merkle import AuthenticatedDisk
+
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=21,
+                                 rollback_protection=True)
+        assert isinstance(restored.disk, AuthenticatedDisk)
+        assert restored.query(0) == RECORDS[0]
+        # A replay against the restored instance is caught.
+        stale = restored.disk._inner._frames[0]
+        for _ in range(restored.params.scan_period):
+            restored.touch()
+        restored.disk._inner._frames[0] = stale
+        with pytest.raises(AuthenticationError, match="stale"):
+            for _ in range(restored.params.scan_period):
+                restored.touch()
+
+
+class TestValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_snapshot(str(tmp_path / "nope"))
+
+    def test_truncated_frames(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        frames = tmp_path / "frames.bin"
+        frames.write_bytes(frames.read_bytes()[:-1])
+        with pytest.raises(StorageError):
+            load_snapshot(str(tmp_path), seed=11)
+
+    def test_bad_format_version(self, warm_db, tmp_path):
+        save_snapshot(warm_db, str(tmp_path))
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError):
+            load_snapshot(str(tmp_path), seed=12)

@@ -1,0 +1,116 @@
+"""Property-based tests of the §5 cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.costmodel import AnalyticalCostModel, TwoPartyCostModel
+from repro.core.params import required_block_size
+
+_MODEL = AnalyticalCostModel()
+_TWO_PARTY = TwoPartyCostModel()
+
+
+class TestEq8Properties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10**6),
+        page=st.integers(min_value=1, max_value=10**5),
+    )
+    def test_query_time_positive_and_bounded_below_by_seeks(self, k, page):
+        time = _MODEL.query_time(k, page)
+        assert time > 4 * _MODEL.spec.disk.seek_time
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10**5),
+        page=st.integers(min_value=1, max_value=10**4),
+    )
+    def test_query_time_monotone_in_k_and_page(self, k, page):
+        assert _MODEL.query_time(k + 1, page) > _MODEL.query_time(k, page)
+        assert _MODEL.query_time(k, page + 1) > _MODEL.query_time(k, page)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10**5),
+        page=st.integers(min_value=1, max_value=10**4),
+    )
+    def test_query_time_linear_in_block(self, k, page):
+        """Eq. 8 is affine in (k+1)B: doubling both block terms doubles
+        the transfer component exactly."""
+        base = _MODEL.query_time(k, page) - 4 * _MODEL.spec.disk.seek_time
+        doubled = _MODEL.query_time(2 * k + 1, page) - 4 * _MODEL.spec.disk.seek_time
+        assert doubled == pytest.approx(2 * base, rel=1e-12)
+
+
+class TestEq7Properties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10**9),
+        m=st.integers(min_value=1, max_value=10**6),
+        k=st.integers(min_value=1, max_value=10**5),
+        page=st.integers(min_value=1, max_value=10**5),
+    )
+    def test_storage_monotone_in_everything(self, n, m, k, page):
+        base = AnalyticalCostModel.secure_storage_bytes(n, m, k, page)
+        assert AnalyticalCostModel.secure_storage_bytes(n + 1, m, k, page) > base
+        assert AnalyticalCostModel.secure_storage_bytes(n, m + 1, k, page) > base
+        assert AnalyticalCostModel.secure_storage_bytes(n, m, k + 1, page) > base
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=10**9))
+    def test_pagemap_term_matches_closed_form(self, n):
+        import math
+
+        storage = AnalyticalCostModel.secure_storage_bytes(n, 1, 1, 1)
+        page_map = n * (math.log2(n) + 1) / 8.0
+        assert storage == pytest.approx(page_map + 3, abs=1e-6)
+
+
+class TestModelConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        db_pages=st.integers(min_value=1000, max_value=10**8),
+        m=st.integers(min_value=10, max_value=10**6),
+        c=st.floats(min_value=1.01, max_value=16.0),
+    )
+    def test_point_uses_eq6_block_size(self, db_pages, m, c):
+        page = 1000
+        point = _MODEL.point(db_pages * page, page, m, c)
+        assert point.block_size == required_block_size(db_pages, m, c)
+        assert point.query_time == pytest.approx(
+            _MODEL.query_time(point.block_size, page)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m_small=st.integers(min_value=10, max_value=10**4),
+        factor=st.integers(min_value=2, max_value=50),
+    )
+    def test_bigger_cache_never_slower(self, m_small, factor):
+        db_bytes = 10**9
+        slow = _MODEL.point(db_bytes, 1000, m_small, 2.0)
+        fast = _MODEL.point(db_bytes, 1000, m_small * factor, 2.0)
+        assert fast.query_time <= slow.query_time
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        c_loose=st.floats(min_value=1.5, max_value=16.0),
+        tighten=st.floats(min_value=0.05, max_value=0.4),
+    )
+    def test_better_privacy_never_cheaper(self, c_loose, tighten):
+        c_tight = 1.0 + (c_loose - 1.0) * tighten
+        loose = _MODEL.point(10**9, 1000, 10**5, c_loose)
+        tight = _MODEL.point(10**9, 1000, 10**5, c_tight)
+        assert tight.query_time >= loose.query_time
+        assert tight.block_size >= loose.block_size
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10**5),
+        page=st.integers(min_value=100, max_value=10**4),
+    )
+    def test_two_party_at_least_rtt(self, k, page):
+        assert _TWO_PARTY.query_time(k, page) > _TWO_PARTY.rtt

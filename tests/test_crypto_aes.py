@@ -1,0 +1,117 @@
+"""AES block cipher against the official FIPS-197 / SP 800-38A vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE, _build_sbox, _gf_inverse, _gf_mul
+from repro.errors import CryptoError
+
+
+class TestVectors:
+    def test_fips197_appendix_c1_aes128(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c2_aes192(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c3_aes256(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_sp800_38a_ecb_aes128_block1(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_all_zero_key_and_block(self):
+        # Well-known AES-128(0, 0) value.
+        assert (
+            AES(bytes(16)).encrypt_block(bytes(16)).hex()
+            == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+        )
+
+    @pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+    def test_round_counts(self, key_len, rounds):
+        assert AES(bytes(key_len)).rounds == rounds
+
+
+class TestDecryption:
+    @pytest.mark.parametrize("key_len", [16, 24, 32])
+    def test_decrypt_inverts_encrypt(self, key_len):
+        cipher = AES(bytes(range(key_len)))
+        block = bytes(range(16))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_fips197_c1_decrypt(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES(key).decrypt_block(ciphertext) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        block=st.binary(min_size=16, max_size=16),
+    )
+    def test_roundtrip_property(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestGaloisField:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert _gf_mul(a, 1) == a
+            assert _gf_mul(a, 0) == 0
+
+    def test_mul_known_value(self):
+        # 0x57 * 0x83 = 0xc1 (FIPS-197 §4.2 example).
+        assert _gf_mul(0x57, 0x83) == 0xC1
+
+    def test_mul_commutes(self):
+        for a in (3, 77, 201):
+            for b in (5, 99, 254):
+                assert _gf_mul(a, b) == _gf_mul(b, a)
+
+    def test_inverse(self):
+        assert _gf_inverse(0) == 0
+        for a in range(1, 256):
+            assert _gf_mul(a, _gf_inverse(a)) == 1
+
+    def test_sbox_known_entries(self):
+        sbox, inv = _build_sbox()
+        assert sbox[0x00] == 0x63
+        assert sbox[0x53] == 0xED
+        assert inv[0x63] == 0x00
+        assert sorted(sbox) == list(range(256))  # a bijection
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad_len", [0, 8, 15, 17, 33])
+    def test_bad_key_length(self, bad_len):
+        with pytest.raises(CryptoError):
+            AES(bytes(bad_len))
+
+    @pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+    def test_bad_block_length_encrypt(self, bad_len):
+        with pytest.raises(CryptoError):
+            AES(bytes(16)).encrypt_block(bytes(bad_len))
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(CryptoError):
+            AES(bytes(16)).decrypt_block(bytes(BLOCK_SIZE - 1))

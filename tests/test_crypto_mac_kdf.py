@@ -1,0 +1,133 @@
+"""HMAC-SHA256 against RFC 4231 and HKDF against RFC 5869."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.kdf import derive_key, hkdf_expand, hkdf_extract
+from repro.crypto.mac import TAG_SIZE, hmac_sha256, verify_hmac
+from repro.errors import CryptoError
+
+
+class TestHmacVectors:
+    def test_rfc4231_case1(self):
+        key = bytes.fromhex("0b" * 20)
+        data = b"Hi There"
+        expected = bytes.fromhex(
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_rfc4231_case2(self):
+        key = b"Jefe"
+        data = b"what do ya want for nothing?"
+        expected = bytes.fromhex(
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_rfc4231_case3(self):
+        key = bytes.fromhex("aa" * 20)
+        data = bytes.fromhex("dd" * 50)
+        expected = bytes.fromhex(
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_rfc4231_case6_long_key(self):
+        key = bytes.fromhex("aa" * 131)
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        expected = bytes.fromhex(
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+        assert hmac_sha256(key, data) == expected
+
+
+class TestVerify:
+    def test_accepts_full_and_truncated_tags(self):
+        tag = hmac_sha256(b"k", b"message")
+        assert verify_hmac(b"k", b"message", tag)
+        assert verify_hmac(b"k", b"message", tag[:TAG_SIZE])
+
+    def test_rejects_wrong_tag(self):
+        tag = bytearray(hmac_sha256(b"k", b"message"))
+        tag[0] ^= 1
+        assert not verify_hmac(b"k", b"message", bytes(tag))
+
+    def test_rejects_wrong_key_or_message(self):
+        tag = hmac_sha256(b"k", b"message")
+        assert not verify_hmac(b"other", b"message", tag)
+        assert not verify_hmac(b"k", b"other", tag)
+
+    def test_rejects_empty_tag(self):
+        assert not verify_hmac(b"k", b"message", b"")
+
+    def test_empty_key_is_an_error(self):
+        with pytest.raises(CryptoError):
+            hmac_sha256(b"", b"x")
+
+    @settings(max_examples=30, deadline=None)
+    @given(key=st.binary(min_size=1, max_size=80), msg=st.binary(max_size=200))
+    def test_self_verification_property(self, key, msg):
+        assert verify_hmac(key, msg, hmac_sha256(key, msg))
+
+
+class TestHkdfVectors:
+    def test_rfc5869_case1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        prk = hkdf_extract(b"", ikm)
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestDeriveKey:
+    def test_purpose_separation(self):
+        assert derive_key(b"m", "a") != derive_key(b"m", "b")
+
+    def test_master_separation(self):
+        assert derive_key(b"m1", "a") != derive_key(b"m2", "a")
+
+    def test_deterministic(self):
+        assert derive_key(b"m", "a", 32) == derive_key(b"m", "a", 32)
+
+    def test_length(self):
+        assert len(derive_key(b"m", "a", 57)) == 57
+
+    def test_prefix_consistency(self):
+        assert derive_key(b"m", "a", 64)[:16] == derive_key(b"m", "a", 16)
+
+    def test_empty_master(self):
+        with pytest.raises(CryptoError):
+            derive_key(b"", "purpose")
+
+    def test_empty_purpose(self):
+        with pytest.raises(CryptoError):
+            derive_key(b"m", "")
+
+    def test_expand_bounds(self):
+        prk = hkdf_extract(b"", b"ikm")
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"", 0)
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"", 255 * 32 + 1)

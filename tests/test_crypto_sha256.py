@@ -1,0 +1,78 @@
+"""Pure-Python SHA-256 against FIPS 180-4 vectors and hashlib."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import Sha256, sha256
+from repro.errors import CryptoError
+
+
+class TestFipsVectors:
+    def test_empty_message(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(message).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_million_a(self):
+        hasher = Sha256()
+        for _ in range(1000):
+            hasher.update(b"a" * 1000)
+        assert hasher.hexdigest() == (
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        )
+
+
+class TestIncremental:
+    def test_split_updates_equal_one_shot(self):
+        data = bytes(range(256)) * 3
+        hasher = Sha256()
+        hasher.update(data[:100])
+        hasher.update(data[100:101])
+        hasher.update(data[101:])
+        assert hasher.digest() == sha256(data)
+
+    def test_digest_does_not_finalise(self):
+        hasher = Sha256(b"hello")
+        first = hasher.digest()
+        assert hasher.digest() == first
+        hasher.update(b" world")
+        assert hasher.digest() == sha256(b"hello world")
+
+    def test_boundary_lengths(self):
+        # Padding edge cases: 55, 56, 63, 64, 65 bytes.
+        for length in (0, 1, 55, 56, 63, 64, 65, 119, 128):
+            data = b"x" * length
+            assert sha256(data) == hashlib.sha256(data).digest(), length
+
+    def test_update_after_finalise_internal_guard(self):
+        hasher = Sha256(b"abc")
+        hasher._finalise()
+        with pytest.raises(CryptoError):
+            hasher.update(b"more")
+
+
+class TestAgainstHashlib:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(max_size=500))
+    def test_matches_hashlib_property(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    def test_long_random_buffer(self):
+        data = bytes(i * 37 % 251 for i in range(100_000))
+        assert sha256(data) == hashlib.sha256(data).digest()

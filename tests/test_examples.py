@@ -1,0 +1,26 @@
+"""Every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+_EXAMPLES = sorted(
+    name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert len(_EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(_EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

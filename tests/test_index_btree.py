@@ -1,0 +1,148 @@
+"""Paged B+-tree: builder, codec, traversal, range scans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.btree import (
+    NO_PAGE,
+    BTree,
+    BTreeBuilder,
+    InternalNode,
+    LeafNode,
+    decode_node,
+)
+
+
+def _tree_over(items, capacity=128):
+    pages, root, height = BTreeBuilder(capacity).build(items)
+    return BTree(lambda pid: pages[pid], root), pages, height
+
+
+class TestNodeCodec:
+    def test_leaf_roundtrip(self):
+        leaf = LeafNode([1, 5, 9], [b"a", b"bb", b""], next_leaf=7)
+        decoded = decode_node(leaf.encode())
+        assert isinstance(decoded, LeafNode)
+        assert decoded == leaf
+
+    def test_leaf_last_sibling(self):
+        leaf = LeafNode([1], [b"x"])
+        assert decode_node(leaf.encode()).next_leaf == NO_PAGE
+
+    def test_internal_roundtrip(self):
+        node = InternalNode([10, 20], [3, 4, 5])
+        decoded = decode_node(node.encode())
+        assert isinstance(decoded, InternalNode)
+        assert decoded == node
+
+    def test_internal_routing(self):
+        node = InternalNode([10, 20], [100, 200, 300])
+        assert node.child_for(5) == 100
+        assert node.child_for(10) == 200
+        assert node.child_for(19) == 200
+        assert node.child_for(25) == 300
+
+    def test_encoded_size_is_exact(self):
+        leaf = LeafNode([1, 2], [b"abc", b"d"])
+        assert leaf.encoded_size() == len(leaf.encode())
+        node = InternalNode([9], [1, 2])
+        assert node.encoded_size() == len(node.encode())
+
+    def test_malformed(self):
+        with pytest.raises(IndexError_):
+            decode_node(b"")
+        with pytest.raises(IndexError_):
+            decode_node(b"\x07\x00\x00")
+        with pytest.raises(IndexError_):
+            LeafNode([1], []).encode()
+        with pytest.raises(IndexError_):
+            InternalNode([1], [2]).encode()
+
+
+class TestBuilder:
+    def test_single_leaf(self):
+        tree, pages, height = _tree_over([(1, b"one"), (2, b"two")])
+        assert height == 1 and len(pages) == 1
+        assert tree.get(1) == b"one"
+
+    def test_multi_level(self):
+        items = [(i, f"v{i}".encode()) for i in range(500)]
+        tree, pages, height = _tree_over(items, capacity=96)
+        assert height >= 2
+        for key, value in items[::37]:
+            assert tree.get(key) == value
+
+    def test_node_sizes_respect_capacity(self):
+        items = [(i, b"x" * 10) for i in range(300)]
+        pages, _root, _h = BTreeBuilder(100).build(items)
+        assert all(len(page) <= 100 for page in pages)
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            BTreeBuilder(128).build([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(IndexError_):
+            BTreeBuilder(128).build([(2, b"a"), (1, b"b")])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(IndexError_):
+            BTreeBuilder(128).build([(1, b"a"), (1, b"b")])
+
+    def test_oversized_entry_rejected(self):
+        with pytest.raises(IndexError_):
+            BTreeBuilder(64).build([(1, b"x" * 100)])
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(IndexError_):
+            BTreeBuilder(10)
+
+
+class TestTraversal:
+    ITEMS = [(i * 3 + 1, f"value-{i}".encode()) for i in range(200)]
+
+    def test_get_every_key(self):
+        tree, _p, _h = _tree_over(self.ITEMS, capacity=96)
+        for key, value in self.ITEMS:
+            assert tree.get(key) == value
+
+    def test_get_absent_keys(self):
+        tree, _p, _h = _tree_over(self.ITEMS, capacity=96)
+        for key in (0, 2, 3, 599, 10**9):
+            assert tree.get(key) is None
+
+    def test_full_range_scan(self):
+        tree, _p, _h = _tree_over(self.ITEMS, capacity=96)
+        assert list(tree.range(0, 10**9)) == self.ITEMS
+
+    def test_partial_range(self):
+        tree, _p, _h = _tree_over(self.ITEMS, capacity=96)
+        got = list(tree.range(10, 50))
+        assert got == [(k, v) for k, v in self.ITEMS if 10 <= k <= 50]
+
+    def test_empty_range(self):
+        tree, _p, _h = _tree_over(self.ITEMS, capacity=96)
+        assert list(tree.range(50, 10)) == []
+        assert list(tree.range(2, 2)) == []
+
+    def test_pages_fetched_counts_levels(self):
+        tree, _p, height = _tree_over(self.ITEMS, capacity=96)
+        tree.pages_fetched = 0
+        tree.get(1)
+        assert tree.pages_fetched == height
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.sets(st.integers(min_value=0, max_value=10**6),
+                     min_size=1, max_size=150)
+    )
+    def test_random_keysets_property(self, keys):
+        items = [(key, key.to_bytes(8, "big")) for key in sorted(keys)]
+        tree, _p, _h = _tree_over(items, capacity=80)
+        for key, value in items:
+            assert tree.get(key) == value
+        assert list(tree.range(min(keys), max(keys))) == items

@@ -1,0 +1,165 @@
+"""Read-write B+-tree over the private page store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index import BTreeBuilder, BTreeWriter, PrivateKeyValueStore
+from repro.storage.trace import shapes_identical
+
+
+def _store(items=None, reserve=1.5, page_capacity=96, seed=900):
+    items = items if items is not None else [(i * 4, f"v{i}".encode())
+                                             for i in range(30)]
+    return PrivateKeyValueStore.create(
+        items,
+        cache_capacity=8,
+        page_capacity=page_capacity,
+        reserve_fraction=reserve,
+        cipher_backend="null",
+        seed=seed,
+    )
+
+
+class TestInsert:
+    def test_insert_new_key(self):
+        store = _store()
+        store.put(1, b"one")
+        assert store.get(1) == b"one"
+        assert store.get(4) == b"v1"  # old keys intact
+
+    def test_overwrite_existing_key(self):
+        store = _store()
+        store.put(8, b"replaced")
+        assert store.get(8) == b"replaced"
+
+    def test_many_inserts_with_splits(self):
+        store = _store(reserve=10.0)
+        initial_height = store.height
+        for key in range(1, 200, 2):
+            store.put(key, key.to_bytes(4, "big"))
+        for key in range(1, 200, 2):
+            assert store.get(key) == key.to_bytes(4, "big"), key
+        for i in range(30):
+            assert store.get(i * 4) == f"v{i}".encode()
+        assert store.height >= initial_height
+
+    def test_root_split_grows_height(self):
+        store = _store(items=[(0, b"a")], reserve=60.0)
+        for key in range(1, 120):
+            store.put(key, b"x" * 4)
+        assert store.height >= 2
+        assert store.get(77) == b"x" * 4
+
+    def test_range_sees_inserts(self):
+        store = _store()
+        store.put(5, b"five")
+        window = store.range(4, 8)
+        assert (5, b"five") in window
+
+    def test_reserve_exhaustion_is_clean(self):
+        store = _store(reserve=0.1, seed=901)
+        with pytest.raises(IndexError_):
+            for key in range(1, 5000, 2):
+                store.put(key, b"x" * 8)
+
+    def test_oversized_entry_rejected(self):
+        store = _store()
+        with pytest.raises(IndexError_):
+            store.put(3, b"x" * 500)
+
+
+class TestVariableSizeValues:
+    def test_mixed_size_inserts_split_by_bytes(self):
+        store = _store(items=[(10_000, b"anchor")], reserve=300.0,
+                       page_capacity=128, seed=905)
+        # Alternate tiny and large values so a count-middle split would
+        # sometimes leave an oversized half.
+        expected = {}
+        for key in range(200):
+            value = (b"L" * 60) if key % 2 else (b"s" * 2)
+            store.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert store.get(key) == value, key
+        store.database.consistency_check()
+
+    def test_all_large_values(self):
+        store = _store(items=[(10_000, b"anchor")], reserve=60.0,
+                       page_capacity=128, seed=906)
+        for key in range(40):
+            store.put(key, b"X" * 80)
+        for key in range(40):
+            assert store.get(key) == b"X" * 80
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        store = _store()
+        assert store.remove(8)
+        assert store.get(8) is None
+        assert store.get(12) == b"v3"
+
+    def test_delete_absent(self):
+        store = _store()
+        assert not store.remove(999)
+
+    def test_delete_then_reinsert(self):
+        store = _store()
+        store.remove(16)
+        store.put(16, b"back")
+        assert store.get(16) == b"back"
+
+    def test_delete_everything(self):
+        items = [(i, bytes([i])) for i in range(20)]
+        store = _store(items=items)
+        for key in range(20):
+            assert store.remove(key)
+        for key in range(20):
+            assert store.get(key) is None
+
+
+class TestPrivacyOfWrites:
+    def test_index_mutations_keep_trace_uniform(self):
+        store = _store()
+        store.put(3, b"new")
+        store.remove(8)
+        store.put(101, b"split-causing" )
+        assert shapes_identical(store.database.trace, 0)
+
+
+class TestWriterDirect:
+    def test_writer_over_bulk_loaded_pages(self):
+        items = [(i * 2, f"b{i}".encode()) for i in range(40)]
+        store = _store(items=items, seed=902)
+        writer = BTreeWriter(store.database, store.root_page_id)
+        writer.insert(1, b"odd")
+        assert writer.get(1) == b"odd"
+        assert writer.get(2) == b"b1"
+        assert writer.get(3) is None
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        keys=st.lists(st.integers(0, 500), min_size=1, max_size=40,
+                      unique=True),
+        seed=st.integers(0, 10**6),
+    )
+    def test_random_insert_delete_property(self, keys, seed):
+        store = _store(items=[(1000, b"anchor")], reserve=40.0, seed=seed)
+        shadow = {1000: b"anchor"}
+        for key in keys:
+            value = key.to_bytes(4, "big")
+            store.put(key, value)
+            shadow[key] = value
+        for key in keys[::2]:
+            store.remove(key)
+            shadow.pop(key, None)
+        for key, value in shadow.items():
+            assert store.get(key) == value
+        for key in keys[::2]:
+            assert store.get(key) is None
+        store.database.consistency_check()

@@ -1,0 +1,238 @@
+"""Spatial grid + the private index wrappers over PirDatabase."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.errors import IndexError_
+from repro.index.grid import (
+    NO_CELL,
+    GridBuilder,
+    GridGeometry,
+    GridIndex,
+    SpatialPoint,
+    decode_cell,
+    encode_cell,
+)
+from repro.index.private_index import PrivateKeyValueStore, PrivateSpatialStore
+
+
+def _random_points(count, seed=1, span=100.0):
+    rng = SecureRandom(seed)
+    return [
+        SpatialPoint(rng.random() * span, rng.random() * span, f"p{i}".encode())
+        for i in range(count)
+    ]
+
+
+class TestCellCodec:
+    def test_roundtrip(self):
+        points = [SpatialPoint(1.5, -2.25, b"abc"), SpatialPoint(0.0, 9.0)]
+        decoded, next_page = decode_cell(encode_cell(points))
+        assert decoded == points
+        assert next_page == NO_CELL
+
+    def test_chain_pointer_roundtrip(self):
+        decoded, next_page = decode_cell(encode_cell([], next_page=42))
+        assert decoded == [] and next_page == 42
+
+    def test_empty_cell(self):
+        assert decode_cell(encode_cell([]))[0] == []
+
+    def test_truncated(self):
+        with pytest.raises(IndexError_):
+            decode_cell(b"\x00" * 9)
+
+
+class TestGeometry:
+    GEOMETRY = GridGeometry(0.0, 0.0, 10.0, 10.0, 5, 5)
+
+    def test_cell_of_interior(self):
+        assert self.GEOMETRY.cell_of(0.5, 0.5) == (0, 0)
+        assert self.GEOMETRY.cell_of(9.9, 9.9) == (4, 4)
+        assert self.GEOMETRY.cell_of(5.0, 3.0) == (2, 1)
+
+    def test_cell_of_clamps_outside(self):
+        assert self.GEOMETRY.cell_of(-5, 50) == (0, 4)
+
+    def test_page_mapping_row_major(self):
+        assert self.GEOMETRY.page_of(0, 0) == 0
+        assert self.GEOMETRY.page_of(4, 0) == 4
+        assert self.GEOMETRY.page_of(0, 1) == 5
+
+    def test_cell_dimensions(self):
+        assert self.GEOMETRY.cell_width == pytest.approx(2.0)
+        assert self.GEOMETRY.cell_height == pytest.approx(2.0)
+
+
+class TestGridBuilder:
+    def test_all_points_stored(self):
+        points = _random_points(80)
+        payloads, geometry = GridBuilder(512).build(points)
+        assert len(payloads) >= geometry.cells_x * geometry.cells_y
+        stored = [
+            p for payload in payloads for p in decode_cell(payload)[0]
+        ]
+        assert sorted(p.label for p in stored) == sorted(p.label for p in points)
+
+    def test_cells_respect_capacity(self):
+        payloads, _g = GridBuilder(256).build(_random_points(100))
+        assert all(len(p) <= 256 for p in payloads)
+
+    def test_refines_until_fits(self):
+        # A dense (but separable) strip forces a finer grid than the initial
+        # square-root guess.
+        strip = [SpatialPoint(i * 0.2, 1.0, b"x") for i in range(60)]
+        spread = _random_points(20, seed=2)
+        payloads, geometry = GridBuilder(600).build(strip + spread)
+        initial_guess = max(1, math.isqrt(len(strip + spread) // 4))
+        assert geometry.cells_x > initial_guess
+        assert all(len(p) <= 600 for p in payloads)
+
+    def test_clustered_points_chain_instead_of_failing(self):
+        """Inseparable density used to abort the build; it now chains."""
+        # Identical coordinates: no resolution can ever separate them.
+        cluster = [SpatialPoint(1.0, 1.0, f"c{i}".encode())
+                   for i in range(50)]
+        payloads, geometry = GridBuilder(200).build(cluster,
+                                                    max_cells=4)
+        assert len(payloads) > geometry.cells_x * geometry.cells_y
+        assert all(len(p) <= 200 for p in payloads)
+        # All points recoverable by walking chains from the heads.
+        seen = []
+        for head in range(geometry.cells_x * geometry.cells_y):
+            page_id = head
+            while page_id != NO_CELL:
+                chunk, page_id = decode_cell(payloads[page_id])
+                seen.extend(chunk)
+        assert sorted(p.label for p in seen) == sorted(
+            p.label for p in cluster
+        )
+
+    def test_knn_over_chained_cells(self):
+        cluster = [SpatialPoint(5.0 + i * 1e-6, 5.0, f"c{i}".encode())
+                   for i in range(40)]
+        outlier = SpatialPoint(90.0, 90.0, b"far")
+        points = cluster + [outlier]
+        payloads, geometry = GridBuilder(256).build(points, max_cells=2)
+        index = GridIndex(lambda pid: payloads[pid], geometry)
+        distance, nearest = index.knn(5.0, 5.0, 1)[0]
+        expected = min(points, key=lambda p: p.distance_to(5.0, 5.0))
+        assert nearest.label == expected.label
+        assert index.knn(89.0, 89.0, 1)[0][1].label == b"far"
+
+    def test_oversized_single_point_rejected(self):
+        with pytest.raises(IndexError_):
+            GridBuilder(32).build([SpatialPoint(0, 0, b"L" * 100)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            GridBuilder(256).build([])
+
+
+class TestGridKnn:
+    def _index(self, points, capacity=512):
+        payloads, geometry = GridBuilder(capacity).build(points)
+        return GridIndex(lambda pid: payloads[pid], geometry)
+
+    def test_nearest_matches_brute_force(self):
+        points = _random_points(120, seed=3)
+        index = self._index(points)
+        for qx, qy in ((50, 50), (0, 0), (99, 1), (25, 75)):
+            expected = min(points, key=lambda p: p.distance_to(qx, qy))
+            got = index.knn(qx, qy, 1)[0][1]
+            assert got.label == expected.label, (qx, qy)
+
+    def test_knn_matches_brute_force(self):
+        points = _random_points(150, seed=4)
+        index = self._index(points)
+        for k in (1, 3, 7):
+            expected = sorted(points, key=lambda p: p.distance_to(40, 60))[:k]
+            got = [p.label for _d, p in index.knn(40, 60, k)]
+            assert got == [p.label for p in expected], k
+
+    def test_distances_ascending(self):
+        index = self._index(_random_points(100, seed=5))
+        distances = [d for d, _p in index.knn(10, 10, 5)]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_population(self):
+        points = _random_points(4, seed=6)
+        index = self._index(points)
+        assert len(index.knn(50, 50, 10)) == 4
+
+    def test_invalid_k(self):
+        index = self._index(_random_points(10, seed=7))
+        with pytest.raises(IndexError_):
+            index.knn(0, 0, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        qx=st.floats(min_value=0, max_value=100),
+        qy=st.floats(min_value=0, max_value=100),
+    )
+    def test_nearest_property(self, seed, qx, qy):
+        points = _random_points(60, seed=seed)
+        index = self._index(points)
+        got_distance = index.knn(qx, qy, 1)[0][0]
+        expected = min(p.distance_to(qx, qy) for p in points)
+        assert math.isclose(got_distance, expected)
+
+
+class TestPrivateWrappers:
+    def test_private_kv_store(self):
+        items = [(i * 2, f"row{i}".encode()) for i in range(150)]
+        store = PrivateKeyValueStore.create(
+            items, cache_capacity=8, page_capacity=128, seed=41
+        )
+        assert store.get(4) == b"row2"
+        assert store.get(5) is None
+        assert store.range(10, 20) == [(k, v) for k, v in items if 10 <= k <= 20]
+        assert store.retrievals >= store.height  # at least one descent
+
+    def test_private_kv_cost_estimate(self):
+        from repro.hardware.specs import HardwareSpec
+
+        items = [(i, bytes(4)) for i in range(100)]
+        store = PrivateKeyValueStore.create(
+            items, cache_capacity=8, page_capacity=128, seed=42,
+            spec=HardwareSpec(),
+        )
+        assert store.query_cost_estimate() > 0
+
+    def test_private_spatial_store(self):
+        points = _random_points(90, seed=43)
+        store = PrivateSpatialStore.create(
+            points, cache_capacity=8, page_capacity=512, seed=44
+        )
+        distance, nearest = store.nearest(30, 30)
+        expected = min(points, key=lambda p: p.distance_to(30, 30))
+        assert nearest.label == expected.label
+        assert distance == pytest.approx(expected.distance_to(30, 30))
+        assert store.retrievals > 0
+
+    def test_spatial_invalid_k(self):
+        store = PrivateSpatialStore.create(
+            _random_points(20, seed=45), cache_capacity=8, page_capacity=512,
+            seed=46,
+        )
+        with pytest.raises(IndexError_):
+            store.knn(0, 0, 0)
+
+    def test_private_queries_leave_uniform_trace(self):
+        """Index traversals are just page queries: trace stays uniform."""
+        from repro.storage.trace import shapes_identical
+
+        items = [(i, bytes(4)) for i in range(120)]
+        store = PrivateKeyValueStore.create(
+            items, cache_capacity=8, page_capacity=128, seed=47
+        )
+        store.get(13)
+        store.range(5, 25)
+        assert shapes_identical(store.database.trace, 0)

@@ -1,0 +1,104 @@
+"""Spatial range queries and the Wang-baseline update extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import WangPir, make_records
+from repro.crypto.rng import SecureRandom
+from repro.errors import IndexError_
+from repro.index import GridBuilder, GridIndex, PrivateSpatialStore, SpatialPoint
+
+
+def _points(count=120, seed=1, span=100.0):
+    rng = SecureRandom(seed)
+    return [
+        SpatialPoint(rng.random() * span, rng.random() * span,
+                     f"p{i}".encode())
+        for i in range(count)
+    ]
+
+
+class TestRangeQuery:
+    def _index(self, points):
+        payloads, geometry = GridBuilder(512).build(points)
+        return GridIndex(lambda pid: payloads[pid], geometry)
+
+    def test_matches_brute_force(self):
+        points = _points(seed=2)
+        index = self._index(points)
+        for rect in ((10, 10, 40, 40), (0, 0, 100, 100), (55, 5, 60, 95)):
+            got = sorted(p.label for p in index.range_query(*rect))
+            expected = sorted(
+                p.label for p in points
+                if rect[0] <= p.x <= rect[2] and rect[1] <= p.y <= rect[3]
+            )
+            assert got == expected, rect
+
+    def test_empty_region(self):
+        points = [SpatialPoint(10, 10, b"a"), SpatialPoint(90, 90, b"b")]
+        index = self._index(points)
+        assert index.range_query(40, 40, 60, 60) == []
+
+    def test_degenerate_rectangle_is_a_point_probe(self):
+        points = _points(seed=3)
+        index = self._index(points)
+        target = points[0]
+        got = index.range_query(target.x, target.y, target.x, target.y)
+        assert target in got
+
+    def test_invalid_rectangle(self):
+        index = self._index(_points(seed=4))
+        with pytest.raises(IndexError_):
+            index.range_query(10, 0, 5, 10)
+
+    def test_private_store_within(self):
+        points = _points(count=80, seed=5)
+        store = PrivateSpatialStore.create(
+            points, cache_capacity=8, page_capacity=512,
+            cipher_backend="null", seed=6,
+        )
+        before = store.retrievals
+        got = store.within(20, 20, 60, 60)
+        expected = [p for p in points
+                    if 20 <= p.x <= 60 and 20 <= p.y <= 60]
+        assert sorted(p.label for p in got) == sorted(
+            p.label for p in expected
+        )
+        assert store.retrievals > before
+
+
+class TestWangUpdate:
+    RECORDS = make_records(48, 16)
+
+    def test_update_then_read(self):
+        scheme = WangPir.create(self.RECORDS, storage_capacity=8,
+                                page_capacity=16, seed=7)
+        scheme.update(5, b"wang-updated")
+        assert scheme.retrieve(5) == b"wang-updated"
+
+    def test_update_survives_reshuffles(self):
+        scheme = WangPir.create(self.RECORDS, storage_capacity=8,
+                                page_capacity=16, seed=8)
+        scheme.update(11, b"persistent!!")
+        for step in range(40):  # forces several reshuffles
+            scheme.retrieve(step % 48)
+        assert scheme.retrieve(11) == b"persistent!!"
+        assert scheme.reshuffle_count >= 3
+
+    def test_update_near_epoch_boundary(self):
+        scheme = WangPir.create(self.RECORDS, storage_capacity=4,
+                                page_capacity=16, seed=9)
+        # Fill storage to one below capacity so the update's retrieve
+        # triggers the reshuffle mid-operation.
+        for page_id in range(3):
+            scheme.retrieve(page_id)
+        scheme.update(40, b"boundary-upd")
+        assert scheme.retrieve(40) == b"boundary-upd"
+
+    def test_multiple_updates_same_page(self):
+        scheme = WangPir.create(self.RECORDS, storage_capacity=6,
+                                page_capacity=16, seed=10)
+        for version in range(5):
+            scheme.update(2, bytes([version]) * 4)
+        assert scheme.retrieve(2) == bytes([4]) * 4

@@ -1,0 +1,108 @@
+"""Repository-level consistency: docs reference real things, exports exist."""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+
+import pytest
+
+import repro
+
+_ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _read(name: str) -> str:
+    with open(os.path.join(_ROOT, name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _all_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI under pytest argv
+        yield info.name
+
+
+class TestDocsReferenceRealArtifacts:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "pyproject.toml"):
+            assert os.path.exists(os.path.join(_ROOT, name)), name
+
+    def test_design_mentions_every_bench_file(self):
+        design = _read("DESIGN.md") + _read("EXPERIMENTS.md")
+        bench_dir = os.path.join(_ROOT, "benchmarks")
+        for name in os.listdir(bench_dir):
+            if name.startswith("bench_") and name.endswith(".py"):
+                assert name in design, f"{name} not documented"
+
+    def test_examples_listed_in_readme(self):
+        readme = _read("README.md")
+        examples_dir = os.path.join(_ROOT, "examples")
+        for name in os.listdir(examples_dir):
+            if name.endswith(".py") and name != "operations_lifecycle.py":
+                assert name.replace(".py", "") in readme, name
+
+    def test_design_layout_matches_source_tree(self):
+        design = _read("DESIGN.md")
+        src = os.path.join(_ROOT, "src", "repro")
+        for package in os.listdir(src):
+            path = os.path.join(src, package)
+            if os.path.isdir(path) and not package.startswith("__"):
+                assert f"{package}/" in design or package in design, package
+
+
+class TestPackageHygiene:
+    def test_every_module_imports(self):
+        for module_name in _all_modules():
+            importlib.import_module(module_name)
+
+    def test_every_all_entry_exists(self):
+        for module_name in _all_modules():
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_every_module_has_docstring(self):
+        for module_name in _all_modules():
+            module = importlib.import_module(module_name)
+            assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_public_classes_and_functions_documented(self):
+        undocumented = []
+        for module_name in _all_modules():
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if not getattr(obj, "__module__", "").startswith("repro"):
+                    continue  # typing aliases, re-exports of stdlib objects
+                if callable(obj) and not getattr(obj, "__doc__", None):
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, undocumented
+
+    def test_version_consistent(self):
+        assert repro.__version__ == "1.0.0"
+        assert 'version = "1.0.0"' in _read("pyproject.toml")
+
+    def test_py_typed_marker_present(self):
+        assert os.path.exists(
+            os.path.join(_ROOT, "src", "repro", "py.typed")
+        )
+
+    def test_no_module_imports_random_stdlib(self):
+        """The library's randomness must flow through SecureRandom only
+        (reproducibility + auditability); `import random` is banned in src."""
+        src = os.path.join(_ROOT, "src", "repro")
+        offenders = []
+        for directory, _dirs, files in os.walk(src):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(directory, name)
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                if "import random" in text:
+                    offenders.append(path)
+        assert not offenders, offenders

@@ -1,0 +1,124 @@
+"""Three-party service layer: protocol codec, sessions, multi-client use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_records
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service import (
+    Delete,
+    Insert,
+    Ok,
+    Query,
+    QueryFrontend,
+    Refused,
+    Result,
+    ServiceClient,
+    Update,
+    decode_client_message,
+    encode_client_message,
+)
+from repro.storage.trace import shapes_identical
+
+from tests.helpers import make_db
+
+RECORDS = make_records(40, 16)
+
+
+class TestProtocolCodec:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            Query(7),
+            Update(3, b"payload"),
+            Insert(b"fresh bytes"),
+            Delete(12),
+            Result(9, b"data"),
+            Ok(),
+            Refused("nope"),
+        ],
+    )
+    def test_roundtrip(self, message):
+        assert decode_client_message(encode_client_message(message)) == message
+
+    def test_empty_payloads(self):
+        assert decode_client_message(encode_client_message(Insert(b""))) == Insert(b"")
+
+    def test_malformed(self):
+        with pytest.raises(ProtocolError):
+            decode_client_message(b"")
+        with pytest.raises(ProtocolError):
+            decode_client_message(b"\xaa")
+        with pytest.raises(ProtocolError):
+            decode_client_message(b"\x10\x00")  # truncated QUERY
+        good = encode_client_message(Update(1, b"xy"))
+        with pytest.raises(ProtocolError):
+            decode_client_message(good + b"\x00")  # trailing garbage
+
+
+class TestFrontend:
+    @pytest.fixture
+    def frontend(self):
+        return QueryFrontend(make_db(num_records=40, reserve_fraction=0.2,
+                                     seed=500))
+
+    def test_single_client_operations(self, frontend):
+        client = ServiceClient(frontend)
+        assert client.query(5) == RECORDS[5]
+        client.update(5, b"via service")
+        assert client.query(5) == b"via service"
+        new_id = client.insert(b"svc insert")
+        assert client.query(new_id) == b"svc insert"
+        client.delete(3)
+        with pytest.raises(ConfigurationError):
+            client.query(3)
+
+    def test_multiple_clients_share_the_database(self, frontend):
+        alice = ServiceClient(frontend)
+        bob = ServiceClient(frontend)
+        alice.update(2, b"from alice")
+        assert bob.query(2) == b"from alice"
+        assert frontend.counters.get("sessions") == 2
+        assert frontend.counters.get("requests") == 2
+
+    def test_sessions_are_cryptographically_separate(self, frontend):
+        alice = ServiceClient(frontend)
+        bob = ServiceClient(frontend)
+        sealed = alice._suite.encrypt_page(
+            encode_client_message(Query(1))
+        )
+        # Bob's session key cannot open Alice's request.
+        reply = frontend.serve(bob.session_id, sealed)
+        decoded = decode_client_message(bob._suite.decrypt_page(reply))
+        assert isinstance(decoded, Refused)
+
+    def test_unknown_session_rejected(self, frontend):
+        with pytest.raises(ProtocolError):
+            frontend.serve(999, b"blob")
+
+    def test_closed_session_rejected(self, frontend):
+        client = ServiceClient(frontend)
+        client.close()
+        with pytest.raises(ProtocolError):
+            client.query(0)
+
+    def test_client_latency_includes_rtt(self, frontend):
+        client = ServiceClient(frontend, rtt=0.02)
+        client.query(1)
+        assert client.latencies.minimum() >= 0.02
+
+    def test_trace_uniform_across_clients_and_ops(self, frontend):
+        alice = ServiceClient(frontend)
+        bob = ServiceClient(frontend)
+        alice.query(0)
+        bob.update(1, b"x")
+        alice.insert(b"y")
+        bob.query(0)
+        assert shapes_identical(frontend.database.trace, 0)
+
+    def test_refusal_does_not_crash_session(self, frontend):
+        client = ServiceClient(frontend)
+        with pytest.raises(ConfigurationError):
+            client.query(10**9)  # out of range -> Refused
+        assert client.query(4) == RECORDS[4]  # session still healthy

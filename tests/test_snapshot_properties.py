@@ -1,0 +1,77 @@
+"""Property-based snapshot/restore: arbitrary histories survive a restart."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.errors import CapacityError, PageDeletedError, PageNotFoundError
+
+from tests.helpers import make_db
+
+_OPERATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["query", "update", "insert", "delete"]),
+        st.floats(min_value=0, max_value=0.999),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations=_OPERATIONS, seed=st.integers(0, 10**6))
+def test_restore_equals_live_state(tmp_path_factory, operations, seed):
+    directory = tmp_path_factory.mktemp("snap")
+    db = make_db(
+        num_records=20,
+        cache_capacity=4,
+        page_capacity=16,
+        block_size=4,
+        reserve_fraction=0.3,
+        seed=seed,
+        cipher_backend="null",
+    )
+    shadow = {i: i.to_bytes(8, "big") * 2 for i in range(20)}
+
+    for kind, selector, payload_byte in operations:
+        live = sorted(shadow)
+        payload = bytes([payload_byte]) * 4
+        if kind == "insert":
+            try:
+                shadow[db.insert(payload)] = payload
+            except CapacityError:
+                pass
+            continue
+        if not live:
+            db.touch()
+            continue
+        target = live[int(selector * len(live))]
+        if kind == "query":
+            assert db.query(target) == shadow[target]
+        elif kind == "update":
+            db.update(target, payload)
+            shadow[target] = payload
+        else:
+            db.delete(target)
+            del shadow[target]
+
+    save_snapshot(db, str(directory))
+    restored = load_snapshot(str(directory), seed=seed + 1)
+
+    # Every live page identical; every dead page still dead.
+    for page_id, payload in shadow.items():
+        assert restored.query(page_id) == payload
+    for page_id in range(20):
+        if page_id not in shadow:
+            with pytest.raises((PageDeletedError, PageNotFoundError)):
+                restored.query(page_id)
+    restored.consistency_check()
+    assert restored.engine.request_count >= db.engine.request_count

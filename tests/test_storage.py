@@ -1,0 +1,240 @@
+"""Storage substrate: pages, disk, timing model, access trace."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, StorageError
+from repro.sim.clock import VirtualClock
+from repro.storage.disk import DiskStore
+from repro.storage.page import DUMMY_ID, HEADER_SIZE, Page
+from repro.storage.timing import DiskTimingModel
+from repro.storage.trace import READ, WRITE, AccessEvent, AccessTrace, shapes_identical
+
+
+class TestPage:
+    def test_roundtrip(self):
+        page = Page(7, b"payload bytes")
+        assert Page.decode(page.encode(32)) == page
+
+    def test_fixed_encoding_size(self):
+        assert len(Page(1, b"abc").encode(100)) == HEADER_SIZE + 100
+        assert len(Page(1, b"").encode(100)) == HEADER_SIZE + 100
+
+    def test_deleted_flag_roundtrip(self):
+        page = Page(3, b"", deleted=True)
+        assert Page.decode(page.encode(8)).deleted
+
+    def test_dummy(self):
+        dummy = Page.dummy()
+        assert dummy.is_dummy and dummy.is_free
+        assert Page.decode(dummy.encode(4)).page_id == DUMMY_ID
+
+    def test_is_free(self):
+        assert Page(1, b"", deleted=True).is_free
+        assert not Page(1, b"x").is_free
+
+    def test_with_payload_and_mark_deleted(self):
+        page = Page(5, b"old")
+        updated = page.with_payload(b"new")
+        assert updated.payload == b"new" and not updated.deleted
+        gone = updated.mark_deleted()
+        assert gone.deleted and gone.payload == b""
+        assert page.payload == b"old"  # immutability
+
+    def test_payload_too_large(self):
+        with pytest.raises(StorageError):
+            Page(1, bytes(10)).encode(9)
+
+    def test_bad_id(self):
+        with pytest.raises(StorageError):
+            Page(-1)
+        with pytest.raises(StorageError):
+            Page(DUMMY_ID + 1)
+
+    def test_decode_truncated(self):
+        with pytest.raises(StorageError):
+            Page.decode(bytes(HEADER_SIZE - 1))
+
+    def test_decode_lying_header(self):
+        raw = bytearray(Page(1, b"ab").encode(2))
+        raw[9:13] = (100).to_bytes(4, "big")  # claims 100-byte payload
+        with pytest.raises(StorageError):
+            Page.decode(bytes(raw))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        page_id=st.integers(min_value=0, max_value=DUMMY_ID),
+        payload=st.binary(max_size=64),
+        deleted=st.booleans(),
+    )
+    def test_roundtrip_property(self, page_id, payload, deleted):
+        page = Page(page_id, payload, deleted)
+        assert Page.decode(page.encode(64)) == page
+
+
+class TestTimingModel:
+    def test_table2_read_time(self):
+        model = DiskTimingModel()
+        # 5 ms seek + 1 MB / (100 MB/s) = 15 ms.
+        assert model.read_time(10**6) == pytest.approx(0.015)
+
+    def test_write_time(self):
+        model = DiskTimingModel(seek_time=0.001, write_bandwidth=1e6)
+        assert model.write_time(1000) == pytest.approx(0.002)
+
+    def test_instantaneous(self):
+        model = DiskTimingModel.instantaneous()
+        assert model.read_time(10**9) == 0.0
+        assert model.write_time(10**9) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DiskTimingModel(seek_time=-1)
+        with pytest.raises(ConfigurationError):
+            DiskTimingModel(read_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            DiskTimingModel().read_time(-1)
+
+
+class TestDiskStore:
+    def _disk(self, n=16, frame=8, timing=None):
+        return DiskStore(n, frame, timing=timing, clock=VirtualClock())
+
+    def test_write_then_read(self):
+        disk = self._disk()
+        disk.write(3, b"12345678")
+        assert disk.read(3) == b"12345678"
+
+    def test_range_roundtrip(self):
+        disk = self._disk()
+        frames = [bytes([i]) * 8 for i in range(4)]
+        disk.write_range(2, frames)
+        assert disk.read_range(2, 4) == frames
+
+    def test_read_uninitialised(self):
+        with pytest.raises(StorageError):
+            self._disk().read(0)
+
+    def test_bounds(self):
+        disk = self._disk()
+        with pytest.raises(StorageError):
+            disk.read_range(14, 3)
+        with pytest.raises(StorageError):
+            disk.write(-1, bytes(8))
+        with pytest.raises(StorageError):
+            disk.read_range(0, 0)
+
+    def test_frame_size_enforced(self):
+        disk = self._disk()
+        with pytest.raises(StorageError):
+            disk.write(0, bytes(7))
+
+    def test_timing_charged(self):
+        disk = self._disk(timing=DiskTimingModel(seek_time=0.01, read_bandwidth=800,
+                                                 write_bandwidth=800))
+        disk.write_range(0, [bytes(8)] * 2)  # 0.01 + 16/800 = 0.03
+        assert disk.clock.now == pytest.approx(0.03)
+        disk.read_range(0, 2)
+        assert disk.clock.now == pytest.approx(0.06)
+
+    def test_trace_records_request_attribution(self):
+        disk = self._disk()
+        disk.write_range(0, [bytes(8)] * 4)
+        disk.current_request = 9
+        disk.read_range(0, 2)
+        disk.read(3)
+        events = disk.trace.events_for_request(9)
+        assert [(e.op, e.location, e.count) for e in events] == [
+            (READ, 0, 2),
+            (READ, 3, 1),
+        ]
+
+    def test_request_combined_calls_match_split_calls(self):
+        disk = self._disk()
+        disk.write_range(0, [bytes([i]) * 8 for i in range(16)])
+        frames, extra = disk.read_request(4, 3, 11)
+        assert frames == disk.read_range(4, 3)
+        assert extra == disk.read(11)
+        disk.write_request(0, [bytes(8)] * 3, 9, b"y" * 8)
+        assert disk.read(9) == b"y" * 8
+        assert disk.read_range(0, 3) == [bytes(8)] * 3
+
+    def test_peek_has_no_side_effects(self):
+        disk = self._disk(timing=DiskTimingModel())
+        disk.write(0, bytes(8))
+        before_time, before_events = disk.clock.now, len(disk.trace)
+        assert disk.peek(0) == bytes(8)
+        assert disk.peek(1) is None
+        assert disk.clock.now == before_time
+        assert len(disk.trace) == before_events
+
+    def test_initialised_locations(self):
+        disk = self._disk()
+        assert disk.initialised_locations() == 0
+        disk.write_range(0, [bytes(8)] * 5)
+        assert disk.initialised_locations() == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(StorageError):
+            DiskStore(0, 8)
+        with pytest.raises(StorageError):
+            DiskStore(4, 0)
+
+
+class TestAccessTrace:
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccessEvent("move", 0, 1)
+        with pytest.raises(ConfigurationError):
+            AccessEvent(READ, -1, 1)
+        with pytest.raises(ConfigurationError):
+            AccessEvent(READ, 0, 0)
+
+    def test_disabled_trace_records_nothing(self):
+        trace = AccessTrace(enabled=False)
+        trace.record(AccessEvent(READ, 0, 1))
+        assert len(trace) == 0
+
+    def test_location_counts(self):
+        trace = AccessTrace()
+        trace.record(AccessEvent(READ, 0, 3, 0))
+        trace.record(AccessEvent(READ, 2, 2, 1))
+        trace.record(AccessEvent(WRITE, 2, 1, 1))
+        reads = trace.location_read_counts()
+        assert reads[2] == 2 and reads[0] == 1 and reads[4] == 0
+        assert trace.location_write_counts()[2] == 1
+
+    def test_request_shapes(self):
+        trace = AccessTrace()
+        for request in range(3):
+            trace.record(AccessEvent(READ, request, 4, request))
+            trace.record(AccessEvent(READ, 10, 1, request))
+            trace.record(AccessEvent(WRITE, request, 4, request))
+            trace.record(AccessEvent(WRITE, 10, 1, request))
+        assert trace.request_shape(1) == [(READ, 4), (READ, 1), (WRITE, 4), (WRITE, 1)]
+        assert shapes_identical(trace, 0)
+        assert trace.num_requests() == 3
+
+    def test_shapes_differ_detected(self):
+        trace = AccessTrace()
+        trace.record(AccessEvent(READ, 0, 4, 0))
+        trace.record(AccessEvent(READ, 0, 5, 1))
+        assert not shapes_identical(trace, 0, 1)
+
+    def test_bytes_transferred(self):
+        trace = AccessTrace()
+        trace.record(AccessEvent(READ, 0, 3, 0))
+        trace.record(AccessEvent(WRITE, 0, 2, 0))
+        assert trace.bytes_transferred(100) == 500
+        with pytest.raises(ConfigurationError):
+            trace.bytes_transferred(0)
+
+    def test_summary_and_clear(self):
+        trace = AccessTrace()
+        trace.record(AccessEvent(READ, 0, 1, 0))
+        assert trace.summary()["reads"] == 1
+        trace.clear()
+        assert len(trace) == 0

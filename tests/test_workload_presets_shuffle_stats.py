@@ -1,0 +1,78 @@
+"""YCSB-style preset mixes + statistical tests of the oblivious shuffle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import chi_square_test
+from repro.crypto.rng import SecureRandom
+from repro.crypto.suite import CipherSuite
+from repro.errors import ConfigurationError
+from repro.shuffle.oblivious import ObliviousShuffler
+from repro.sim.clock import VirtualClock
+from repro.storage.disk import DiskStore
+from repro.storage.page import Page
+from repro.workload import WORKLOAD_PRESETS, preset_stream, replay_trace
+
+from tests.helpers import make_db
+
+
+class TestPresets:
+    def test_presets_cover_ycsb_letters(self):
+        assert set(WORKLOAD_PRESETS) == {"A", "B", "C", "D", "E"}
+        for mix in WORKLOAD_PRESETS.values():
+            assert abs(sum(mix) - 1.0) < 1e-12
+
+    def test_preset_c_is_read_only(self):
+        stream = preset_stream("C", 30, 200, SecureRandom(1))
+        assert all(op.kind == "query" for op in stream)
+
+    def test_preset_a_update_heavy(self):
+        stream = preset_stream("A", 30, 1000, SecureRandom(2))
+        updates = sum(1 for op in stream if op.kind == "update")
+        assert 0.4 < updates / len(stream) < 0.6
+
+    def test_preset_runs_against_database(self):
+        db = make_db(num_records=30, reserve_fraction=0.3, seed=901)
+        stream = preset_stream("E", 30, 80, SecureRandom(3))
+        counters = replay_trace(db, stream)
+        assert counters.get("query") > 0
+        db.consistency_check()
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            preset_stream("Z", 10, 5, SecureRandom(1))
+
+
+class TestShuffleUniformity:
+    def test_landing_positions_pass_chi_square(self):
+        """Where page 0 lands, across many seeds, must be uniform over the
+        n slots (the property Definition 1 inherits from setup)."""
+        n, rounds = 8, 640
+        counts = [0] * n
+        for seed in range(rounds):
+            suite = CipherSuite(b"x", backend="null", rng=SecureRandom(seed))
+            shuffler = ObliviousShuffler(suite, SecureRandom(10**6 + seed), 0)
+            disk = DiskStore(n, shuffler.tagged_frame_size,
+                             clock=VirtualClock())
+            layout = shuffler.shuffle([Page(i) for i in range(n)], disk)
+            counts[layout.index(0)] += 1
+        result = chi_square_test(counts, [1.0 / n] * n)
+        assert not result.rejects_at(0.001), (counts, result.p_value)
+
+    def test_pairwise_independence_coarse(self):
+        """Pages 0 and 1 should not land adjacently more often than chance."""
+        n, rounds = 8, 400
+        adjacent = 0
+        for seed in range(rounds):
+            suite = CipherSuite(b"x", backend="null",
+                                rng=SecureRandom(5000 + seed))
+            shuffler = ObliviousShuffler(suite, SecureRandom(9000 + seed), 0)
+            disk = DiskStore(n, shuffler.tagged_frame_size,
+                             clock=VirtualClock())
+            layout = shuffler.shuffle([Page(i) for i in range(n)], disk)
+            if abs(layout.index(0) - layout.index(1)) == 1:
+                adjacent += 1
+        # P(adjacent) = 2*(n-1)/(n*(n-1)) = 2/n = 0.25; allow wide noise band.
+        share = adjacent / rounds
+        assert 0.15 < share < 0.35, share
