@@ -32,11 +32,15 @@ from .errors import (
     CapacityError,
     ConfigurationError,
     CryptoError,
+    DegradedServiceError,
     PageDeletedError,
     PageNotFoundError,
     ProtocolError,
+    RecoveryError,
     ReproError,
     StorageError,
+    TransientChannelError,
+    TransientStorageError,
 )
 from .hardware.specs import IBM_4764, HardwareSpec
 
@@ -52,11 +56,15 @@ __all__ = [
     "CapacityError",
     "ConfigurationError",
     "CryptoError",
+    "DegradedServiceError",
     "PageDeletedError",
     "PageNotFoundError",
     "ProtocolError",
+    "RecoveryError",
     "ReproError",
     "StorageError",
+    "TransientChannelError",
+    "TransientStorageError",
     "IBM_4764",
     "HardwareSpec",
     "__version__",

@@ -76,6 +76,8 @@ class PirDatabase:
         enforce_memory_limit: bool = False,
         disk_factory=None,
         rollback_protection: bool = False,
+        journal=None,
+        read_retry=None,
     ) -> "PirDatabase":
         """Build, encrypt, permute and warm up a database from raw records.
 
@@ -91,6 +93,10 @@ class PirDatabase:
         ``rollback_protection=True`` wraps the store in a Merkle-tree
         freshness layer (detects a *malicious* server replaying stale
         frames — hardening beyond the paper's honest-but-curious model).
+        ``journal`` (e.g. :class:`repro.core.journal.MemoryJournal`)
+        enables crash-consistent write-back, and ``read_retry`` (a
+        :class:`repro.faults.retry.RetryPolicy`) retries transient or
+        unauthentic block reads with deterministic backoff.
         """
         if not records:
             raise ConfigurationError("records must be non-empty")
@@ -177,7 +183,9 @@ class PirDatabase:
             cop.page_map.set_cached(page.page_id, slot)
             cop.page_map.mark_deleted(page.page_id)
 
-        engine = RetrievalEngine(params, cop, disk)
+        engine = RetrievalEngine(
+            params, cop, disk, journal=journal, read_retry=read_retry
+        )
         return cls(params, cop, disk, engine)
 
     @staticmethod
@@ -227,6 +235,14 @@ class PirDatabase:
     def touch(self) -> None:
         """Issue a dummy request to keep the background reshuffle mixing."""
         self.engine.touch()
+
+    def recover(self):
+        """Repair a torn write-back after a crash (see engine ``recover``).
+
+        Idempotent and cheap when nothing was in flight; returns the
+        engine's :class:`~repro.core.engine.RecoveryReport`.
+        """
+        return self.engine.recover()
 
     def rotate_master_key(self, new_master_key: bytes) -> None:
         """Online key rotation, piggybacked on the continuous reshuffle.

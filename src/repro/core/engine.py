@@ -17,20 +17,52 @@ Four random disk accesses, ``2(k+1)`` frames over the link and through the
 crypto engine per request (Eq. 8), with *zero* dependence of the trace shape
 on the operation type or on cache hits — the property §4.3 sells for update
 privacy and the tests verify byte-for-byte on the trace.
+
+Crash consistency
+-----------------
+
+The request is internally structured as *compute → intend → apply*: all
+random choices, content edits and re-encryptions are computed first without
+touching any durable or trusted state; the complete post-state (frames,
+pageMap/cache delta, advanced pointers) is then optionally sealed into a
+write-ahead :mod:`intent journal <repro.core.journal>`; only then is it
+applied — trusted deltas, the k+1 frame write-back, pointer advance, journal
+clear, in that order.  Every apply step is idempotent and absolute, so
+:meth:`RetrievalEngine.recover` can roll a torn write-back forward (valid
+intent record) or declare the request never-happened (no/unauthentic
+record) after a crash at *any* individual step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from .journal import (
+    FLAG_DELETED,
+    FLAG_LIVE,
+    MAP_CACHED,
+    MAP_DISK,
+    WriteIntent,
+)
 from .params import SystemParameters
-from ..errors import CapacityError, ConfigurationError, PageNotFoundError
+from ..errors import (
+    AuthenticationError,
+    CapacityError,
+    ConfigurationError,
+    CryptoError,
+    PageNotFoundError,
+    RecoveryError,
+    StorageError,
+    TransientStorageError,
+)
+from ..faults.retry import RetryPolicy, retry_call
 from ..hardware.coprocessor import SecureCoprocessor
+from ..sim.metrics import CounterSet
 from ..storage.disk import DiskStore
 from ..storage.page import Page
 
-__all__ = ["RetrievalEngine", "RequestOutcome"]
+__all__ = ["RetrievalEngine", "RequestOutcome", "RecoveryReport"]
 
 _MAX_REJECTION_ROUNDS = 10_000_000
 
@@ -48,6 +80,28 @@ class RequestOutcome:
     elapsed: float
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`RetrievalEngine.recover` found and did.
+
+    ``action`` is one of:
+
+    ``"clean"``
+        No journal, or an empty journal slot — nothing was in flight.
+    ``"rolled_back"``
+        The journal held a torn/unauthentic record: the crash hit before
+        the intent became durable, so the request never happened.
+    ``"replayed"``
+        A valid record for the in-flight request was rolled forward.
+    ``"discarded_stale"``
+        The record described an already-committed request (the crash hit
+        between the write-back completing and the journal being cleared).
+    """
+
+    action: str
+    request_index: Optional[int] = None
+
+
 class RetrievalEngine:
     """Executes Figure 3 over a prepared coprocessor + disk pair.
 
@@ -55,6 +109,14 @@ class RetrievalEngine:
     location holds a frame, page map consistent) —
     :class:`repro.core.database.PirDatabase` is the friendly constructor
     that performs that setup.
+
+    ``journal`` (any object with ``write``/``read``/``clear``, see
+    :mod:`repro.core.journal`) enables crash-consistent write-back;
+    ``read_retry`` (a :class:`~repro.faults.retry.RetryPolicy`) retries
+    the block fetch on :class:`~repro.errors.TransientStorageError` and
+    performs bounded re-reads on :class:`~repro.errors.AuthenticationError`,
+    with backoff charged to the virtual clock and jitter drawn from a
+    spawned (seeded) RNG so faulty runs stay exactly reproducible.
     """
 
     def __init__(
@@ -62,6 +124,8 @@ class RetrievalEngine:
         params: SystemParameters,
         coprocessor: SecureCoprocessor,
         disk: DiskStore,
+        journal=None,
+        read_retry: Optional[RetryPolicy] = None,
     ):
         if disk.num_locations != params.num_locations:
             raise ConfigurationError("disk size does not match parameters")
@@ -72,6 +136,10 @@ class RetrievalEngine:
         self.params = params
         self.cop = coprocessor
         self.disk = disk
+        self.journal = journal
+        self.read_retry = read_retry
+        self._retry_rng = coprocessor.rng.spawn("engine-retry")
+        self.counters = CounterSet()
         self._next_block = 0
         self._request_count = 0
         self._rotation_requests_left: Optional[int] = None
@@ -136,6 +204,63 @@ class RetrievalEngine:
         """Requests until the legacy key can be dropped (None if no rotation)."""
         return self._rotation_requests_left
 
+    # -- crash recovery ----------------------------------------------------------
+
+    @property
+    def journal_pending(self) -> bool:
+        """True when the journal holds an intent record (recover() needed)."""
+        return self.journal is not None and self.journal.read() is not None
+
+    def recover(self) -> RecoveryReport:
+        """Repair a torn write-back after a crash; idempotent.
+
+        Call on restart (or after catching a simulated crash) before
+        serving requests.  Outcome semantics are documented on
+        :class:`RecoveryReport`.  Raises
+        :class:`~repro.errors.RecoveryError` when the journal describes a
+        request *later* than the trusted state expects — the trusted state
+        is older than the journal (e.g. restored from a stale snapshot)
+        and roll-forward would corrupt the database.
+        """
+        if self.journal is None:
+            return RecoveryReport("clean")
+        blob = self.journal.read()
+        if blob is None:
+            self.counters.increment("recovery.clean")
+            return RecoveryReport("clean")
+        try:
+            intent = WriteIntent.decode(self.cop.unseal_blob(blob))
+        except (CryptoError, StorageError):
+            # Torn or unauthentic record: the crash hit while the intent
+            # itself was being written, so no write-back ever started and
+            # no trusted state was mutated.  The request never happened.
+            self.journal.clear()
+            self.counters.increment("recovery.rolled_back")
+            return RecoveryReport("rolled_back")
+        if intent.request_index < self._request_count:
+            # Write-back committed; only the journal clear was lost.
+            self.journal.clear()
+            self.counters.increment("recovery.discarded_stale")
+            return RecoveryReport("discarded_stale", intent.request_index)
+        if intent.request_index > self._request_count:
+            raise RecoveryError(
+                f"journal describes request {intent.request_index} but the "
+                f"trusted state expects request {self._request_count}; the "
+                "restored state is older than the journal and cannot be "
+                "rolled forward"
+            )
+        if len(intent.frames) != self.params.block_size + 1:
+            raise RecoveryError(
+                f"intent record carries {len(intent.frames)} frames, "
+                f"expected {self.params.block_size + 1}"
+            )
+        self.disk.current_request = intent.request_index
+        self._apply_intent(intent)
+        self.journal.clear()
+        self.disk.current_request = -1
+        self.counters.increment("recovery.replayed")
+        return RecoveryReport("replayed", intent.request_index)
+
     # -- the unified request ---------------------------------------------------------
 
     def _execute(
@@ -151,13 +276,15 @@ class RetrievalEngine:
         k = self.params.block_size
         started = self.cop.clock.now
 
+        # ---- compute phase: no durable or trusted state is touched ----------
+
         request_index = self._request_count
-        self._request_count += 1
         self.disk.current_request = request_index
 
-        # The next block of k contiguous pages, round-robin (line 1).
+        # The next block of k contiguous pages, round-robin (line 1).  The
+        # pointer itself only advances at commit, so an aborted or crashed
+        # request leaves it untouched and a resend hits the same block.
         block_start = self._next_block * k
-        self._next_block = (self._next_block + 1) % self.params.num_blocks
 
         # Lines 2-9: decide the (k+1)-th page and capture a cached result.
         # Both depend only on the page map and cache, never on block
@@ -182,14 +309,10 @@ class RetrievalEngine:
             else:
                 extra_id = target_id  # line 9: p <- i
 
-        # Lines 1 and 10: read the block and page p from the disk.
+        # Lines 1, 10-11: read the block and page p, decrypt inside the
+        # boundary (with bounded retries when a policy is configured).
         extra_location = pm.disk_location(extra_id)
-        frames, extra_frame = self.disk.read_request(block_start, k, extra_location)
-
-        # Line 11: move k+1 frames across the link and decrypt them.
-        self.cop.charge_ingest(k + 1)
-        block: List[Page] = [self.cop.unseal(f) for f in frames]
-        block.append(self.cop.unseal(extra_frame))
+        block = self._fetch_block(block_start, k, extra_location)
 
         # Lines 12-16: locate the relocation target q within serverBlock.
         wants_fetched_target = (
@@ -201,13 +324,31 @@ class RetrievalEngine:
         else:
             q = k
 
-        # Apply §4.3 content edits to the target page wherever it lives.
+        # §4.3 content edits, computed as pending deltas (applied at commit).
+        cache_puts: List[Tuple[int, Page]] = []
+        flag_ops: List[Tuple[int, int]] = []
         if target_id is not None:
             if new_payload is not None:
-                self._rewrite_target(target_id, new_payload, revive,
-                                     cache_hit, block, q)
+                if cache_hit:
+                    slot = pm.lookup(target_id).position
+                    cache_puts.append(
+                        (slot, Page(target_id, new_payload, deleted=False))
+                    )
+                else:
+                    block[q] = Page(target_id, new_payload, deleted=False)
+                if revive:
+                    flag_ops.append((target_id, FLAG_LIVE))
             if deleting:
-                self._wipe_target(target_id, cache_hit, block)
+                if cache_hit:
+                    slot = pm.lookup(target_id).position
+                    cache_puts.append((slot, Page(target_id, b"", deleted=True)))
+                else:
+                    # The carcass stays encrypted wherever it is; only
+                    # metadata changes.
+                    for index, page in enumerate(block):
+                        if page.page_id == target_id:
+                            block[index] = page.mark_deleted()
+                flag_ops.append((target_id, FLAG_DELETED))
 
         # Lines 17-18: move the target to a uniform slot within the block.
         r = rng.randrange(k)
@@ -220,32 +361,48 @@ class RetrievalEngine:
             s = pm.lookup(target_id).position
         else:
             s = cache.victim_slot()
-        evicted = cache.put(s, block[r])
+        evicted = self._pending_cache_view(cache_puts, s)
+        if evicted is None:
+            evicted = cache.get(s)
         entering = block[r]
+        cache_puts.append((s, entering))
         block[r] = evicted
 
-        # Lines 21-22: re-encrypt with fresh nonces, write k+1 frames back.
+        # Lines 21-22: re-encrypt everything with fresh nonces.
         self.cop.charge_egress(k + 1)
-        self.disk.write_request(
-            block_start,
-            [self.cop.seal(p) for p in block[:k]],
-            extra_location,
-            self.cop.seal(block[k]),
+        sealed = [self.cop.seal(page) for page in block[:k]]
+        sealed.append(self.cop.seal(block[k]))
+
+        # Lines 23-25 as a pending delta for the three relocated pages.
+        map_ops = [
+            (entering.page_id, MAP_CACHED, s),
+            (block[r].page_id, MAP_DISK, block_start + r),
+            (block[q].page_id, MAP_DISK,
+             block_start + q if q < k else extra_location),
+        ]
+        rotation_left = self._rotation_requests_left
+        intent = WriteIntent(
+            request_index=request_index,
+            next_block=(self._next_block + 1) % self.params.num_blocks,
+            rotation_left=-1 if rotation_left is None else rotation_left - 1,
+            block_start=block_start,
+            extra_location=extra_location,
+            cache_puts=cache_puts,
+            flag_ops=flag_ops,
+            map_ops=map_ops,
+            frames=sealed,
         )
 
-        # Lines 23-25: update the page map for the three relocated pages.
-        pm.set_cached(entering.page_id, s)
-        pm.set_disk(block[r].page_id, block_start + r)
-        if q < k:
-            pm.set_disk(block[q].page_id, block_start + q)
-        else:
-            pm.set_disk(block[q].page_id, extra_location)
+        # ---- intend phase: make the post-state durable before applying it --
 
-        if self._rotation_requests_left is not None:
-            self._rotation_requests_left -= 1
-            if self._rotation_requests_left <= 0:
-                self.cop.finish_key_rotation()
-                self._rotation_requests_left = None
+        if self.journal is not None:
+            self.journal.write(self.cop.seal_blob(intent.encode()))
+
+        # ---- apply phase: idempotent, replayable from the intent record ----
+
+        self._apply_intent(intent)
+        if self.journal is not None:
+            self.journal.clear()
 
         self.disk.current_request = -1
         self.last_outcome = RequestOutcome(
@@ -265,6 +422,90 @@ class RetrievalEngine:
         if new_payload is not None:
             return result.with_payload(new_payload)
         return result
+
+    def _apply_intent(self, intent: WriteIntent) -> None:
+        """Commit an intent record; every step is idempotent.
+
+        Trusted deltas land first (they cannot fail), then the k+1-frame
+        write-back (the only crashable step), then the pointer advance that
+        marks the request committed.  ``recover()`` re-runs this whole
+        method safely: cache puts and map/flag ops write absolute values,
+        frames are rewritten verbatim, pointers are assigned not bumped.
+        """
+        pm = self.cop.page_map
+        cache = self.cop.cache
+        for slot, page in intent.cache_puts:
+            cache.put(slot, page)
+        for page_id, op in intent.flag_ops:
+            if op == FLAG_LIVE:
+                pm.mark_live(page_id)
+            else:
+                pm.mark_deleted(page_id)
+        for page_id, kind, position in intent.map_ops:
+            if kind == MAP_CACHED:
+                pm.set_cached(page_id, position)
+            else:
+                pm.set_disk(page_id, position)
+
+        k = self.params.block_size
+        self.disk.write_request(
+            intent.block_start,
+            intent.frames[:k],
+            intent.extra_location,
+            intent.frames[k],
+        )
+
+        self._next_block = intent.next_block
+        self._request_count = intent.request_index + 1
+        if intent.rotation_left < 0:
+            self._rotation_requests_left = None
+        elif intent.rotation_left == 0:
+            self.cop.finish_key_rotation()
+            self._rotation_requests_left = None
+        else:
+            self._rotation_requests_left = intent.rotation_left
+
+    def _fetch_block(
+        self, block_start: int, k: int, extra_location: int
+    ) -> List[Page]:
+        """Read + ingest + decrypt the k+1 frames, with optional retries.
+
+        A retry repeats the whole fetch (re-read, re-charge, re-decrypt) —
+        exactly what real hardware would do — and consumes only the
+        spawned retry RNG and the virtual clock, so seeded runs stay
+        byte-identical.
+        """
+
+        def attempt() -> List[Page]:
+            frames, extra_frame = self.disk.read_request(
+                block_start, k, extra_location
+            )
+            self.cop.charge_ingest(k + 1)
+            block = [self.cop.unseal(frame) for frame in frames]
+            block.append(self.cop.unseal(extra_frame))
+            return block
+
+        if self.read_retry is None:
+            return attempt()
+        return retry_call(
+            attempt,
+            self.read_retry,
+            self.cop.clock,
+            self._retry_rng,
+            retry_on=(TransientStorageError, AuthenticationError),
+            counters=self.counters,
+            counter="retries.read",
+        )
+
+    @staticmethod
+    def _pending_cache_view(
+        cache_puts: List[Tuple[int, Page]], slot: int
+    ) -> Optional[Page]:
+        """The page slot ``slot`` will hold once pending puts are applied."""
+        for pending_slot, page in reversed(cache_puts):
+            if pending_slot == slot:
+                return page
+        return None
 
     # -- helpers -------------------------------------------------------------------
 
@@ -324,33 +565,3 @@ class RetrievalEngine:
             "no disk-resident free page available for insertion; delete pages "
             "or provision a reserve_fraction at setup"
         )
-
-    def _rewrite_target(
-        self,
-        target_id: int,
-        payload: bytes,
-        revive: bool,
-        cache_hit: bool,
-        block: List[Page],
-        q: int,
-    ) -> None:
-        pm = self.cop.page_map
-        if cache_hit:
-            slot = pm.lookup(target_id).position
-            self.cop.cache.put(slot, Page(target_id, payload, deleted=False))
-        else:
-            block[q] = Page(target_id, payload, deleted=False)
-        if revive:
-            pm.mark_live(target_id)
-
-    def _wipe_target(self, target_id: int, cache_hit: bool, block: List[Page]) -> None:
-        pm = self.cop.page_map
-        if cache_hit:
-            slot = pm.lookup(target_id).position
-            self.cop.cache.put(slot, Page(target_id, b"", deleted=True))
-        else:
-            # The carcass stays encrypted wherever it is; only metadata changes.
-            for index, page in enumerate(block):
-                if page.page_id == target_id:
-                    block[index] = page.mark_deleted()
-        pm.mark_deleted(target_id)

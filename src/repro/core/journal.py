@@ -1,0 +1,267 @@
+"""Write-ahead intent journal for crash-consistent write-back.
+
+Figure 3's write-back rewrites k+1 disk frames *and* relocates three pages
+in the trusted ``pageMap``/``pageCache``.  A crash between any two of those
+steps leaves the untrusted disk inconsistent with the coprocessor's trusted
+state, silently destroying correctness (the map points at frames that were
+never written) and the privacy invariant (a repaired request would produce
+a trace no other request produces).
+
+The fix is the classical one: before mutating anything, the engine seals a
+single *intent record* — the complete post-state of the request (all k+1
+freshly encrypted frames with their locations, the pageMap delta, the cache
+delta, the advanced round-robin pointer) — into a journal slot.  The record
+is encrypted and MACd under the coprocessor's keys, so the host learns
+nothing from it (it already sees the same k+1 ciphertexts on the bus) and
+cannot forge or tear it undetectably.  Recovery is then a pure function of
+(journal, trusted state):
+
+* no record / unauthentic record → the write-back never began; the request
+  rolls back to "never happened" (the round-robin pointer did not advance,
+  so the client may simply resend);
+* valid record for the in-flight request → roll forward: re-apply every
+  delta and rewrite every frame (all idempotent), then clear the journal;
+* valid record for an already-committed request → stale; clear it.
+
+The journal slot conceptually lives in the coprocessor's battery-backed
+NVRAM or on host storage next to the page array; either way it is one
+bounded, constant-size write per request whose size depends only on public
+parameters (k, B) — it leaks nothing the disk trace does not already leak.
+
+:class:`MemoryJournal` models NVRAM for simulations; :class:`FileJournal`
+stores the record in a host file with atomic replace semantics for
+deployments and crash tests against real I/O.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, StorageError
+from ..sim.clock import VirtualClock
+from ..storage.page import Page
+from ..storage.timing import DiskTimingModel
+
+__all__ = [
+    "WriteIntent",
+    "MemoryJournal",
+    "FileJournal",
+    "MAP_CACHED",
+    "MAP_DISK",
+    "FLAG_LIVE",
+    "FLAG_DELETED",
+]
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+
+_MAGIC = b"RJN1"
+
+MAP_CACHED = 0
+MAP_DISK = 1
+FLAG_LIVE = 1
+FLAG_DELETED = 2
+
+
+@dataclass
+class WriteIntent:
+    """Complete redo record for one request's commit phase.
+
+    Everything needed to replay the request idempotently: absolute values
+    only (post-state pointers, full frame contents), never increments.
+    """
+
+    request_index: int
+    next_block: int
+    rotation_left: int  # -1 when no key rotation is in progress
+    block_start: int
+    extra_location: int
+    cache_puts: List[Tuple[int, Page]] = field(default_factory=list)
+    flag_ops: List[Tuple[int, int]] = field(default_factory=list)
+    map_ops: List[Tuple[int, int, int]] = field(default_factory=list)
+    frames: List[bytes] = field(default_factory=list)
+
+    # -- codec ---------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        parts: List[bytes] = [
+            _MAGIC,
+            _U64.pack(self.request_index),
+            _U64.pack(self.next_block),
+            _I64.pack(self.rotation_left),
+            _U64.pack(self.block_start),
+            _U64.pack(self.extra_location),
+        ]
+        parts.append(_U32.pack(len(self.cache_puts)))
+        for slot, page in self.cache_puts:
+            parts.append(_U64.pack(slot))
+            parts.append(_U64.pack(page.page_id))
+            parts.append(bytes([2 if page.deleted else 0]))
+            parts.append(_U32.pack(len(page.payload)))
+            parts.append(page.payload)
+        parts.append(_U32.pack(len(self.flag_ops)))
+        for page_id, op in self.flag_ops:
+            parts.append(_U64.pack(page_id))
+            parts.append(bytes([op]))
+        parts.append(_U32.pack(len(self.map_ops)))
+        for page_id, kind, position in self.map_ops:
+            parts.append(_U64.pack(page_id))
+            parts.append(bytes([kind]))
+            parts.append(_U64.pack(position))
+        parts.append(_U32.pack(len(self.frames)))
+        for frame in self.frames:
+            parts.append(_U32.pack(len(frame)))
+            parts.append(frame)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "WriteIntent":
+        if blob[:4] != _MAGIC:
+            raise StorageError("intent record has a bad magic number")
+        offset = 4
+
+        def take(fmt: struct.Struct) -> int:
+            nonlocal offset
+            value = fmt.unpack_from(blob, offset)[0]
+            offset += fmt.size
+            return value
+
+        def take_byte() -> int:
+            nonlocal offset
+            value = blob[offset]
+            offset += 1
+            return value
+
+        def take_bytes(length: int) -> bytes:
+            nonlocal offset
+            if offset + length > len(blob):
+                raise StorageError("intent record is truncated")
+            value = blob[offset : offset + length]
+            offset += length
+            return value
+
+        try:
+            intent = cls(
+                request_index=take(_U64),
+                next_block=take(_U64),
+                rotation_left=take(_I64),
+                block_start=take(_U64),
+                extra_location=take(_U64),
+            )
+            for _ in range(take(_U32)):
+                slot = take(_U64)
+                page_id = take(_U64)
+                flags = take_byte()
+                payload = take_bytes(take(_U32))
+                intent.cache_puts.append(
+                    (slot, Page(page_id, payload, deleted=bool(flags & 2)))
+                )
+            for _ in range(take(_U32)):
+                page_id = take(_U64)
+                intent.flag_ops.append((page_id, take_byte()))
+            for _ in range(take(_U32)):
+                page_id = take(_U64)
+                kind = take_byte()
+                intent.map_ops.append((page_id, kind, take(_U64)))
+            for _ in range(take(_U32)):
+                intent.frames.append(take_bytes(take(_U32)))
+        except (struct.error, IndexError) as exc:
+            raise StorageError(f"intent record is truncated: {exc}") from exc
+        if offset != len(blob):
+            raise StorageError("trailing bytes in intent record")
+        return intent
+
+
+class MemoryJournal:
+    """Single-slot intent journal modelling coprocessor NVRAM.
+
+    An optional clock/timing pair charges each journal write like one
+    contiguous disk write of the record's size, so cost experiments see the
+    real overhead of journaling instead of free durability.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        timing: Optional[DiskTimingModel] = None,
+    ):
+        self._blob: Optional[bytes] = None
+        self.clock = clock
+        self.timing = timing
+        self.writes = 0
+
+    def _charge(self, num_bytes: int) -> None:
+        if self.clock is not None and self.timing is not None:
+            self.clock.advance(self.timing.write_time(num_bytes))
+
+    def write(self, blob: bytes) -> None:
+        self._charge(len(blob))
+        self._blob = bytes(blob)
+        self.writes += 1
+
+    def read(self) -> Optional[bytes]:
+        return self._blob
+
+    def clear(self) -> None:
+        # Clearing is a small constant-size marker write, not a re-write of
+        # the record; charge one seek.
+        self._charge(0)
+        self._blob = None
+
+
+class FileJournal:
+    """Intent journal in a host file, replaced atomically on every write.
+
+    The write path is the standard crash-safe sequence: write a temp file,
+    flush, fsync (per the durability policy), rename over the slot.  A
+    record observed by :meth:`read` is therefore either absent, complete,
+    or — if the platform tore the rename, which POSIX forbids but tests
+    simulate — detectably unauthentic to the sealed-record MAC.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        clock: Optional[VirtualClock] = None,
+        timing: Optional[DiskTimingModel] = None,
+        fsync: bool = True,
+    ):
+        if not path:
+            raise ConfigurationError("journal path must be non-empty")
+        self.path = path
+        self.clock = clock
+        self.timing = timing
+        self.fsync = fsync
+        self.writes = 0
+
+    def _charge(self, num_bytes: int) -> None:
+        if self.clock is not None and self.timing is not None:
+            self.clock.advance(self.timing.write_time(num_bytes))
+
+    def write(self, blob: bytes) -> None:
+        self._charge(len(blob))
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        self.writes += 1
+
+    def read(self) -> Optional[bytes]:
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "rb") as handle:
+            return handle.read()
+
+    def clear(self) -> None:
+        self._charge(0)
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass

@@ -142,13 +142,22 @@ def save_snapshot(db: PirDatabase, directory: str) -> None:
 
     Refuses to snapshot during a key rotation: frames would be split across
     two keys while the sealed state can only name one.  Finish the rotation
-    (one scan period of requests) first.
+    (one scan period of requests) first.  Likewise refuses while the intent
+    journal holds a pending record: a snapshot taken mid-recovery would be
+    *older* than the journal, and restoring it next to that journal is
+    exactly the state :meth:`~repro.core.engine.RetrievalEngine.recover`
+    must reject.  Run ``db.recover()`` first.
     """
     if db.cop.rotation_in_progress:
         raise ConfigurationError(
             "cannot snapshot during a key rotation; drive "
             f"{db.engine.rotation_requests_remaining} more requests to finish "
             "it first"
+        )
+    if db.engine.journal_pending:
+        raise ConfigurationError(
+            "cannot snapshot with a pending intent-journal record; call "
+            "recover() first"
         )
     os.makedirs(directory, exist_ok=True)
     manifest = {
@@ -193,11 +202,16 @@ def load_snapshot(
     seed: Optional[int] = None,
     trace_enabled: bool = True,
     rollback_protection: bool = False,
+    journal=None,
+    read_retry=None,
 ) -> PirDatabase:
     """Reconstruct a database saved by :func:`save_snapshot`.
 
     The master key must match the one the database was created with; an
     incorrect key raises :class:`~repro.errors.AuthenticationError`.
+    ``journal``/``read_retry`` re-arm crash consistency and read retries on
+    the restored instance (journals are not part of the snapshot: a clean
+    snapshot implies an empty journal slot).
     """
     manifest_path = os.path.join(directory, _MANIFEST)
     if not os.path.exists(manifest_path):
@@ -275,14 +289,9 @@ def load_snapshot(
     # Cache must be filled before the engine's invariant checks; fill with
     # placeholders, then let the decoder install the real pages.
     cop.cache.fill([Page.dummy() for _ in range(params.cache_capacity)])
-    engine = RetrievalEngine.__new__(RetrievalEngine)
-    engine.params = params
-    engine.cop = cop
-    engine.disk = disk
-    engine._next_block = 0
-    engine._request_count = 0
-    engine._rotation_requests_left = None
-    engine.last_outcome = None
+    engine = RetrievalEngine(
+        params, cop, disk, journal=journal, read_retry=read_retry
+    )
     db = PirDatabase(params, cop, disk, engine)
     _decode_trusted_state(trusted, db)
     return db

@@ -4,6 +4,27 @@ All library errors derive from :class:`ReproError` so callers can catch a
 single base class.  Subsystems raise the most specific subclass available;
 nothing in the library raises bare ``Exception`` or ``ValueError`` for
 conditions a caller is expected to handle.
+
+Hierarchy::
+
+    ReproError
+    ├── ConfigurationError        invalid parameter combination
+    ├── CryptoError               cryptographic operation failed
+    │   └── AuthenticationError   MAC / freshness verification failed
+    ├── StorageError              untrusted page store rejected an operation
+    │   ├── PageNotFoundError     logical page id does not exist
+    │   │   └── PageDeletedError  page exists but is marked deleted
+    │   └── TransientStorageError I/O fault expected to succeed on retry
+    ├── CapacityError             fixed-capacity structure is full
+    ├── ProtocolError             two-party / client protocol violation
+    │   └── TransientChannelError message lost or timed out; retryable
+    ├── RecoveryError             crash recovery cannot restore consistency
+    ├── DegradedServiceError      service refusing work in a degraded state
+    └── IndexError_               paged index structure inconsistency
+
+Transient errors (``TransientStorageError``, ``TransientChannelError``) are
+the retry layer's contract: anything else raised by storage or the channel
+is treated as permanent and propagates immediately.
 """
 
 from __future__ import annotations
@@ -48,12 +69,60 @@ class PageDeletedError(PageNotFoundError):
     """The requested logical page exists in the map but is marked deleted."""
 
 
+class TransientStorageError(StorageError):
+    """A disk operation failed in a way that is expected to clear on retry.
+
+    Models the recoverable half of real storage failure modes — a timed-out
+    SCSI command, a dropped DMA transfer, an EINTR'd ``pread`` — as opposed
+    to the hard rejections :class:`StorageError` covers (bad location,
+    wrong frame size).  The engine's and client's retry layers only ever
+    retry on this class (plus :class:`AuthenticationError` for bounded
+    re-reads); everything else is permanent.
+    """
+
+
 class CapacityError(ReproError):
     """A fixed-capacity structure (cache, secure memory, block) is full."""
 
 
 class ProtocolError(ReproError):
     """Two-party protocol violation: unexpected message type or framing."""
+
+
+class TransientChannelError(ProtocolError):
+    """A network message was lost, duplicated away, or timed out.
+
+    The channel-level analogue of :class:`TransientStorageError`: the
+    request may be retried safely because every retrieval request is
+    self-contained (the engine's round-robin pointer only advances once
+    the request commits).
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent state.
+
+    Raised by :meth:`repro.core.engine.RetrievalEngine.recover` when the
+    intent journal and the trusted state disagree in a way roll-forward
+    cannot fix — e.g. the journal describes a request *later* than the one
+    the restored trusted state is expecting, meaning the snapshot predates
+    the journal and the write-back cannot be replayed safely.
+    """
+
+
+class DegradedServiceError(ReproError):
+    """The service is refusing work because it is in a degraded/failed state.
+
+    Carried to clients as a :class:`repro.service.protocol.Refused` reply
+    whose ``retry_after`` hint tells them when to try again; raised locally
+    by :class:`repro.service.frontend.ServiceClient` once its retry budget
+    is exhausted.  ``retry_after`` is the suggested wait in (virtual)
+    seconds; ``0.0`` means "immediately retryable".
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class IndexError_(ReproError):

@@ -1,0 +1,61 @@
+"""Fault injection, retry, and crash-testing harness.
+
+The production posture of the stack: every component that touches the
+untrusted world (disk, journal, network channel) can be wrapped in a
+deterministic fault-injecting shim, and the layers above carry retry,
+journaling and degradation machinery that the tests drive *through* those
+shims.  Seeded end to end — same seed, same plan, same trace.
+
+Quickstart::
+
+    from repro.faults import (FaultInjector, FaultyDiskStore,
+                              crash_after_writes)
+
+    injector = FaultInjector(seed=7, plans=[crash_after_writes(12)])
+    db = PirDatabase.create(records, cache_capacity=8, journal=journal,
+                            disk_factory=lambda *a: FaultyDiskStore(
+                                DiskStore(*a), injector))
+"""
+
+from .injector import (
+    SITE_CHANNEL,
+    SITE_DISK_READ,
+    SITE_DISK_WRITE,
+    SITE_JOURNAL_WRITE,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    corrupt_reads,
+    crash_after_writes,
+    delay_messages,
+    drop_messages,
+    duplicate_messages,
+    transient_reads,
+    transient_writes,
+)
+from .retry import RetryPolicy, retry_call
+from .wrappers import FaultyDiskStore, FaultyJournal, FlakyChannel
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultDecision",
+    "SimulatedCrash",
+    "FaultyDiskStore",
+    "FaultyJournal",
+    "FlakyChannel",
+    "RetryPolicy",
+    "retry_call",
+    "SITE_DISK_READ",
+    "SITE_DISK_WRITE",
+    "SITE_JOURNAL_WRITE",
+    "SITE_CHANNEL",
+    "transient_reads",
+    "transient_writes",
+    "corrupt_reads",
+    "crash_after_writes",
+    "drop_messages",
+    "delay_messages",
+    "duplicate_messages",
+]

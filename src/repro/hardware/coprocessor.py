@@ -150,6 +150,22 @@ class SecureCoprocessor:
                 raise
             return Page.decode(self._legacy_suite.decrypt_page(frame))
 
+    def seal_blob(self, data: bytes) -> bytes:
+        """Encrypt + MAC an arbitrary trusted blob (e.g. an intent record)."""
+        return self.suite.encrypt_page(data)
+
+    def unseal_blob(self, blob: bytes) -> bytes:
+        """Decrypt + authenticate a blob sealed by :meth:`seal_blob`.
+
+        Accepts the legacy key during a rotation, like :meth:`unseal`.
+        """
+        try:
+            return self.suite.decrypt_page(blob)
+        except AuthenticationError:
+            if self._legacy_suite is None:
+                raise
+            return self._legacy_suite.decrypt_page(blob)
+
     # -- timing charges (link + crypto engine) -----------------------------------
 
     def charge_ingest(self, num_frames: int) -> None:

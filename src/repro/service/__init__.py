@@ -1,6 +1,14 @@
 """Three-party query service: clients <-> secure hardware over SSL (Fig. 1)."""
 
 from .frontend import QueryFrontend, ServiceClient
+from .health import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    HealthMonitor,
+    Refusal,
+    classify,
+)
 from .protocol import (
     Delete,
     Insert,
@@ -16,6 +24,12 @@ from .protocol import (
 __all__ = [
     "QueryFrontend",
     "ServiceClient",
+    "HealthMonitor",
+    "Refusal",
+    "classify",
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
     "Delete",
     "Insert",
     "Ok",

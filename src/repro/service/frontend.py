@@ -7,6 +7,14 @@ coprocessor and observes only the disk trace plus message timing.
 
 Each connected client gets its own session keys (standing in for a TLS
 handshake), so clients cannot read each other's traffic either.
+
+Degradation contract: every error surfaces to the client as a
+:class:`~repro.service.protocol.Refused` reply with a deterministic
+machine-readable code (see :func:`repro.service.health.classify`) and,
+when the refusal is retryable, a retry-after hint.  Storage/crypto faults
+feed the frontend's :class:`~repro.service.health.HealthMonitor`; once it
+trips to *failed* the frontend sheds all load without touching the engine
+until :meth:`QueryFrontend.recover` has repaired the store.
 """
 
 from __future__ import annotations
@@ -14,16 +22,22 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from . import protocol
+from .health import (
+    SEVERITY_FATAL,
+    SEVERITY_FAULT,
+    HealthMonitor,
+    classify,
+)
 from ..core.database import PirDatabase
 from ..crypto.suite import CipherSuite
 from ..errors import (
-    CapacityError,
     ConfigurationError,
-    PageDeletedError,
-    PageNotFoundError,
+    DegradedServiceError,
     ProtocolError,
     ReproError,
+    TransientChannelError,
 )
+from ..faults.retry import RetryPolicy
 from ..sim.clock import VirtualClock
 from ..sim.metrics import CounterSet, LatencySeries
 from ..twoparty.channel import SimulatedChannel
@@ -34,11 +48,20 @@ __all__ = ["QueryFrontend", "ServiceClient"]
 class QueryFrontend:
     """Session manager + request dispatcher inside the coprocessor."""
 
-    def __init__(self, database: PirDatabase):
+    def __init__(
+        self,
+        database: PirDatabase,
+        health: Optional[HealthMonitor] = None,
+    ):
         self.database = database
         self._sessions: Dict[int, CipherSuite] = {}
         self._next_session = 1
         self.counters = CounterSet()
+        self.health = (
+            health
+            if health is not None
+            else HealthMonitor(database.clock, counters=self.counters)
+        )
 
     # -- session management ----------------------------------------------------
 
@@ -67,6 +90,20 @@ class QueryFrontend:
     def close_session(self, session_id: int) -> None:
         self._sessions.pop(session_id, None)
 
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self):
+        """Run engine crash recovery and return the frontend to service.
+
+        Returns the engine's :class:`~repro.core.engine.RecoveryReport`.
+        If recovery itself fails the health state stays *failed* and the
+        exception propagates to the operator.
+        """
+        report = self.database.recover()
+        self.health.mark_recovered()
+        self.counters.increment("recoveries")
+        return report
+
     # -- request dispatch ----------------------------------------------------------
 
     def serve(self, session_id: int, sealed_request: bytes) -> bytes:
@@ -76,28 +113,49 @@ class QueryFrontend:
             request = protocol.decode_client_message(
                 suite.decrypt_page(sealed_request)
             )
-            reply = self._dispatch(request)
         except ReproError as exc:
-            reply = protocol.Refused(f"{type(exc).__name__}: {exc}")
+            # A request that cannot even be opened is the client's problem
+            # (wrong key, garbage bytes); it never reaches the engine and
+            # never counts against service health.
+            reply = self._refusal_for(exc, affects_health=False)
+        else:
+            try:
+                self.health.check()
+                reply = self._dispatch(request)
+                self.health.record_success()
+            except ReproError as exc:
+                reply = self._refusal_for(exc)
         self.counters.increment("requests")
         return suite.encrypt_page(protocol.encode_client_message(reply))
+
+    def _refusal_for(
+        self, exc: ReproError, affects_health: bool = True
+    ) -> protocol.Refused:
+        refusal = classify(exc)
+        if affects_health and refusal.severity in (SEVERITY_FAULT,
+                                                   SEVERITY_FATAL):
+            self.health.record_fault(fatal=refusal.severity == SEVERITY_FATAL)
+        self.counters.increment(f"refused.{refusal.code}")
+        if isinstance(exc, DegradedServiceError):
+            retry_after = exc.retry_after
+        elif refusal.retryable:
+            retry_after = self.health.retry_after
+        else:
+            retry_after = -1.0
+        return protocol.Refused(
+            f"{type(exc).__name__}: {exc}", refusal.code, retry_after
+        )
 
     def _dispatch(self, request: protocol.ClientMessage) -> protocol.ClientMessage:
         db = self.database
         if isinstance(request, protocol.Query):
-            try:
-                payload = db.query(request.page_id)
-            except (PageDeletedError, PageNotFoundError) as exc:
-                return protocol.Refused(f"{type(exc).__name__}: {exc}")
+            payload = db.query(request.page_id)
             return protocol.Result(request.page_id, payload)
         if isinstance(request, protocol.Update):
             db.update(request.page_id, request.payload)
             return protocol.Ok()
         if isinstance(request, protocol.Insert):
-            try:
-                new_id = db.insert(request.payload)
-            except CapacityError as exc:
-                return protocol.Refused(f"CapacityError: {exc}")
+            new_id = db.insert(request.payload)
             return protocol.Result(new_id, request.payload)
         if isinstance(request, protocol.Delete):
             db.delete(request.page_id)
@@ -108,7 +166,16 @@ class QueryFrontend:
 
 
 class ServiceClient:
-    """A client of the three-party service, talking over its own channel."""
+    """A client of the three-party service, talking over its own channel.
+
+    With a :class:`~repro.faults.retry.RetryPolicy`, the client retries
+    transient channel faults (lost/timed-out messages) and retryable
+    refusals, honouring the server's retry-after hint as a floor under its
+    own exponential backoff.  Backoff time advances the shared virtual
+    clock and jitter comes from a spawned seeded RNG, so retried runs stay
+    deterministic.  ``channel_wrapper`` interposes on the outgoing channel
+    — e.g. ``lambda ch: FlakyChannel(ch, injector)`` for fault drills.
+    """
 
     def __init__(
         self,
@@ -116,6 +183,8 @@ class ServiceClient:
         rtt: float = 0.02,
         bandwidth: float = 10e6,
         clock: Optional[VirtualClock] = None,
+        retry: Optional[RetryPolicy] = None,
+        channel_wrapper=None,
     ):
         self.frontend = frontend
         self.session_id = frontend.open_session()
@@ -126,17 +195,46 @@ class ServiceClient:
             rtt=rtt,
             bandwidth=bandwidth,
         )
+        if channel_wrapper is not None:
+            self.channel = channel_wrapper(self.channel)
+        self.retry = retry
+        self._retry_rng = frontend.database.cop.rng.spawn(
+            f"client-retry-{self.session_id}"
+        )
+        self.counters = CounterSet()
         self.latencies = LatencySeries()
 
-    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+    def _call_once(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
         sealed = self._suite.encrypt_page(protocol.encode_client_message(message))
         started = self.channel.clock.now
         sealed_reply = self.channel.call(sealed)
         self.latencies.record(self.channel.clock.now - started)
         reply = protocol.decode_client_message(self._suite.decrypt_page(sealed_reply))
         if isinstance(reply, protocol.Refused):
+            if self.retry is not None and reply.retryable:
+                raise DegradedServiceError(
+                    f"request refused: {reply.reason}",
+                    retry_after=reply.retry_after,
+                )
             raise ConfigurationError(f"request refused: {reply.reason}")
         return reply
+
+    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+        if self.retry is None:
+            return self._call_once(message)
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(message)
+            except (TransientChannelError, DegradedServiceError) as exc:
+                if attempt + 1 >= self.retry.max_attempts:
+                    raise
+                hint = max(getattr(exc, "retry_after", 0.0), 0.0)
+                delay = max(self.retry.delay_for(attempt, self._retry_rng),
+                            hint)
+                self.channel.clock.advance(delay)
+                self.counters.increment("retries")
+                attempt += 1
 
     def query(self, page_id: int) -> bytes:
         reply = self._call(protocol.Query(page_id))

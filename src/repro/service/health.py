@@ -1,0 +1,190 @@
+"""Service health tracking and graceful degradation.
+
+Two pieces:
+
+* :func:`classify` maps every :class:`~repro.errors.ReproError` subclass to
+  a deterministic :class:`Refusal` — a stable machine-readable code, a
+  retryability flag, and a severity saying how the fault affects service
+  health.  Classification walks the exception's MRO, so new subclasses
+  automatically inherit their parent's refusal behaviour until given an
+  entry of their own.
+
+* :class:`HealthMonitor` is the frontend's state machine::
+
+      healthy ──(degrade_after consecutive faults)──▶ degraded
+      degraded ──(success)──▶ healthy
+      degraded ──(fail_after consecutive faults)──▶ failed
+      any ──(fatal fault, e.g. RecoveryError)──▶ failed
+      failed ──(mark_recovered(), operator/recovery action)──▶ healthy
+
+  In the *degraded* state the service keeps working but its refusals carry
+  a growing retry-after hint so well-behaved clients back off.  In the
+  *failed* state it sheds all load with ``Refused(code="unavailable")``
+  without touching the engine — protecting a possibly-inconsistent store
+  from further writes until ``recover()`` has run.
+
+Everything is deterministic: transitions depend only on the observed
+fault/success sequence, and hints grow linearly with the fault streak, so
+seeded fault runs produce byte-identical refusal streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import (
+    AuthenticationError,
+    CapacityError,
+    ConfigurationError,
+    CryptoError,
+    DegradedServiceError,
+    IndexError_,
+    PageDeletedError,
+    PageNotFoundError,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    StorageError,
+    TransientChannelError,
+    TransientStorageError,
+)
+from ..sim.clock import VirtualClock
+from ..sim.metrics import CounterSet
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "FAILED",
+    "SEVERITY_CLIENT",
+    "SEVERITY_FAULT",
+    "SEVERITY_FATAL",
+    "Refusal",
+    "classify",
+    "HealthMonitor",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+# How a refused request affects service health: client-caused refusals are
+# the service working as intended; faults feed the degradation streak;
+# fatal errors take the service down immediately.
+SEVERITY_CLIENT = "client"
+SEVERITY_FAULT = "fault"
+SEVERITY_FATAL = "fatal"
+
+
+@dataclass(frozen=True)
+class Refusal:
+    """Deterministic refusal descriptor for one error class."""
+
+    code: str
+    retryable: bool
+    severity: str
+
+
+# Most-derived classes first is not required — lookup walks the *instance's*
+# MRO — but keep the table readable by hierarchy anyway.
+_REFUSALS = {
+    PageDeletedError: Refusal("deleted", False, SEVERITY_CLIENT),
+    PageNotFoundError: Refusal("not-found", False, SEVERITY_CLIENT),
+    TransientStorageError: Refusal("transient-storage", True, SEVERITY_FAULT),
+    StorageError: Refusal("storage", False, SEVERITY_FAULT),
+    AuthenticationError: Refusal("auth-failure", False, SEVERITY_FAULT),
+    CryptoError: Refusal("crypto", False, SEVERITY_FAULT),
+    TransientChannelError: Refusal("transient-channel", True, SEVERITY_FAULT),
+    ProtocolError: Refusal("protocol", False, SEVERITY_CLIENT),
+    ConfigurationError: Refusal("bad-request", False, SEVERITY_CLIENT),
+    CapacityError: Refusal("capacity", False, SEVERITY_CLIENT),
+    RecoveryError: Refusal("recovery-failed", False, SEVERITY_FATAL),
+    DegradedServiceError: Refusal("unavailable", True, SEVERITY_CLIENT),
+    IndexError_: Refusal("index", False, SEVERITY_FAULT),
+    ReproError: Refusal("internal", False, SEVERITY_FAULT),
+}
+
+
+def classify(exc: BaseException) -> Refusal:
+    """The deterministic refusal descriptor for any library error.
+
+    Every :class:`ReproError` subclass resolves to exactly one entry (its
+    own, or the nearest ancestor's); non-library exceptions classify as
+    ``internal`` so the frontend never leaks a raw traceback to a client.
+    """
+    for klass in type(exc).__mro__:
+        refusal = _REFUSALS.get(klass)
+        if refusal is not None:
+            return refusal
+    return _REFUSALS[ReproError]
+
+
+class HealthMonitor:
+    """Consecutive-fault health state machine (see module docstring).
+
+    ``retry_hint`` is the base retry-after suggestion; the advertised hint
+    grows linearly with the current fault streak, capped at ``max_hint``.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        degrade_after: int = 3,
+        fail_after: int = 8,
+        retry_hint: float = 0.05,
+        max_hint: float = 5.0,
+        counters: Optional[CounterSet] = None,
+    ):
+        if degrade_after < 1 or fail_after < degrade_after:
+            raise ConfigurationError(
+                "need 1 <= degrade_after <= fail_after"
+            )
+        self.clock = clock
+        self.degrade_after = degrade_after
+        self.fail_after = fail_after
+        self.retry_hint = retry_hint
+        self.max_hint = max_hint
+        self.counters = counters if counters is not None else CounterSet()
+        self.state = HEALTHY
+        self._streak = 0
+
+    @property
+    def fault_streak(self) -> int:
+        return self._streak
+
+    @property
+    def retry_after(self) -> float:
+        """Suggested client backoff given the current fault streak."""
+        return min(self.retry_hint * max(1, self._streak), self.max_hint)
+
+    def check(self) -> None:
+        """Admission control: raise instead of touching a failed engine."""
+        if self.state == FAILED:
+            raise DegradedServiceError(
+                "service is failed pending recovery",
+                retry_after=self.retry_after,
+            )
+
+    def record_success(self) -> None:
+        self._streak = 0
+        if self.state == DEGRADED:
+            self.state = HEALTHY
+            self.counters.increment("health.recovered")
+
+    def record_fault(self, fatal: bool = False) -> None:
+        self._streak += 1
+        self.counters.increment("health.faults")
+        if fatal or self._streak >= self.fail_after:
+            if self.state != FAILED:
+                self.counters.increment("health.failed")
+            self.state = FAILED
+        elif self.state == HEALTHY and self._streak >= self.degrade_after:
+            self.state = DEGRADED
+            self.counters.increment("health.degraded")
+
+    def mark_recovered(self) -> None:
+        """Operator/recovery acknowledgement: return to service."""
+        self._streak = 0
+        if self.state != HEALTHY:
+            self.counters.increment("health.recovered")
+        self.state = HEALTHY

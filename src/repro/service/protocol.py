@@ -17,8 +17,15 @@ opcode    message     body
 0x13      DELETE      u64 page_id
 0x20      RESULT      u64 page_id, u32 len, payload
 0x21      OK          (empty)
-0x2F      REFUSED     u32 len, utf-8 reason
+0x2F      REFUSED     u32 len, utf-8 reason,
+                      u32 len, utf-8 code, f64 retry_after
 ========  ==========  ===========================================
+
+REFUSED carries a machine-readable ``code`` (a stable kebab-case slug per
+error class, see :mod:`repro.service.health`) next to the display-text
+reason, plus a ``retry_after`` hint in seconds (negative = no hint).  A
+legacy REFUSED body that ends after the reason decodes with the defaults,
+so old peers interoperate.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ __all__ = [
 
 _U64 = struct.Struct(">Q")
 _U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
 
 _OP_QUERY = 0x10
 _OP_UPDATE = 0x11
@@ -87,7 +95,20 @@ class Ok:
 
 @dataclass(frozen=True)
 class Refused:
+    """The service declined the request.
+
+    ``code`` is a stable machine-readable slug (empty for legacy peers);
+    ``retry_after`` suggests how long to back off before retrying, in
+    seconds — negative means the refusal is not retryable / no hint.
+    """
+
     reason: str
+    code: str = ""
+    retry_after: float = -1.0
+
+    @property
+    def retryable(self) -> bool:
+        return self.retry_after >= 0.0
 
 
 ClientMessage = Union[Query, Update, Insert, Delete, Result, Ok, Refused]
@@ -110,8 +131,12 @@ def encode_client_message(message: ClientMessage) -> bytes:
     if isinstance(message, Ok):
         return bytes([_OP_OK])
     if isinstance(message, Refused):
-        body = message.reason.encode("utf-8")
-        return bytes([_OP_REFUSED]) + _U32.pack(len(body)) + body
+        reason = message.reason.encode("utf-8")
+        code = message.code.encode("utf-8")
+        return (bytes([_OP_REFUSED])
+                + _U32.pack(len(reason)) + reason
+                + _U32.pack(len(code)) + code
+                + _F64.pack(message.retry_after))
     raise ProtocolError(f"cannot encode {type(message).__name__}")
 
 
@@ -156,8 +181,25 @@ def _decode_client_message(buffer: bytes) -> ClientMessage:
             raise ProtocolError("bad OK length")
         return Ok()
     if opcode == _OP_REFUSED:
-        body = _take_payload(buffer, 1)
-        # The reason is display text; tolerate mangled bytes rather than
-        # letting a corrupted reply crash the client.
-        return Refused(body.decode("utf-8", errors="replace"))
+        return _decode_refused(buffer)
     raise ProtocolError(f"unknown client opcode 0x{opcode:02x}")
+
+
+def _decode_refused(buffer: bytes) -> Refused:
+    length = _U32.unpack_from(buffer, 1)[0]
+    offset = 5 + length
+    if offset > len(buffer):
+        raise ProtocolError("bad REFUSED length")
+    # The reason is display text; tolerate mangled bytes rather than
+    # letting a corrupted reply crash the client.
+    reason = buffer[5:offset].decode("utf-8", errors="replace")
+    if offset == len(buffer):
+        return Refused(reason)  # legacy form: reason only
+    code_length = _U32.unpack_from(buffer, offset)[0]
+    offset += 4
+    if offset + code_length + _F64.size != len(buffer):
+        raise ProtocolError("bad REFUSED length")
+    code = buffer[offset : offset + code_length].decode("utf-8",
+                                                        errors="replace")
+    retry_after = _F64.unpack_from(buffer, offset + code_length)[0]
+    return Refused(reason, code, retry_after)

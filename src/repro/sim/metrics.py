@@ -113,5 +113,15 @@ class CounterSet:
     def as_dict(self) -> Dict[str, int]:
         return dict(self._counts)
 
+    def merge(self, other: "CounterSet", prefix: str = "") -> None:
+        """Fold another counter set into this one, optionally namespaced.
+
+        Used to aggregate per-component fault/retry/health counters (engine,
+        injector, frontend, client) into one report:
+        ``totals.merge(engine.counters, prefix="engine.")``.
+        """
+        for name, amount in other.as_dict().items():
+            self.increment(prefix + name, amount)
+
     def reset(self) -> None:
         self._counts.clear()

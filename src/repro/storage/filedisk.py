@@ -11,6 +11,12 @@ as wall-clock time, which the micro-benchmarks measure separately.  An
 uninitialised location is all zero bytes, which can never be a valid frame
 (the MAC check fails), so reads of never-written locations surface as
 :class:`~repro.errors.StorageError` here just like the in-memory store.
+
+Durability: a configurable fsync policy trades write latency against the
+window of frames an OS crash can lose — the intent journal makes either
+choice *consistent* (a torn write-back is rolled forward from the journal),
+the policy only bounds how much committed work a power cut may force the
+journal to replay.
 """
 
 from __future__ import annotations
@@ -21,10 +27,16 @@ from typing import List, Optional, Sequence
 from .disk import DiskStore
 from .timing import DiskTimingModel
 from .trace import READ, WRITE, AccessEvent, AccessTrace
-from ..errors import StorageError
+from ..errors import ConfigurationError, StorageError
 from ..sim.clock import VirtualClock
 
-__all__ = ["FileDiskStore"]
+__all__ = ["FileDiskStore", "SYNC_ALWAYS", "SYNC_ON_FLUSH", "SYNC_NEVER"]
+
+SYNC_ALWAYS = "always"      # fsync after every write_range (safest, slowest)
+SYNC_ON_FLUSH = "on-flush"  # fsync only in flush()/close() (the default)
+SYNC_NEVER = "never"        # never fsync; OS decides (simulation/benchmarks)
+
+_SYNC_POLICIES = (SYNC_ALWAYS, SYNC_ON_FLUSH, SYNC_NEVER)
 
 
 class FileDiskStore(DiskStore):
@@ -38,10 +50,17 @@ class FileDiskStore(DiskStore):
         timing: Optional[DiskTimingModel] = None,
         clock: Optional[VirtualClock] = None,
         trace: Optional[AccessTrace] = None,
+        sync_policy: str = SYNC_ON_FLUSH,
     ):
         super().__init__(num_locations, frame_size, timing, clock, trace)
+        if sync_policy not in _SYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown sync_policy {sync_policy!r}; "
+                f"expected one of {_SYNC_POLICIES}"
+            )
         self._frames = []  # type: ignore[assignment]  # unused by this subclass
         self.path = path
+        self.sync_policy = sync_policy
         self._written = bytearray((num_locations + 7) // 8)
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
@@ -85,6 +104,9 @@ class FileDiskStore(DiskStore):
         self.clock.advance(self.timing.write_time(len(frames) * self.frame_size))
         self._file.seek(location * self.frame_size)
         self._file.write(b"".join(frames))
+        if self.sync_policy == SYNC_ALWAYS:
+            self._file.flush()
+            os.fsync(self._file.fileno())
         for offset in range(len(frames)):
             self._mark_written(location + offset)
         self.trace.record(
@@ -108,13 +130,23 @@ class FileDiskStore(DiskStore):
     # -- lifecycle ---------------------------------------------------------------
 
     def flush(self) -> None:
+        """Push buffered frames down; fsync unless the policy says never."""
         self._file.flush()
-        os.fsync(self._file.fileno())
+        if self.sync_policy != SYNC_NEVER:
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        """Durably close the store; idempotent and crash-safe.
+
+        Flushes (and fsyncs, per the policy) before closing, so a clean
+        shutdown never leaves frames only in userspace buffers.  Safe to
+        call any number of times, including after a failed close: the
+        handle is only marked closed once the OS confirms it.
+        """
+        if self._file.closed:
+            return
+        self.flush()
+        self._file.close()
 
     def __enter__(self) -> "FileDiskStore":
         return self

@@ -305,14 +305,7 @@ class DataOwner:
         channel = channel_factory(clock, cop.frame_size, params.num_locations)
         remote = RemoteDisk(channel, params.num_locations, cop.frame_size)
         cop.cache.fill([Page.dummy() for _ in range(params.cache_capacity)])
-        engine = RetrievalEngine.__new__(RetrievalEngine)
-        engine.params = params
-        engine.cop = cop
-        engine.disk = remote
-        engine._next_block = 0
-        engine._request_count = 0
-        engine._rotation_requests_left = None
-        engine.last_outcome = None
+        engine = RetrievalEngine(params, cop, remote)
         owner = cls(params, cop, remote, engine)
         _decode_trusted_state(trusted, owner)
         return owner

@@ -1,0 +1,421 @@
+"""Graceful degradation: refusal codes, health state machine, client retry.
+
+Satellite guarantee: *every* :class:`~repro.errors.ReproError` subclass —
+including ones defined after this test was written — maps through
+:func:`repro.service.health.classify` and the frontend to a deterministic,
+machine-readable ``Refused`` code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AuthenticationError,
+    CapacityError,
+    ConfigurationError,
+    CryptoError,
+    DegradedServiceError,
+    PageDeletedError,
+    PageNotFoundError,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    StorageError,
+    TransientChannelError,
+    TransientStorageError,
+)
+from repro.faults import (
+    FaultInjector,
+    FlakyChannel,
+    drop_messages,
+)
+from repro.faults.retry import RetryPolicy
+from repro.service import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    HealthMonitor,
+    QueryFrontend,
+    ServiceClient,
+    classify,
+    protocol,
+)
+
+from tests.helpers import make_db
+
+
+def all_repro_error_classes():
+    """Every ReproError subclass, discovered recursively."""
+    found = []
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        found.append(cls)
+        stack.extend(cls.__subclasses__())
+    return sorted(set(found), key=lambda c: c.__name__)
+
+
+def make_frontend(**db_options):
+    db = make_db(num_records=20, cache_capacity=6, seed=5, **db_options)
+    return QueryFrontend(db)
+
+
+def serve_query(frontend, session_id, page_id=1):
+    suite = frontend.session_suite(session_id)
+    sealed = suite.encrypt_page(
+        protocol.encode_client_message(protocol.Query(page_id))
+    )
+    sealed_reply = frontend.serve(session_id, sealed)
+    return protocol.decode_client_message(suite.decrypt_page(sealed_reply))
+
+
+class TestClassify:
+    EXPECTED_CODES = {
+        PageDeletedError: ("deleted", False),
+        PageNotFoundError: ("not-found", False),
+        TransientStorageError: ("transient-storage", True),
+        StorageError: ("storage", False),
+        AuthenticationError: ("auth-failure", False),
+        CryptoError: ("crypto", False),
+        TransientChannelError: ("transient-channel", True),
+        ProtocolError: ("protocol", False),
+        ConfigurationError: ("bad-request", False),
+        CapacityError: ("capacity", False),
+        RecoveryError: ("recovery-failed", False),
+        DegradedServiceError: ("unavailable", True),
+        ReproError: ("internal", False),
+    }
+
+    def test_expected_codes(self):
+        for cls, (code, retryable) in self.EXPECTED_CODES.items():
+            refusal = classify(cls("boom"))
+            assert refusal.code == code, cls.__name__
+            assert refusal.retryable == retryable, cls.__name__
+
+    def test_every_repro_error_subclass_has_a_code(self):
+        for cls in all_repro_error_classes():
+            refusal = classify(cls("boom"))
+            assert refusal.code, f"{cls.__name__} classified without a code"
+            assert refusal.severity in ("client", "fault", "fatal")
+
+    def test_unknown_subclass_inherits_parent_code(self):
+        class BitRotError(StorageError):
+            pass
+
+        assert classify(BitRotError("x")).code == "storage"
+
+    def test_foreign_exception_maps_to_internal(self):
+        assert classify(ValueError("x")).code == "internal"
+
+    def test_classification_is_deterministic(self):
+        codes = [classify(cls("e")).code for cls in all_repro_error_classes()]
+        assert codes == [
+            classify(cls("e")).code for cls in all_repro_error_classes()
+        ]
+
+
+class TestRefusedWireFormat:
+    def test_extended_roundtrip(self):
+        refused = protocol.Refused("storage fault", "transient-storage", 0.25)
+        blob = protocol.encode_client_message(refused)
+        assert protocol.decode_client_message(blob) == refused
+
+    def test_retryable_property(self):
+        assert protocol.Refused("r", "c", 0.0).retryable
+        assert protocol.Refused("r", "c", 1.5).retryable
+        assert not protocol.Refused("r", "c", -1.0).retryable
+
+    def test_default_refusal_is_non_retryable(self):
+        refused = protocol.Refused("nope")
+        assert refused.code == ""
+        assert not refused.retryable
+
+
+class TestFrontendRefusalCodes:
+    def _refusal_code_for(self, exc):
+        frontend = make_frontend()
+        session = frontend.open_session()
+
+        def boom(page_id):
+            raise exc
+
+        frontend.database.query = boom
+        reply = serve_query(frontend, session)
+        assert isinstance(reply, protocol.Refused)
+        return reply
+
+    def test_every_subclass_yields_its_classified_code(self):
+        for cls in all_repro_error_classes():
+            reply = self._refusal_code_for(cls("kaboom"))
+            expected = classify(cls("kaboom"))
+            assert reply.code == expected.code, cls.__name__
+            assert reply.retryable == expected.retryable, cls.__name__
+            assert cls.__name__ in reply.reason
+
+    def test_client_errors_do_not_hurt_health(self):
+        frontend = make_frontend()
+        session = frontend.open_session()
+        for _ in range(10):
+            reply = serve_query(frontend, session, page_id=10_000)
+            assert isinstance(reply, protocol.Refused)
+            assert reply.code == "not-found"
+        assert frontend.health.state == HEALTHY
+
+    def test_garbage_session_traffic_does_not_hurt_health(self):
+        frontend = make_frontend()
+        session = frontend.open_session()
+        suite = frontend.session_suite(session)
+        for _ in range(10):
+            sealed_reply = frontend.serve(session, b"\x00" * 48)
+            reply = protocol.decode_client_message(
+                suite.decrypt_page(sealed_reply)
+            )
+            assert isinstance(reply, protocol.Refused)
+        assert frontend.health.state == HEALTHY
+        assert frontend.counters.get("requests") == 10
+
+    def test_refusal_counters(self):
+        frontend = make_frontend()
+        session = frontend.open_session()
+        serve_query(frontend, session, page_id=10_000)
+        serve_query(frontend, session, page_id=10_000)
+        assert frontend.counters.get("refused.not-found") == 2
+
+
+class TestHealthStateMachine:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(degrade_after=0)
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(degrade_after=5, fail_after=3)
+
+    def test_degrades_then_fails_on_fault_streak(self):
+        monitor = HealthMonitor(degrade_after=3, fail_after=8)
+        for i in range(1, 9):
+            monitor.record_fault()
+            if i < 3:
+                assert monitor.state == HEALTHY
+            elif i < 8:
+                assert monitor.state == DEGRADED
+            else:
+                assert monitor.state == FAILED
+
+    def test_success_resets_streak_and_recovers_degraded(self):
+        monitor = HealthMonitor(degrade_after=2, fail_after=8)
+        monitor.record_fault()
+        monitor.record_fault()
+        assert monitor.state == DEGRADED
+        monitor.record_success()
+        assert monitor.state == HEALTHY
+        assert monitor.fault_streak == 0
+
+    def test_fatal_fault_fails_immediately(self):
+        monitor = HealthMonitor()
+        monitor.record_fault(fatal=True)
+        assert monitor.state == FAILED
+
+    def test_failed_is_sticky_until_recovered(self):
+        monitor = HealthMonitor()
+        monitor.record_fault(fatal=True)
+        monitor.record_success()
+        assert monitor.state == FAILED
+        with pytest.raises(DegradedServiceError) as excinfo:
+            monitor.check()
+        assert excinfo.value.retry_after > 0.0
+        monitor.mark_recovered()
+        assert monitor.state == HEALTHY
+        monitor.check()
+
+    def test_retry_hint_grows_with_streak(self):
+        monitor = HealthMonitor(retry_hint=0.1, max_hint=0.35)
+        monitor.record_fault()
+        first = monitor.retry_after
+        monitor.record_fault()
+        second = monitor.retry_after
+        assert second > first
+        for _ in range(20):
+            monitor.record_fault()
+        assert monitor.retry_after == 0.35
+
+
+class TestFrontendDegradation:
+    def _failing_frontend(self, exc_factory, **health_kwargs):
+        frontend = make_frontend()
+        monitor = HealthMonitor(
+            frontend.database.clock,
+            counters=frontend.counters,
+            **health_kwargs,
+        )
+        frontend.health = monitor
+        calls = []
+
+        def boom(page_id):
+            calls.append(page_id)
+            raise exc_factory()
+
+        frontend.database.query = boom
+        return frontend, calls
+
+    def test_failed_frontend_sheds_load(self):
+        frontend, calls = self._failing_frontend(
+            lambda: TransientStorageError("disk flapping"),
+            degrade_after=2, fail_after=4,
+        )
+        session = frontend.open_session()
+        for _ in range(4):
+            serve_query(frontend, session)
+        assert frontend.health.state == FAILED
+        engine_calls = len(calls)
+
+        reply = serve_query(frontend, session)
+        assert isinstance(reply, protocol.Refused)
+        assert reply.code == "unavailable"
+        assert reply.retryable
+        assert reply.retry_after > 0.0
+        # Load shedding: the engine was never touched for the refused call.
+        assert len(calls) == engine_calls
+
+    def test_fatal_fault_fails_in_one_hit(self):
+        frontend, _ = self._failing_frontend(
+            lambda: RecoveryError("journal ahead of state"))
+        session = frontend.open_session()
+        reply = serve_query(frontend, session)
+        assert reply.code == "recovery-failed"
+        assert frontend.health.state == FAILED
+
+    def test_recover_restores_service(self):
+        frontend, _ = self._failing_frontend(
+            lambda: RecoveryError("dead"))
+        session = frontend.open_session()
+        serve_query(frontend, session)
+        assert frontend.health.state == FAILED
+
+        del frontend.database.query  # un-monkeypatch: storage "repaired"
+        report = frontend.recover()
+        assert report.action == "clean"
+        assert frontend.health.state == HEALTHY
+        reply = serve_query(frontend, session, page_id=1)
+        assert isinstance(reply, protocol.Result)
+        assert frontend.counters.get("recoveries") == 1
+
+    def test_health_counters(self):
+        frontend, _ = self._failing_frontend(
+            lambda: TransientStorageError("x"),
+            degrade_after=1, fail_after=2,
+        )
+        session = frontend.open_session()
+        serve_query(frontend, session)
+        serve_query(frontend, session)
+        counts = frontend.counters.as_dict()
+        assert counts["health.faults"] == 2
+        assert counts["health.degraded"] == 1
+        assert counts["health.failed"] == 1
+
+
+class TestClientRetry:
+    def test_retries_dropped_messages(self):
+        frontend = make_frontend()
+        injector = FaultInjector(3, [drop_messages(times=2)])
+        client = ServiceClient(
+            frontend,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.05),
+            channel_wrapper=lambda ch: FlakyChannel(ch, injector),
+        )
+        before = client.channel.clock.now
+        assert client.query(1) == frontend.database.query(1)
+        assert client.counters.get("retries") == 2
+        # Two backoff sleeps (>= 0.05 * (1 - jitter) each) plus the dropped
+        # round trips advanced the virtual clock.
+        assert client.channel.clock.now - before > 2 * 0.025
+
+    def test_without_retry_refusals_raise(self):
+        frontend = make_frontend()
+        client = ServiceClient(frontend)
+        with pytest.raises(ConfigurationError):
+            client.query(10_000)
+
+    def test_retryable_refusal_is_retried_to_success(self):
+        frontend = make_frontend()
+        real_query = frontend.database.query
+        state = {"failures": 2}
+
+        def flaky_query(page_id):
+            if state["failures"] > 0:
+                state["failures"] -= 1
+                raise TransientStorageError("disk flapping")
+            return real_query(page_id)
+
+        frontend.database.query = flaky_query
+        client = ServiceClient(
+            frontend, retry=RetryPolicy(max_attempts=5, base_delay=0.01)
+        )
+        assert client.query(2) == real_query(2)
+        assert client.counters.get("retries") == 2
+
+    def test_non_retryable_refusal_is_not_retried(self):
+        frontend = make_frontend()
+        client = ServiceClient(frontend, retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(ConfigurationError):
+            client.query(10_000)
+        assert client.counters.get("retries") == 0
+
+    def test_retry_honours_server_hint_as_floor(self):
+        frontend = make_frontend()
+        frontend.health = HealthMonitor(
+            frontend.database.clock, retry_hint=0.5, max_hint=10.0,
+            counters=frontend.counters,
+        )
+        frontend.health.record_fault(fatal=True)
+        client = ServiceClient(
+            frontend,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+        )
+        before = client.channel.clock.now
+        with pytest.raises(DegradedServiceError):
+            client.query(1)
+        elapsed = client.channel.clock.now - before
+        # Two retry sleeps, each floored by the server's >= 0.5 s hint.
+        assert elapsed >= 1.0
+
+    def test_retried_runs_are_deterministic(self):
+        def run():
+            frontend = make_frontend()
+            injector = FaultInjector(3, [drop_messages(times=2)])
+            client = ServiceClient(
+                frontend,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.05),
+                channel_wrapper=lambda ch: FlakyChannel(ch, injector),
+            )
+            payload = client.query(1)
+            return (
+                payload,
+                client.channel.clock.now,
+                client.counters.as_dict(),
+                frontend.counters.as_dict(),
+                [(e.op, e.location, e.count, e.request_index, e.timestamp)
+                 for e in frontend.database.trace],
+            )
+
+        assert run() == run()
+
+    def test_merged_counter_report(self):
+        frontend = make_frontend()
+        injector = FaultInjector(
+            3, [drop_messages(times=1)], counters=None,
+        )
+        client = ServiceClient(
+            frontend,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+            channel_wrapper=lambda ch: FlakyChannel(ch, injector),
+        )
+        client.query(1)
+        from repro.sim.metrics import CounterSet
+
+        totals = CounterSet()
+        totals.merge(client.counters, prefix="client.")
+        totals.merge(frontend.counters, prefix="frontend.")
+        assert totals.get("client.retries") == 1
+        # The dropped message never reached the frontend; only the retry did.
+        assert totals.get("frontend.requests") == 1

@@ -8,8 +8,13 @@ import pytest
 
 from repro.baselines import make_records
 from repro.core.database import PirDatabase
-from repro.errors import StorageError
-from repro.storage.filedisk import FileDiskStore
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.filedisk import (
+    SYNC_ALWAYS,
+    SYNC_NEVER,
+    SYNC_ON_FLUSH,
+    FileDiskStore,
+)
 from repro.storage.timing import DiskTimingModel
 from repro.storage.trace import READ
 
@@ -81,6 +86,61 @@ class TestFileDiskStore:
             frames, extra = disk.read_request(0, 4, 9)
             assert frames == [bytes([i]) * 8 for i in range(4)]
             assert extra == bytes([9]) * 8
+
+
+class TestSyncPolicyAndClose:
+    def test_default_policy_is_on_flush(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "p.bin"), 4, 8)
+        assert disk.sync_policy == SYNC_ON_FLUSH
+        disk.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FileDiskStore(str(tmp_path / "p.bin"), 4, 8, sync_policy="eventually")
+
+    def test_all_policies_write_and_read(self, tmp_path):
+        for policy in (SYNC_ALWAYS, SYNC_ON_FLUSH, SYNC_NEVER):
+            path = str(tmp_path / f"{policy}.bin")
+            with FileDiskStore(path, 4, 8, sync_policy=policy) as disk:
+                disk.write_range(0, [b"\xaa" * 8, b"\xbb" * 8])
+                assert disk.read_range(0, 2) == [b"\xaa" * 8, b"\xbb" * 8]
+
+    def test_sync_always_fsyncs_every_write(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        disk = FileDiskStore(str(tmp_path / "p.bin"), 4, 8,
+                             sync_policy=SYNC_ALWAYS)
+        disk.write_range(0, [b"\x01" * 8])
+        disk.write_range(1, [b"\x02" * 8])
+        assert len(synced) == 2
+        disk.close()  # flush() fsyncs once more
+        assert len(synced) == 3
+
+    def test_sync_never_skips_fsync(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        disk = FileDiskStore(str(tmp_path / "p.bin"), 4, 8,
+                             sync_policy=SYNC_NEVER)
+        disk.write_range(0, [b"\x01" * 8])
+        disk.flush()
+        disk.close()
+        assert synced == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        disk = FileDiskStore(str(tmp_path / "p.bin"), 4, 8)
+        disk.write_range(0, [b"\x01" * 8])
+        disk.close()
+        disk.close()
+        disk.close()
+
+    def test_context_manager_after_explicit_close(self, tmp_path):
+        with FileDiskStore(str(tmp_path / "p.bin"), 4, 8) as disk:
+            disk.write_range(0, [b"\x01" * 8])
+            disk.close()
+        # __exit__ closed an already-closed store without raising; the
+        # frames made it to the file.
+        with open(tmp_path / "p.bin", "rb") as handle:
+            assert handle.read(8) == b"\x01" * 8
 
 
 class TestPirDatabaseOnFileDisk:
