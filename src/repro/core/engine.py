@@ -31,6 +31,12 @@ clear, in that order.  Every apply step is idempotent and absolute, so
 :meth:`RetrievalEngine.recover` can roll a torn write-back forward (valid
 intent record) or declare the request never-happened (no/unauthentic
 record) after a crash at *any* individual step.
+
+When the write-back fails *without* killing the process (a transient I/O
+error), the engine keeps the intent in memory and rolls it forward
+automatically at the start of the next request, so a retried request never
+computes against a pageMap pointing at never-written frames and never
+overwrites a journal record that is still needed for repair.
 """
 
 from __future__ import annotations
@@ -143,6 +149,7 @@ class RetrievalEngine:
         self._next_block = 0
         self._request_count = 0
         self._rotation_requests_left: Optional[int] = None
+        self._pending_intent: Optional[WriteIntent] = None
         self.last_outcome: Optional[RequestOutcome] = None
 
     # -- public operations -------------------------------------------------------
@@ -211,6 +218,17 @@ class RetrievalEngine:
         """True when the journal holds an intent record (recover() needed)."""
         return self.journal is not None and self.journal.read() is not None
 
+    @property
+    def write_back_pending(self) -> bool:
+        """True when a failed write-back awaits roll-forward.
+
+        Set when the disk raised mid-apply *without* crashing the process;
+        the next request (or :meth:`recover`) re-applies the retained
+        intent before doing anything else, so callers normally never need
+        to check this — it exists for tests and diagnostics.
+        """
+        return self._pending_intent is not None
+
     def recover(self) -> RecoveryReport:
         """Repair a torn write-back after a crash; idempotent.
 
@@ -223,9 +241,15 @@ class RetrievalEngine:
         and roll-forward would corrupt the database.
         """
         if self.journal is None:
+            if self._pending_intent is not None:
+                # Journal-less engines can still roll a failed write-back
+                # forward from the in-memory intent (see _heal_pending).
+                self._heal_pending()
+                return RecoveryReport("replayed", self._request_count - 1)
             return RecoveryReport("clean")
         blob = self.journal.read()
         if blob is None:
+            self._pending_intent = None
             self.counters.increment("recovery.clean")
             return RecoveryReport("clean")
         try:
@@ -235,11 +259,13 @@ class RetrievalEngine:
             # itself was being written, so no write-back ever started and
             # no trusted state was mutated.  The request never happened.
             self.journal.clear()
+            self._pending_intent = None
             self.counters.increment("recovery.rolled_back")
             return RecoveryReport("rolled_back")
         if intent.request_index < self._request_count:
             # Write-back committed; only the journal clear was lost.
             self.journal.clear()
+            self._pending_intent = None
             self.counters.increment("recovery.discarded_stale")
             return RecoveryReport("discarded_stale", intent.request_index)
         if intent.request_index > self._request_count:
@@ -270,6 +296,11 @@ class RetrievalEngine:
         deleting: bool = False,
         revive: bool = False,
     ) -> Page:
+        # A previous request whose write-back failed mid-apply left the
+        # trusted deltas in place with the frames unwritten; finish it
+        # before computing anything against that state (see _heal_pending).
+        self._heal_pending()
+
         pm = self.cop.page_map
         cache = self.cop.cache
         rng = self.cop.rng
@@ -448,12 +479,22 @@ class RetrievalEngine:
                 pm.set_disk(page_id, position)
 
         k = self.params.block_size
-        self.disk.write_request(
-            intent.block_start,
-            intent.frames[:k],
-            intent.extra_location,
-            intent.frames[k],
-        )
+        try:
+            self.disk.write_request(
+                intent.block_start,
+                intent.frames[:k],
+                intent.extra_location,
+                intent.frames[k],
+            )
+        except Exception:
+            # The trusted deltas above are already applied, so the pageMap
+            # now points at frames that were never written.  Retain the
+            # intent so the next request (or recover()) rolls the
+            # write-back forward before computing against that state —
+            # without this, a retried request would overwrite the only
+            # record able to repair the store.
+            self._pending_intent = intent
+            raise
 
         self._next_block = intent.next_block
         self._request_count = intent.request_index + 1
@@ -464,6 +505,31 @@ class RetrievalEngine:
             self._rotation_requests_left = None
         else:
             self._rotation_requests_left = intent.rotation_left
+        self._pending_intent = None
+
+    def _heal_pending(self) -> None:
+        """Roll forward a request whose write-back failed mid-apply.
+
+        A *non-crash* write failure (e.g. a transient I/O error) inside
+        :meth:`_apply_intent` propagates to the caller after the trusted
+        deltas landed but before the frames did.  That failure is
+        classified as retryable, so the client is invited to resend — and
+        serving the resend against the inconsistent state would both read
+        garbage and replace the pending journal record.  Instead the
+        failed apply retains its intent (in memory, and in the journal
+        when one is configured) and every later request re-applies it
+        here first.  Re-application is idempotent; if the write fails
+        again the error propagates and the request stays pending.
+        """
+        intent = self._pending_intent
+        if intent is None:
+            return
+        self.disk.current_request = intent.request_index
+        self._apply_intent(intent)
+        if self.journal is not None:
+            self.journal.clear()
+        self.disk.current_request = -1
+        self.counters.increment("recovery.rolled_forward")
 
     def _fetch_block(
         self, block_start: int, k: int, extra_location: int

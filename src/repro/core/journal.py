@@ -242,6 +242,31 @@ class FileJournal:
         if self.clock is not None and self.timing is not None:
             self.clock.advance(self.timing.write_time(num_bytes))
 
+    def _sync_directory(self) -> None:
+        """Make the rename/unlink itself durable.
+
+        fsyncing the temp file only persists its *contents*; the directory
+        entry created by ``os.replace`` (or removed by ``os.remove``) lives
+        in the parent directory's data and survives power loss only after
+        the directory is fsynced too.  Without this a "sealed" intent can
+        vanish on power loss while a torn write-back partially landed —
+        the exact silent inconsistency the journal exists to prevent.
+        """
+        parent = os.path.dirname(os.path.abspath(self.path))
+        flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+        try:
+            fd = os.open(parent, flags)
+        except OSError:
+            return  # platform cannot open directories (e.g. Windows)
+        try:
+            os.fsync(fd)
+        except OSError:
+            # Some filesystems reject directory fsync; nothing more we
+            # can do — matches the behaviour of other WAL implementations.
+            pass
+        finally:
+            os.close(fd)
+
     def write(self, blob: bytes) -> None:
         self._charge(len(blob))
         tmp_path = self.path + ".tmp"
@@ -251,6 +276,8 @@ class FileJournal:
             if self.fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp_path, self.path)
+        if self.fsync:
+            self._sync_directory()
         self.writes += 1
 
     def read(self) -> Optional[bytes]:
@@ -264,4 +291,6 @@ class FileJournal:
         try:
             os.remove(self.path)
         except FileNotFoundError:
-            pass
+            return
+        if self.fsync:
+            self._sync_directory()

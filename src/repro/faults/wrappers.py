@@ -170,8 +170,13 @@ class FlakyChannel:
     A *drop* charges the round-trip time (the client waits out a timeout)
     and raises :class:`~repro.errors.TransientChannelError` without the
     handler ever running.  A *delay* adds plan-specified latency before the
-    call.  A *duplicate* runs the request twice and returns the second
-    response, modelling at-least-once delivery.
+    call.  A *duplicate* delivers the same request bytes twice and returns
+    the second response, modelling at-least-once delivery; against
+    :class:`~repro.service.frontend.QueryFrontend` the second delivery is
+    answered from the per-session reply cache (byte-identical ciphertext =
+    same transmission), so mutating operations are never double-applied.
+    Handlers without such dedup see both deliveries — duplicate plans are
+    then only state-safe for idempotent workloads.
     """
 
     def __init__(self, inner, injector: FaultInjector):

@@ -8,6 +8,7 @@ from .health import (
     HealthMonitor,
     Refusal,
     classify,
+    error_for_refusal,
 )
 from .protocol import (
     Delete,
@@ -27,6 +28,7 @@ __all__ = [
     "HealthMonitor",
     "Refusal",
     "classify",
+    "error_for_refusal",
     "HEALTHY",
     "DEGRADED",
     "FAILED",

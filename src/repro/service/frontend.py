@@ -19,7 +19,7 @@ until :meth:`QueryFrontend.recover` has repaired the store.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from . import protocol
 from .health import (
@@ -27,11 +27,11 @@ from .health import (
     SEVERITY_FAULT,
     HealthMonitor,
     classify,
+    error_for_refusal,
 )
 from ..core.database import PirDatabase
 from ..crypto.suite import CipherSuite
 from ..errors import (
-    ConfigurationError,
     DegradedServiceError,
     ProtocolError,
     ReproError,
@@ -55,6 +55,9 @@ class QueryFrontend:
     ):
         self.database = database
         self._sessions: Dict[int, CipherSuite] = {}
+        # Per-session (sealed request, sealed reply) of the last *served*
+        # request, for at-least-once duplicate suppression (see serve()).
+        self._last_replies: Dict[int, Tuple[bytes, bytes]] = {}
         self._next_session = 1
         self.counters = CounterSet()
         self.health = (
@@ -89,6 +92,7 @@ class QueryFrontend:
 
     def close_session(self, session_id: int) -> None:
         self._sessions.pop(session_id, None)
+        self._last_replies.pop(session_id, None)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -107,8 +111,24 @@ class QueryFrontend:
     # -- request dispatch ----------------------------------------------------------
 
     def serve(self, session_id: int, sealed_request: bytes) -> bytes:
-        """Handle one encrypted client request; always returns a sealed reply."""
+        """Handle one encrypted client request; always returns a sealed reply.
+
+        At-least-once delivery safety: clients seal every logical request
+        under a fresh random nonce, so two byte-identical sealed requests
+        can only be the *same transmission* delivered twice (a network
+        duplicate or a blind retransmission).  Replaying the duplicate
+        would double-apply mutations — an Insert would leak a page, an
+        Update would burn a second trace-visible request — so the frontend
+        answers it from the per-session reply cache without touching the
+        engine.  Only successfully dispatched replies are cached; refusals
+        re-execute, which is safe because a refused request mutated
+        nothing durable.
+        """
         suite = self.session_suite(session_id)
+        cached = self._last_replies.get(session_id)
+        if cached is not None and cached[0] == sealed_request:
+            self.counters.increment("requests.duplicate")
+            return cached[1]
         try:
             request = protocol.decode_client_message(
                 suite.decrypt_page(sealed_request)
@@ -126,7 +146,10 @@ class QueryFrontend:
             except ReproError as exc:
                 reply = self._refusal_for(exc)
         self.counters.increment("requests")
-        return suite.encrypt_page(protocol.encode_client_message(reply))
+        sealed_reply = suite.encrypt_page(protocol.encode_client_message(reply))
+        if not isinstance(reply, protocol.Refused):
+            self._last_replies[session_id] = (sealed_request, sealed_reply)
+        return sealed_reply
 
     def _refusal_for(
         self, exc: ReproError, affects_health: bool = True
@@ -211,12 +234,14 @@ class ServiceClient:
         self.latencies.record(self.channel.clock.now - started)
         reply = protocol.decode_client_message(self._suite.decrypt_page(sealed_reply))
         if isinstance(reply, protocol.Refused):
-            if self.retry is not None and reply.retryable:
-                raise DegradedServiceError(
-                    f"request refused: {reply.reason}",
-                    retry_after=reply.retry_after,
-                )
-            raise ConfigurationError(f"request refused: {reply.reason}")
+            # Surface the server's error class, not a generic client error:
+            # a not-found refusal raises PageNotFoundError, a retryable one
+            # DegradedServiceError (which the retry loop keys on), etc.
+            raise error_for_refusal(
+                reply.code,
+                f"request refused: {reply.reason}",
+                reply.retry_after,
+            )
         return reply
 
     def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:

@@ -61,6 +61,7 @@ __all__ = [
     "SEVERITY_FATAL",
     "Refusal",
     "classify",
+    "error_for_refusal",
     "HealthMonitor",
 ]
 
@@ -117,6 +118,31 @@ def classify(exc: BaseException) -> Refusal:
         if refusal is not None:
             return refusal
     return _REFUSALS[ReproError]
+
+
+# Inverse of _REFUSALS at code granularity (codes are unique per class).
+_CODE_ERRORS = {refusal.code: klass for klass, refusal in _REFUSALS.items()}
+
+
+def error_for_refusal(
+    code: str, message: str, retry_after: float = -1.0
+) -> ReproError:
+    """Reconstruct the client-side exception for a ``Refused`` reply.
+
+    The inverse of :func:`classify` at refusal-code granularity, so a
+    server-side ``PageNotFoundError`` surfaces to the caller as a
+    :class:`~repro.errors.PageNotFoundError` rather than a generic client
+    error.  Retryable refusals (``retry_after >= 0``) always come back as
+    :class:`~repro.errors.DegradedServiceError` carrying the server's
+    hint, which is what the client retry loop keys on; unknown or legacy
+    (empty) codes fall back to the :class:`~repro.errors.ReproError` base.
+    """
+    if retry_after >= 0.0:
+        return DegradedServiceError(message, retry_after=retry_after)
+    klass = _CODE_ERRORS.get(code, ReproError)
+    if klass is DegradedServiceError:  # non-retryable hint never happens,
+        return DegradedServiceError(message)  # but stay constructor-safe
+    return klass(message)
 
 
 class HealthMonitor:

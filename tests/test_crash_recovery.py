@@ -10,6 +10,9 @@ post-recovery request.
 
 from __future__ import annotations
 
+import os
+import stat
+
 import pytest
 
 from repro.core.journal import (
@@ -20,7 +23,12 @@ from repro.core.journal import (
     WriteIntent,
 )
 from repro.core.snapshot import load_snapshot, save_snapshot
-from repro.errors import ConfigurationError, RecoveryError, StorageError
+from repro.errors import (
+    ConfigurationError,
+    RecoveryError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.faults import (
     SITE_DISK_WRITE,
     SITE_JOURNAL_WRITE,
@@ -30,6 +38,7 @@ from repro.faults import (
     FaultyJournal,
     SimulatedCrash,
     crash_after_writes,
+    transient_writes,
 )
 from repro.storage.disk import DiskStore
 from repro.storage.page import Page
@@ -439,3 +448,104 @@ class TestSnapshotIntegration:
         )
         with pytest.raises(RecoveryError):
             restored.recover()
+
+
+class TestNonCrashWriteFailure:
+    """A retryable write failure mid-apply rolls forward, never resends raw.
+
+    The apply phase lands the trusted deltas before the frame write-back,
+    so a transient write error leaves the pageMap pointing at never-written
+    frames *while the process keeps running*.  The engine must finish that
+    write-back (from the retained intent) before serving anything else.
+    """
+
+    def _faulted_db(self, journal):
+        injector = FaultInjector(0)
+        db = build_db(journal=journal, injector=injector)
+        injector.add(transient_writes(times=1))
+        return db
+
+    def test_next_request_rolls_forward_first(self):
+        journal = MemoryJournal()
+        db = self._faulted_db(journal)
+        with pytest.raises(TransientStorageError):
+            db.query(3)
+        assert db.engine.write_back_pending
+        assert journal.read() is not None  # repair record still in the slot
+        assert db.engine.request_count == 0
+
+        # The resend heals the torn request (committing it), then executes.
+        assert db.query(3) == build_db().query(3)
+        assert db.engine.request_count == 2
+        assert db.engine.counters.get("recovery.rolled_forward") == 1
+        assert not db.engine.write_back_pending
+        assert journal.read() is None
+        run_workload(db, start=1)
+        db.consistency_check()
+
+    def test_roll_forward_without_a_journal(self):
+        db = self._faulted_db(journal=None)
+        with pytest.raises(TransientStorageError):
+            db.update(5, b"torn")
+        assert db.engine.write_back_pending
+        # The in-memory intent is enough: the next request self-heals.
+        assert db.query(5) == b"torn"
+        assert db.engine.counters.get("recovery.rolled_forward") == 1
+        db.consistency_check()
+
+    def test_recover_rolls_forward_without_a_journal(self):
+        db = self._faulted_db(journal=None)
+        with pytest.raises(TransientStorageError):
+            db.query(3)
+        report = db.recover()
+        assert report.action == "replayed"
+        assert report.request_index == 0
+        assert not db.engine.write_back_pending
+        run_workload(db, start=1)
+        db.consistency_check()
+
+    def test_persistent_write_fault_stays_pending(self):
+        injector = FaultInjector(0)
+        journal = MemoryJournal()
+        db = build_db(journal=journal, injector=injector)
+        injector.add(transient_writes(times=3))
+        with pytest.raises(TransientStorageError):
+            db.query(3)
+        # Still failing: the retry surfaces the fault again but never
+        # destroys the pending record or serves from the torn state.
+        with pytest.raises(TransientStorageError):
+            db.query(3)
+        assert db.engine.write_back_pending
+        assert journal.read() is not None
+        assert db.engine.request_count == 0
+
+
+class TestFileJournalDurability:
+    def test_fsync_policy_syncs_directory(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+
+        def tracking_fsync(fd):
+            synced.append(os.fstat(fd).st_mode)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", tracking_fsync)
+        journal = FileJournal(str(tmp_path / "intent.jnl"))
+        journal.write(b"record")
+        # Temp file fsync + directory fsync: the rename is only durable
+        # once the parent directory's entry is on stable storage.
+        assert any(stat.S_ISREG(mode) for mode in synced)
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+
+        synced.clear()
+        journal.clear()
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+
+    def test_fsync_disabled_never_syncs(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd))
+        journal = FileJournal(str(tmp_path / "intent.jnl"), fsync=False)
+        journal.write(b"record")
+        journal.clear()
+        assert synced == []
+        assert journal.read() is None

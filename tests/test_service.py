@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import make_records
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import PageDeletedError, PageNotFoundError, ProtocolError
 from repro.service import (
     Delete,
     Insert,
@@ -71,7 +71,9 @@ class TestFrontend:
         new_id = client.insert(b"svc insert")
         assert client.query(new_id) == b"svc insert"
         client.delete(3)
-        with pytest.raises(ConfigurationError):
+        # The refusal surfaces with the server's error class, not a
+        # generic client error.
+        with pytest.raises(PageDeletedError):
             client.query(3)
 
     def test_multiple_clients_share_the_database(self, frontend):
@@ -119,6 +121,6 @@ class TestFrontend:
 
     def test_refusal_does_not_crash_session(self, frontend):
         client = ServiceClient(frontend)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PageNotFoundError):
             client.query(10**9)  # out of range -> Refused
         assert client.query(4) == RECORDS[4]  # session still healthy

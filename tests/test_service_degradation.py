@@ -26,10 +26,15 @@ from repro.errors import (
     TransientChannelError,
     TransientStorageError,
 )
+from repro.core.journal import MemoryJournal
+from repro.errors import IndexError_
 from repro.faults import (
     FaultInjector,
+    FaultyDiskStore,
     FlakyChannel,
     drop_messages,
+    duplicate_messages,
+    transient_writes,
 )
 from repro.faults.retry import RetryPolicy
 from repro.service import (
@@ -40,8 +45,10 @@ from repro.service import (
     QueryFrontend,
     ServiceClient,
     classify,
+    error_for_refusal,
     protocol,
 )
+from repro.storage.disk import DiskStore
 
 from tests.helpers import make_db
 
@@ -333,7 +340,7 @@ class TestClientRetry:
     def test_without_retry_refusals_raise(self):
         frontend = make_frontend()
         client = ServiceClient(frontend)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PageNotFoundError):
             client.query(10_000)
 
     def test_retryable_refusal_is_retried_to_success(self):
@@ -357,7 +364,7 @@ class TestClientRetry:
     def test_non_retryable_refusal_is_not_retried(self):
         frontend = make_frontend()
         client = ServiceClient(frontend, retry=RetryPolicy(max_attempts=5))
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PageNotFoundError):
             client.query(10_000)
         assert client.counters.get("retries") == 0
 
@@ -419,3 +426,172 @@ class TestClientRetry:
         assert totals.get("client.retries") == 1
         # The dropped message never reached the frontend; only the retry did.
         assert totals.get("frontend.requests") == 1
+
+
+class TestClientErrorMapping:
+    """Refusals surface to callers as their server-side error class."""
+
+    NON_RETRYABLE = [
+        (PageDeletedError, PageDeletedError),
+        (PageNotFoundError, PageNotFoundError),
+        (StorageError, StorageError),
+        (AuthenticationError, AuthenticationError),
+        (CryptoError, CryptoError),
+        (ProtocolError, ProtocolError),
+        (ConfigurationError, ConfigurationError),
+        (CapacityError, CapacityError),
+        (RecoveryError, RecoveryError),
+        (IndexError_, IndexError_),
+        (ReproError, ReproError),
+    ]
+
+    def _client_for(self, exc):
+        frontend = make_frontend()
+
+        def boom(page_id):
+            raise exc
+
+        frontend.database.query = boom
+        return ServiceClient(frontend)
+
+    def test_non_retryable_refusals_raise_their_class(self):
+        for raised, expected in self.NON_RETRYABLE:
+            client = self._client_for(raised("kaboom"))
+            with pytest.raises(expected) as excinfo:
+                client.query(1)
+            assert type(excinfo.value) is expected, raised.__name__
+            assert "kaboom" in str(excinfo.value)
+
+    def test_retryable_refusals_raise_degraded_with_hint(self):
+        for raised in (TransientStorageError, TransientChannelError):
+            client = self._client_for(raised("flap"))
+            with pytest.raises(DegradedServiceError) as excinfo:
+                client.query(1)
+            assert excinfo.value.retry_after >= 0.0, raised.__name__
+
+    def test_error_for_refusal_unknown_and_legacy_codes(self):
+        assert type(error_for_refusal("", "legacy")) is ReproError
+        assert type(error_for_refusal("martian", "what")) is ReproError
+        exc = error_for_refusal("transient-storage", "retry me", 0.25)
+        assert isinstance(exc, DegradedServiceError)
+        assert exc.retry_after == 0.25
+
+
+def faulty_factory(injector):
+    def build(num_locations, frame_size, timing, clock, trace):
+        return FaultyDiskStore(
+            DiskStore(num_locations, frame_size, timing, clock, trace),
+            injector,
+        )
+
+    return build
+
+
+class TestWriteFaultMidApply:
+    """A transient write failure mid-apply must not corrupt the store.
+
+    Regression for the mid-apply hazard: the trusted deltas land before
+    the frame write-back, so a retryable write failure used to leave the
+    pageMap pointing at never-written frames while the retry-after hint
+    invited a resend that overwrote the pending journal record.
+    """
+
+    def test_client_retry_after_write_fault_heals_and_succeeds(self):
+        injector = FaultInjector(0)
+        db = make_db(
+            num_records=20, cache_capacity=6, seed=5,
+            journal=MemoryJournal(),
+            disk_factory=faulty_factory(injector),
+        )
+        frontend = QueryFrontend(db)
+        client = ServiceClient(
+            frontend, retry=RetryPolicy(max_attempts=4, base_delay=0.01)
+        )
+        injector.add(transient_writes(times=1))
+        client.update(2, b"healed")
+        assert client.counters.get("retries") == 1
+        assert db.engine.counters.get("recovery.rolled_forward") == 1
+        assert not db.engine.write_back_pending
+        assert not db.engine.journal_pending
+        assert client.query(2) == b"healed"
+        db.consistency_check()
+
+    def test_pending_journal_record_survives_the_failed_request(self):
+        injector = FaultInjector(0)
+        journal = MemoryJournal()
+        db = make_db(
+            num_records=20, cache_capacity=6, seed=5, journal=journal,
+            disk_factory=faulty_factory(injector),
+        )
+        injector.add(transient_writes(times=1))
+        with pytest.raises(TransientStorageError):
+            db.query(3)
+        # The only record able to repair the store is still in the slot,
+        # and the engine knows the write-back is unfinished.
+        assert journal.read() is not None
+        assert db.engine.write_back_pending
+        assert db.engine.request_count == 0
+
+
+class TestDuplicateSuppression:
+    """At-least-once delivery never double-applies a mutating request."""
+
+    def test_duplicate_insert_allocates_exactly_one_page(self):
+        frontend = make_frontend(reserve_fraction=0.2)
+        injector = FaultInjector(4, [duplicate_messages()])
+        client = ServiceClient(
+            frontend, channel_wrapper=lambda ch: FlakyChannel(ch, injector)
+        )
+        before = frontend.database.engine.request_count
+        new_id = client.insert(b"exactly once")
+        assert frontend.database.engine.request_count == before + 1
+        assert frontend.counters.get("requests.duplicate") == 1
+        assert client.query(new_id) == b"exactly once"
+        frontend.database.consistency_check()
+
+    def test_replayed_request_bytes_answered_from_cache(self):
+        frontend = make_frontend()
+        session = frontend.open_session()
+        suite = frontend.session_suite(session)
+        sealed = suite.encrypt_page(
+            protocol.encode_client_message(protocol.Update(1, b"v1"))
+        )
+        first = frontend.serve(session, sealed)
+        count = frontend.database.engine.request_count
+        second = frontend.serve(session, sealed)
+        assert second == first
+        assert frontend.database.engine.request_count == count
+        assert frontend.counters.get("requests.duplicate") == 1
+
+    def test_distinct_transmissions_are_not_deduplicated(self):
+        # The same logical request sealed twice uses fresh nonces, so both
+        # transmissions execute — dedup keys on ciphertext identity only.
+        frontend = make_frontend()
+        session = frontend.open_session()
+        suite = frontend.session_suite(session)
+        message = protocol.encode_client_message(protocol.Query(1))
+        first = suite.encrypt_page(message)
+        second = suite.encrypt_page(message)
+        assert first != second
+        frontend.serve(session, first)
+        frontend.serve(session, second)
+        assert frontend.counters.get("requests") == 2
+        assert frontend.counters.get("requests.duplicate") == 0
+
+    def test_refused_replies_are_not_cached(self):
+        frontend = make_frontend()
+        session = frontend.open_session()
+        garbage = b"\x00" * 48
+        frontend.serve(session, garbage)
+        frontend.serve(session, garbage)
+        # Both deliveries re-execute (refusals mutate nothing durable).
+        assert frontend.counters.get("requests") == 2
+        assert frontend.counters.get("requests.duplicate") == 0
+
+    def test_cache_dropped_with_session(self):
+        frontend = make_frontend()
+        client = ServiceClient(frontend)
+        client.query(1)
+        assert frontend._last_replies
+        client.close()
+        assert not frontend._last_replies
