@@ -2,13 +2,16 @@
 
 27 ms / 94 ms (1 GB), 197 ms & 65 ms (10 GB, 1 vs 2 units), 197 ms (100 GB),
 727 ms (1 TB), plus the coprocessor-unit counts the storage demands imply.
+Each configuration is also decomposed into Eq. 8's four additive terms
+(seek / disk / link / crypto), the same split the runtime tracer measures.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.costmodel import headline_numbers
+from repro.analysis.costmodel import eq8_terms, headline_numbers
+from repro.hardware.specs import IBM_4764
 
 
 def test_headline_numbers(report, benchmark):
@@ -27,6 +30,20 @@ def test_headline_numbers(report, benchmark):
             ]
             for r in rows
         ],
+    )
+    report.line()
+    report.line("Eq. 8 per-phase breakdown (seconds; Table-2 hardware)")
+    breakdown = []
+    for r in rows:
+        terms = eq8_terms(IBM_4764, r["block_size"], r["page_size"])
+        breakdown.append(
+            [r["label"], terms["seek"], terms["disk"], terms["link"],
+             terms["crypto"], terms["total"]]
+        )
+        assert terms["total"] == pytest.approx(r["model_seconds"])
+    report.table(
+        ["configuration", "seek", "disk", "link", "crypto", "total"],
+        breakdown,
     )
     for row in rows:
         assert row["model_seconds"] == pytest.approx(

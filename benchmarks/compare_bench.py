@@ -1,0 +1,204 @@
+"""Per-phase diff of two ``bench_engine.py`` JSONL runs — the CI perf gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py BASELINE CURRENT \
+        [--threshold 0.25] [--min-wall 0.005]
+
+Exit status 0 when the current run is within the threshold of the
+baseline, 1 on any regression, 2 on malformed/incomparable inputs.
+
+Two classes of comparison:
+
+* **Deterministic metrics** (``count``, ``bytes``, ``virtual_s``) come
+  from the pinned-seed workload on the virtual clock and must match the
+  baseline *exactly* (virtual seconds to a relative 1e-9).  A mismatch
+  means the engine's access pattern changed — that is a correctness-class
+  regression, reported regardless of wall time.
+
+* **Wall time** is machine-dependent, so each run's phase wall times are
+  first normalised by that run's ``calibration_s`` (a fixed hashing
+  workload timed by ``bench_engine.py``).  A phase regresses when its
+  normalised wall time exceeds the baseline's by more than ``--threshold``
+  (default 25%).  Phases whose baseline wall time is below ``--min-wall``
+  seconds in total are reported but not gated: at sub-millisecond scale
+  scheduler noise exceeds any real signal.
+
+New phases (in current but not baseline) are reported but never gated;
+phases that *disappear* are gated, since losing a span usually means an
+instrumentation or code-path break.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from os import path
+from typing import Dict, List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode from a checkout without PYTHONPATH
+    sys.path.insert(0, path.join(path.dirname(__file__), "..", "src"))
+
+from repro.obs import read_jsonl, rows_by_kind
+
+_VIRTUAL_REL_TOL = 1e-9
+
+
+def load_run(file_path: str) -> Dict[str, object]:
+    """Load one JSONL run: its meta row plus phase rows keyed by name."""
+    rows = read_jsonl(file_path)
+    metas = rows_by_kind(rows, "meta")
+    phases = rows_by_kind(rows, "phase")
+    if len(metas) != 1 or not phases:
+        raise ValueError(
+            f"{file_path}: expected exactly one meta row and at least one "
+            f"phase row, found {len(metas)} meta / {len(phases)} phase"
+        )
+    meta = metas[0]
+    calibration = float(meta.get("calibration_s", 0.0))
+    if calibration <= 0.0:
+        raise ValueError(f"{file_path}: meta row lacks a positive calibration_s")
+    return {
+        "meta": meta,
+        "calibration": calibration,
+        "phases": {row["name"]: row for row in phases},
+    }
+
+
+def _check_comparable(base_meta: dict, cur_meta: dict) -> List[str]:
+    problems = []
+    for key in ("queries", "seed", "pages", "block_size", "page_size"):
+        if base_meta.get(key) != cur_meta.get(key):
+            problems.append(
+                f"meta mismatch on {key!r}: baseline {base_meta.get(key)} "
+                f"vs current {cur_meta.get(key)} — runs are not comparable"
+            )
+    return problems
+
+
+def compare_runs(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+    min_wall: float,
+) -> "tuple[List[List[object]], List[str]]":
+    """Per-phase delta table plus the list of regression descriptions."""
+    base_phases: Dict[str, dict] = baseline["phases"]  # type: ignore[assignment]
+    cur_phases: Dict[str, dict] = current["phases"]  # type: ignore[assignment]
+    base_cal: float = baseline["calibration"]  # type: ignore[assignment]
+    cur_cal: float = current["calibration"]  # type: ignore[assignment]
+
+    table: List[List[object]] = []
+    regressions: List[str] = []
+
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        base = base_phases.get(name)
+        cur = cur_phases.get(name)
+        if base is None:
+            table.append([name, "-", f"{cur['wall_s']:.4f}", "-", "new"])
+            continue
+        if cur is None:
+            regressions.append(f"{name}: phase disappeared from current run")
+            table.append([name, f"{base['wall_s']:.4f}", "-", "-", "MISSING"])
+            continue
+
+        for key in ("count", "bytes"):
+            if base[key] != cur[key]:
+                regressions.append(
+                    f"{name}: deterministic {key} changed "
+                    f"{base[key]} -> {cur[key]}"
+                )
+        base_virtual = float(base["virtual_s"])
+        cur_virtual = float(cur["virtual_s"])
+        tolerance = _VIRTUAL_REL_TOL * max(abs(base_virtual), 1.0)
+        if abs(base_virtual - cur_virtual) > tolerance:
+            regressions.append(
+                f"{name}: deterministic virtual_s changed "
+                f"{base_virtual!r} -> {cur_virtual!r}"
+            )
+
+        base_norm = float(base["wall_s"]) / base_cal
+        cur_norm = float(cur["wall_s"]) / cur_cal
+        delta = (cur_norm - base_norm) / base_norm if base_norm > 0 else 0.0
+        gated = float(base["wall_s"]) >= min_wall
+        status = "ok"
+        if gated and delta > threshold:
+            status = "REGRESSED"
+            regressions.append(
+                f"{name}: normalised wall time {delta:+.1%} vs baseline "
+                f"(threshold {threshold:+.0%})"
+            )
+        elif not gated:
+            status = "ok (not gated)"
+        table.append([
+            name,
+            f"{base['wall_s']:.4f}",
+            f"{cur['wall_s']:.4f}",
+            f"{delta:+.1%}",
+            status,
+        ])
+    return table, regressions
+
+
+def _print_table(rows: List[List[object]]) -> None:
+    headers = ["phase", "base wall (s)", "cur wall (s)", "norm delta", "status"]
+    printable = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in printable))
+        if printable else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in printable:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench_engine.py JSONL runs; exit 1 on regression"
+    )
+    parser.add_argument("baseline", help="committed baseline JSONL")
+    parser.add_argument("current", help="freshly produced JSONL")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative wall-time regression limit "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--min-wall", type=float, default=0.005,
+                        help="baseline wall seconds below which a phase is "
+                             "reported but not gated (default 0.005)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_run(args.baseline)
+        current = load_run(args.current)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = _check_comparable(baseline["meta"], current["meta"])
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 2
+
+    table, regressions = compare_runs(
+        baseline, current, args.threshold, args.min_wall
+    )
+    print(
+        f"baseline calibration {baseline['calibration']:.4f}s, "
+        f"current {current['calibration']:.4f}s "
+        f"(wall deltas are calibration-normalised)"
+    )
+    _print_table(table)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ __all__ = [
     "ConfigurationPoint",
     "AnalyticalCostModel",
     "TwoPartyCostModel",
+    "eq8_terms",
     "figure4_series",
     "figure5_series",
     "figure6_series",
@@ -68,6 +69,32 @@ class ConfigurationPoint:
     @property
     def secure_storage_gb(self) -> float:
         return self.secure_storage_bytes / 1e9
+
+
+def eq8_terms(
+    spec: HardwareSpec, block_size: int, page_size: int
+) -> Dict[str, float]:
+    """Eq. 8 decomposed into its four additive terms, in seconds per query.
+
+    ``seek`` is ``4 * t_s`` (two reads + two writes, one seek each);
+    ``disk``, ``link`` and ``crypto`` are the ``2(k+1)B`` transfer charged
+    at ``r_d``, ``r_b`` and ``r_ed`` respectively; ``total`` is their sum,
+    identical to :meth:`AnalyticalCostModel.query_time`.  This is the
+    single source of truth for the per-phase predictions used by
+    :class:`repro.obs.costcheck.CostModelCheck` and the per-phase columns
+    of ``benchmarks/bench_headline.py``.
+    """
+    if block_size < 1 or page_size <= 0:
+        raise ConfigurationError("block_size and page_size must be positive")
+    moved = 2 * (block_size + 1) * page_size
+    terms = {
+        "seek": 4 * spec.disk.seek_time,
+        "disk": moved / spec.disk.read_bandwidth,
+        "link": moved / spec.link_bandwidth,
+        "crypto": moved / spec.crypto_throughput,
+    }
+    terms["total"] = sum(terms.values())
+    return terms
 
 
 class AnalyticalCostModel:
@@ -372,6 +399,7 @@ def headline_numbers(
                 "paper_seconds": paper_seconds,
                 "model_seconds": point.query_time,
                 "block_size": point.block_size,
+                "page_size": point.page_size,
                 "storage_mb": point.secure_storage_mb,
                 "units": model.units_required(point),
             }

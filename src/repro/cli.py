@@ -7,6 +7,8 @@ Commands
 ``figure``    print one of the paper's figure series (4, 5, 6 or 7)
 ``privacy``   run the Monte-Carlo landing experiment on the real engine
 ``demo``      build a small database and run an end-to-end exercise
+``metrics``   run a traced workload; per-phase totals, registry contents
+              and the Eq. 8 conformance ratios (``--out`` exports JSONL)
 """
 
 from __future__ import annotations
@@ -176,6 +178,102 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .core.journal import MemoryJournal
+    from .hardware.specs import IBM_4764
+    from .obs import (
+        DETAIL_FINE,
+        DETAIL_PHASE,
+        CostModelCheck,
+        MetricsRegistry,
+        Tracer,
+        run_rows,
+        write_jsonl,
+    )
+
+    tracer = Tracer(detail=DETAIL_FINE if args.fine else DETAIL_PHASE)
+    registry = MetricsRegistry()
+    records = make_records(args.pages, args.page_size)
+    db = PirDatabase.create(
+        records,
+        cache_capacity=args.cache,
+        target_c=args.c,
+        page_capacity=args.page_size,
+        reserve_fraction=0.1,
+        seed=args.seed,
+        spec=IBM_4764,
+        journal=MemoryJournal(),
+        tracer=tracer,
+        metrics=registry,
+    )
+    rng = SecureRandom(args.seed + 1)
+    for _ in range(args.queries):
+        db.query(rng.randrange(args.pages))
+
+    print(db.params.describe())
+    print(f"\nPer-phase totals over {args.queries} queries "
+          f"(virtual = Table-2 simulated time):")
+    print(_format_table(
+        ["phase", "count", "wall (ms)", "virtual (s)", "bytes", "errors"],
+        [
+            [name, total.count, total.wall_seconds * 1e3,
+             total.virtual_seconds, total.nbytes, total.errors]
+            for name, total in sorted(tracer.phase_totals().items())
+        ],
+    ))
+
+    snapshot = registry.snapshot()
+    if snapshot["counters"]:
+        print("\nCounters:")
+        print(_format_table(
+            ["name", "value"],
+            sorted(snapshot["counters"].items()),
+        ))
+    if snapshot["gauges"]:
+        print("\nGauges:")
+        print(_format_table(
+            ["name", "value"],
+            sorted(snapshot["gauges"].items()),
+        ))
+    if snapshot["histograms"]:
+        print("\nHistograms:")
+        print(_format_table(
+            ["name", "count", "mean", "p50", "p99", "max"],
+            [
+                [name, summary["count"], summary["mean"], summary["p50"],
+                 summary["p99"], summary["max"]]
+                for name, summary in sorted(snapshot["histograms"].items())
+            ],
+        ))
+
+    check = CostModelCheck.for_database(db)
+    conformance = check.evaluate(tracer, args.queries)
+    print("\nEq. 8 conformance (measured virtual time vs analytic "
+          "prediction, per term):")
+    print(_format_table(
+        ["term", "measured (s)", "predicted (s)", "ratio"],
+        [
+            [row.term, row.measured_seconds, row.predicted_seconds, row.ratio]
+            for row in conformance
+        ],
+    ))
+
+    if args.out:
+        meta = {
+            "queries": args.queries,
+            "pages": args.pages,
+            "cache": args.cache,
+            "page_size": args.page_size,
+            "block_size": db.params.block_size,
+            "seed": args.seed,
+        }
+        rows = run_rows(tracer, registry, meta, spans=args.trace)
+        rows.extend(row.as_dict() for row in conformance)
+        written = write_jsonl(args.out, rows)
+        print(f"\nwrote {written} JSONL rows to {args.out}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -251,6 +349,23 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--pages", type=int, default=48)
     demo.add_argument("--seed", type=int, default=1)
     demo.set_defaults(handler=_cmd_demo)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="traced workload: per-phase totals, registry, Eq. 8 ratios",
+    )
+    metrics.add_argument("--queries", type=int, default=100)
+    metrics.add_argument("--pages", type=int, default=64)
+    metrics.add_argument("--cache", type=int, default=8)
+    metrics.add_argument("--c", type=float, default=2.0)
+    metrics.add_argument("--page-size", type=int, default=64, dest="page_size")
+    metrics.add_argument("--seed", type=int, default=1)
+    metrics.add_argument("--fine", action="store_true",
+                         help="also emit per-frame crypto spans")
+    metrics.add_argument("--trace", action="store_true",
+                         help="include individual span rows in --out JSONL")
+    metrics.add_argument("--out", default="", help="JSONL output path")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     report = sub.add_parser(
         "report", help="write a full markdown reproduction report"

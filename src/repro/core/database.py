@@ -24,6 +24,7 @@ from ..errors import ConfigurationError, PageDeletedError
 from ..hardware.cache import RANDOM_POLICY
 from ..hardware.coprocessor import SecureCoprocessor, SecureStorageReport
 from ..hardware.specs import HardwareSpec
+from ..obs.tracer import Tracer
 from ..shuffle.oblivious import ObliviousShuffler
 from ..shuffle.permutation import Permutation
 from ..sim.clock import VirtualClock
@@ -78,6 +79,8 @@ class PirDatabase:
         rollback_protection: bool = False,
         journal=None,
         read_retry=None,
+        tracer: Optional[Tracer] = None,
+        metrics=None,
     ) -> "PirDatabase":
         """Build, encrypt, permute and warm up a database from raw records.
 
@@ -97,6 +100,13 @@ class PirDatabase:
         enables crash-consistent write-back, and ``read_retry`` (a
         :class:`repro.faults.retry.RetryPolicy`) retries transient or
         unauthentic block reads with deterministic backoff.
+        ``tracer`` (a :class:`repro.obs.tracer.Tracer`) threads per-phase
+        span instrumentation through the coprocessor, disk and engine —
+        it is bound to the shared virtual clock so spans carry both wall
+        and deterministic virtual durations, and it is reset after setup
+        so the recorded phases cover requests only.  ``metrics`` (a
+        :class:`repro.obs.registry.MetricsRegistry`) gives the engine's
+        counters and latency histogram a process-wide home.
         """
         if not records:
             raise ConfigurationError("records must be non-empty")
@@ -116,6 +126,8 @@ class PirDatabase:
         rng = SecureRandom(seed)
         clock = VirtualClock()
         trace = AccessTrace(enabled=trace_enabled)
+        if tracer is not None:
+            tracer.bind_clock(clock)
         cop = SecureCoprocessor(
             num_pages=params.total_pages,
             cache_capacity=params.cache_capacity,
@@ -128,6 +140,7 @@ class PirDatabase:
             cipher_backend=cipher_backend,
             cache_policy=cache_policy,
             enforce_memory_limit=enforce_memory_limit,
+            tracer=tracer,
         )
         if disk_factory is None:
             disk = DiskStore(
@@ -136,11 +149,22 @@ class PirDatabase:
                 timing=cop.spec.disk,
                 clock=clock,
                 trace=trace,
+                tracer=tracer,
             )
         else:
+            # The factory signature predates the tracer; attach it after
+            # construction so existing factories keep working unchanged.
+            # Wrappers (FaultyDiskStore etc.) expose the wrapped store via
+            # ``inner`` — walk down so the store that actually performs the
+            # I/O emits the disk spans.
             disk = disk_factory(
                 params.num_locations, cop.frame_size, cop.spec.disk, clock, trace
             )
+            if tracer is not None:
+                store = disk
+                while store is not None:
+                    store.tracer = tracer
+                    store = getattr(store, "inner", None)
         if rollback_protection:
             disk = AuthenticatedDisk(disk)
 
@@ -184,8 +208,14 @@ class PirDatabase:
             cop.page_map.mark_deleted(page.page_id)
 
         engine = RetrievalEngine(
-            params, cop, disk, journal=journal, read_retry=read_retry
+            params, cop, disk, journal=journal, read_retry=read_retry,
+            tracer=tracer, metrics=metrics,
         )
+        if tracer is not None:
+            # Setup wrote the whole database through the instrumented disk;
+            # drop those spans so the trace covers requests only (that is
+            # what CostModelCheck compares against Eq. 8).
+            tracer.reset()
         return cls(params, cop, disk, engine)
 
     @staticmethod
@@ -264,6 +294,16 @@ class PirDatabase:
     @property
     def trace(self) -> AccessTrace:
         return self.disk.trace
+
+    @property
+    def tracer(self) -> Tracer:
+        """The phase tracer threaded through the stack (NULL when disabled)."""
+        return self.engine.tracer
+
+    @property
+    def metrics(self):
+        """The metrics registry the engine publishes into (None if unset)."""
+        return self.engine.metrics
 
     @property
     def achieved_c(self) -> float:

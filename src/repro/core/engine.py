@@ -64,6 +64,7 @@ from ..errors import (
 )
 from ..faults.retry import RetryPolicy, retry_call
 from ..hardware.coprocessor import SecureCoprocessor
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.metrics import CounterSet
 from ..storage.disk import DiskStore
 from ..storage.page import Page
@@ -132,6 +133,8 @@ class RetrievalEngine:
         disk: DiskStore,
         journal=None,
         read_retry: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics=None,
     ):
         if disk.num_locations != params.num_locations:
             raise ConfigurationError("disk size does not match parameters")
@@ -145,7 +148,15 @@ class RetrievalEngine:
         self.journal = journal
         self.read_retry = read_retry
         self._retry_rng = coprocessor.rng.spawn("engine-retry")
-        self.counters = CounterSet()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.counters = CounterSet(registry=metrics, prefix="engine.")
+        # Per-request virtual latency distribution — the Eq. 8 constant-cost
+        # claim shows up here as a degenerate (zero-variance) histogram.
+        self._query_hist = (
+            metrics.histogram("engine.query_seconds")
+            if metrics is not None else None
+        )
         self._next_block = 0
         self._request_count = 0
         self._rotation_requests_left: Optional[int] = None
@@ -301,6 +312,26 @@ class RetrievalEngine:
         # before computing anything against that state (see _heal_pending).
         self._heal_pending()
 
+        # The "request" span is the root of each query's trace: everything
+        # the request does (disk, link, crypto, journal, write-back) nests
+        # under it, and its virtual duration is what CostModelCheck compares
+        # against the full Eq. 8 prediction.
+        with self.tracer.span("request"):
+            result = self._execute_request(
+                target_id, new_payload, deleting, revive
+            )
+        self.counters.increment("requests")
+        if self._query_hist is not None and self.last_outcome is not None:
+            self._query_hist.observe(self.last_outcome.elapsed)
+        return result
+
+    def _execute_request(
+        self,
+        target_id: Optional[int],
+        new_payload: Optional[bytes],
+        deleting: bool,
+        revive: bool,
+    ) -> Page:
         pm = self.cop.page_map
         cache = self.cop.cache
         rng = self.cop.rng
@@ -324,25 +355,27 @@ class RetrievalEngine:
         # batched read (the paper's two-party prototype does the same).
         result: Optional[Page] = None
         cache_hit = False
-        if target_id is None:
-            extra_id = self._random_free_candidate(block_start)
-        else:
-            location = pm.lookup(target_id)
-            if location.in_cache:
-                cache_hit = True
-                result = cache.get(location.position)
-                extra_id = self._random_free_candidate(block_start)
-            elif deleting:
-                # Deletions are handled as cache hits (§4.3): random extra page.
-                extra_id = self._random_free_candidate(block_start)
-            elif block_start <= location.position < block_start + k:
+        with self.tracer.span("pagemap.lookup"):
+            if target_id is None:
                 extra_id = self._random_free_candidate(block_start)
             else:
-                extra_id = target_id  # line 9: p <- i
+                location = pm.lookup(target_id)
+                if location.in_cache:
+                    cache_hit = True
+                    result = cache.get(location.position)
+                    extra_id = self._random_free_candidate(block_start)
+                elif deleting:
+                    # Deletions are handled as cache hits (§4.3): random
+                    # extra page.
+                    extra_id = self._random_free_candidate(block_start)
+                elif block_start <= location.position < block_start + k:
+                    extra_id = self._random_free_candidate(block_start)
+                else:
+                    extra_id = target_id  # line 9: p <- i
+            extra_location = pm.disk_location(extra_id)
 
         # Lines 1, 10-11: read the block and page p, decrypt inside the
         # boundary (with bounded retries when a policy is configured).
-        extra_location = pm.disk_location(extra_id)
         block = self._fetch_block(block_start, k, extra_location)
 
         # Lines 12-16: locate the relocation target q within serverBlock.
@@ -381,28 +414,36 @@ class RetrievalEngine:
                             block[index] = page.mark_deleted()
                 flag_ops.append((target_id, FLAG_DELETED))
 
-        # Lines 17-18: move the target to a uniform slot within the block.
-        r = rng.randrange(k)
-        block[r], block[q] = block[q], block[r]
+        with self.tracer.span("cache.op"):
+            # Lines 17-18: move the target to a uniform slot within the block.
+            r = rng.randrange(k)
+            block[r], block[q] = block[q], block[r]
 
-        # Lines 19-20: swap with a cache slot.  A deletion of a cached page
-        # always selects that page as the victim (§4.3); otherwise the
-        # victim is the policy's choice (uniform under the paper's policy).
-        if deleting and target_id is not None and cache_hit:
-            s = pm.lookup(target_id).position
-        else:
-            s = cache.victim_slot()
-        evicted = self._pending_cache_view(cache_puts, s)
-        if evicted is None:
-            evicted = cache.get(s)
-        entering = block[r]
-        cache_puts.append((s, entering))
-        block[r] = evicted
+            # Lines 19-20: swap with a cache slot.  A deletion of a cached
+            # page always selects that page as the victim (§4.3); otherwise
+            # the victim is the policy's choice (uniform under the paper's
+            # policy).
+            with self.tracer.span("evict"):
+                if deleting and target_id is not None and cache_hit:
+                    s = pm.lookup(target_id).position
+                else:
+                    s = cache.victim_slot()
+                evicted = self._pending_cache_view(cache_puts, s)
+                if evicted is None:
+                    evicted = cache.get(s)
+            entering = block[r]
+            cache_puts.append((s, entering))
+            block[r] = evicted
 
-        # Lines 21-22: re-encrypt everything with fresh nonces.
+        # Lines 21-22: re-encrypt everything with fresh nonces.  The link
+        # egress charge keeps its own span (link.ingest/link.egress carry
+        # the Eq. 8 link-term bytes) so the reencrypt span's bytes feed the
+        # crypto term alone.
         self.cop.charge_egress(k + 1)
-        sealed = [self.cop.seal(page) for page in block[:k]]
-        sealed.append(self.cop.seal(block[k]))
+        with self.tracer.span("reencrypt",
+                              nbytes=(k + 1) * self.cop.frame_size):
+            sealed = [self.cop.seal(page) for page in block[:k]]
+            sealed.append(self.cop.seal(block[k]))
 
         # Lines 23-25 as a pending delta for the three relocated pages.
         map_ops = [
@@ -427,7 +468,8 @@ class RetrievalEngine:
         # ---- intend phase: make the post-state durable before applying it --
 
         if self.journal is not None:
-            self.journal.write(self.cop.seal_blob(intent.encode()))
+            with self.tracer.span("journal.seal"):
+                self.journal.write(self.cop.seal_blob(intent.encode()))
 
         # ---- apply phase: idempotent, replayable from the intent record ----
 
@@ -480,12 +522,14 @@ class RetrievalEngine:
 
         k = self.params.block_size
         try:
-            self.disk.write_request(
-                intent.block_start,
-                intent.frames[:k],
-                intent.extra_location,
-                intent.frames[k],
-            )
+            with self.tracer.span("write_back",
+                                  nbytes=(k + 1) * self.disk.frame_size):
+                self.disk.write_request(
+                    intent.block_start,
+                    intent.frames[:k],
+                    intent.extra_location,
+                    intent.frames[k],
+                )
         except Exception:
             # The trusted deltas above are already applied, so the pageMap
             # now points at frames that were never written.  Retain the
@@ -547,8 +591,10 @@ class RetrievalEngine:
                 block_start, k, extra_location
             )
             self.cop.charge_ingest(k + 1)
-            block = [self.cop.unseal(frame) for frame in frames]
-            block.append(self.cop.unseal(extra_frame))
+            with self.tracer.span("decrypt",
+                                  nbytes=(k + 1) * self.cop.frame_size):
+                block = [self.cop.unseal(frame) for frame in frames]
+                block.append(self.cop.unseal(extra_frame))
             return block
 
         if self.read_retry is None:

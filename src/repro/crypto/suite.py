@@ -45,6 +45,7 @@ from .modes import NONCE_SIZE, ctr_transform
 from .purestack import pure_hmac_sha256, pure_keystream_xor
 from .rng import SecureRandom
 from ..errors import AuthenticationError, CryptoError
+from ..obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["CipherSuite", "FRAME_OVERHEAD", "BACKENDS"]
 
@@ -75,11 +76,17 @@ class CipherSuite:
         master_key: bytes,
         backend: str = "aes",
         rng: Optional[SecureRandom] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if backend not in BACKENDS:
             raise CryptoError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.backend = backend
         self._rng = rng if rng is not None else SecureRandom()
+        # Per-frame crypto spans only exist at DETAIL_FINE; the flag is
+        # latched here so the per-frame hot path pays one attribute read,
+        # not a tracer-mode check, when tracing is off or phase-level.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._fine = self.tracer.fine
         self._enc_key = derive_key(master_key, "page-encryption", 16)
         self._mac_key = derive_key(master_key, "page-authentication", 32)
         self._aes: Optional[AES] = AES(self._enc_key) if backend == "aes" else None
@@ -123,8 +130,13 @@ class CipherSuite:
             nonce = self._rng.token(NONCE_SIZE)
         elif len(nonce) != NONCE_SIZE:
             raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
-        ciphertext = self._keystream_xor(nonce, plaintext)
-        tag = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+        if self._fine:
+            with self.tracer.fine_span("crypto.encrypt", nbytes=len(plaintext)):
+                ciphertext = self._keystream_xor(nonce, plaintext)
+                tag = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+        else:
+            ciphertext = self._keystream_xor(nonce, plaintext)
+            tag = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
         return nonce + ciphertext + tag
 
     def decrypt_page(self, frame: bytes) -> bytes:
@@ -136,12 +148,19 @@ class CipherSuite:
         nonce = frame[:NONCE_SIZE]
         ciphertext = frame[NONCE_SIZE : len(frame) - TAG_SIZE]
         tag = frame[len(frame) - TAG_SIZE :]
-        expected = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+        if self._fine:
+            with self.tracer.fine_span("crypto.mac_verify", nbytes=len(frame)):
+                expected = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+        else:
+            expected = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
         diff = 0
         for a, b in zip(expected, tag):
             diff |= a ^ b
         if diff != 0 or len(tag) != TAG_SIZE:
             raise AuthenticationError("page frame failed MAC verification")
+        if self._fine:
+            with self.tracer.fine_span("crypto.keystream", nbytes=len(ciphertext)):
+                return self._keystream_xor(nonce, ciphertext)
         return self._keystream_xor(nonce, ciphertext)
 
     def frame_size(self, payload_size: int) -> int:

@@ -198,10 +198,16 @@ class FaultInjector:
         seed: int = 0,
         plans: Sequence[FaultPlan] = (),
         counters: Optional[CounterSet] = None,
+        registry=None,
     ):
         self.rng = SecureRandom(seed)
         self.plans: List[FaultPlan] = list(plans)
-        self.counters = counters if counters is not None else CounterSet()
+        if counters is not None:
+            self.counters = counters
+            if registry is not None:
+                counters.bind_registry(registry, prefix="faults.")
+        else:
+            self.counters = CounterSet(registry=registry, prefix="faults.")
         # Cumulative frames seen per site (drives crash thresholds).
         self._frames_seen: Dict[str, int] = {site: 0 for site in _SITES}
 

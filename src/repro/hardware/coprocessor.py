@@ -24,6 +24,7 @@ from .specs import HardwareSpec
 from ..crypto.rng import SecureRandom
 from ..crypto.suite import CipherSuite
 from ..errors import AuthenticationError, CapacityError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.clock import VirtualClock
 from ..storage.page import Page
 
@@ -74,11 +75,14 @@ class SecureCoprocessor:
         cipher_backend: str = "blake2",
         cache_policy: str = RANDOM_POLICY,
         enforce_memory_limit: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         self.spec = spec if spec is not None else HardwareSpec.instantaneous()
         self.clock = clock if clock is not None else VirtualClock()
         self.rng = rng if rng is not None else SecureRandom()
-        self.suite = CipherSuite(master_key, backend=cipher_backend, rng=self.rng)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.suite = CipherSuite(master_key, backend=cipher_backend, rng=self.rng,
+                                 tracer=self.tracer)
         self._legacy_suite: Optional[CipherSuite] = None
         self.page_capacity = page_capacity
         self.block_size = block_size
@@ -114,7 +118,8 @@ class SecureCoprocessor:
             raise CapacityError("a key rotation is already in progress")
         self._legacy_suite = self.suite
         self.suite = CipherSuite(
-            new_master_key, backend=self.suite.backend, rng=self.rng
+            new_master_key, backend=self.suite.backend, rng=self.rng,
+            tracer=self.tracer,
         )
         if self.suite.frame_size(self.plaintext_page_size) != self.frame_size:
             raise CapacityError("rotation must preserve the frame size")
@@ -170,11 +175,15 @@ class SecureCoprocessor:
 
     def charge_ingest(self, num_frames: int) -> None:
         """Clock cost of pulling ``num_frames`` frames in and decrypting them."""
-        self.clock.advance(self.spec.ingest_time(num_frames * self.frame_size))
+        nbytes = num_frames * self.frame_size
+        with self.tracer.span("link.ingest", nbytes=nbytes):
+            self.clock.advance(self.spec.ingest_time(nbytes))
 
     def charge_egress(self, num_frames: int) -> None:
         """Clock cost of re-encrypting ``num_frames`` frames and pushing them out."""
-        self.clock.advance(self.spec.egress_time(num_frames * self.frame_size))
+        nbytes = num_frames * self.frame_size
+        with self.tracer.span("link.egress", nbytes=nbytes):
+            self.clock.advance(self.spec.egress_time(nbytes))
 
     # -- storage accounting --------------------------------------------------------
 

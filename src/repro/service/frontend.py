@@ -52,6 +52,7 @@ class QueryFrontend:
         self,
         database: PirDatabase,
         health: Optional[HealthMonitor] = None,
+        metrics=None,
     ):
         self.database = database
         self._sessions: Dict[int, CipherSuite] = {}
@@ -59,12 +60,14 @@ class QueryFrontend:
         # request, for at-least-once duplicate suppression (see serve()).
         self._last_replies: Dict[int, Tuple[bytes, bytes]] = {}
         self._next_session = 1
-        self.counters = CounterSet()
+        self.counters = CounterSet(registry=metrics, prefix="frontend.")
         self.health = (
             health
             if health is not None
-            else HealthMonitor(database.clock, counters=self.counters)
+            else HealthMonitor(database.clock, counters=self.counters,
+                               registry=metrics)
         )
+        self.tracer = database.tracer
 
     # -- session management ----------------------------------------------------
 
@@ -124,32 +127,35 @@ class QueryFrontend:
         re-execute, which is safe because a refused request mutated
         nothing durable.
         """
-        suite = self.session_suite(session_id)
-        cached = self._last_replies.get(session_id)
-        if cached is not None and cached[0] == sealed_request:
-            self.counters.increment("requests.duplicate")
-            return cached[1]
-        try:
-            request = protocol.decode_client_message(
-                suite.decrypt_page(sealed_request)
-            )
-        except ReproError as exc:
-            # A request that cannot even be opened is the client's problem
-            # (wrong key, garbage bytes); it never reaches the engine and
-            # never counts against service health.
-            reply = self._refusal_for(exc, affects_health=False)
-        else:
+        with self.tracer.span("frontend.serve"):
+            suite = self.session_suite(session_id)
+            cached = self._last_replies.get(session_id)
+            if cached is not None and cached[0] == sealed_request:
+                self.counters.increment("requests.duplicate")
+                return cached[1]
             try:
-                self.health.check()
-                reply = self._dispatch(request)
-                self.health.record_success()
+                request = protocol.decode_client_message(
+                    suite.decrypt_page(sealed_request)
+                )
             except ReproError as exc:
-                reply = self._refusal_for(exc)
-        self.counters.increment("requests")
-        sealed_reply = suite.encrypt_page(protocol.encode_client_message(reply))
-        if not isinstance(reply, protocol.Refused):
-            self._last_replies[session_id] = (sealed_request, sealed_reply)
-        return sealed_reply
+                # A request that cannot even be opened is the client's
+                # problem (wrong key, garbage bytes); it never reaches the
+                # engine and never counts against service health.
+                reply = self._refusal_for(exc, affects_health=False)
+            else:
+                try:
+                    self.health.check()
+                    reply = self._dispatch(request)
+                    self.health.record_success()
+                except ReproError as exc:
+                    reply = self._refusal_for(exc)
+            self.counters.increment("requests")
+            sealed_reply = suite.encrypt_page(
+                protocol.encode_client_message(reply)
+            )
+            if not isinstance(reply, protocol.Refused):
+                self._last_replies[session_id] = (sealed_request, sealed_reply)
+            return sealed_reply
 
     def _refusal_for(
         self, exc: ReproError, affects_health: bool = True

@@ -150,7 +150,13 @@ class HealthMonitor:
 
     ``retry_hint`` is the base retry-after suggestion; the advertised hint
     grows linearly with the current fault streak, capped at ``max_hint``.
+
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) exposes
+    the live state as gauges: ``health.state`` (0 healthy, 1 degraded,
+    2 failed) and ``health.fault_streak``.
     """
+
+    _STATE_CODES = {HEALTHY: 0, DEGRADED: 1, FAILED: 2}
 
     def __init__(
         self,
@@ -160,6 +166,7 @@ class HealthMonitor:
         retry_hint: float = 0.05,
         max_hint: float = 5.0,
         counters: Optional[CounterSet] = None,
+        registry=None,
     ):
         if degrade_after < 1 or fail_after < degrade_after:
             raise ConfigurationError(
@@ -171,8 +178,21 @@ class HealthMonitor:
         self.retry_hint = retry_hint
         self.max_hint = max_hint
         self.counters = counters if counters is not None else CounterSet()
+        self._state_gauge = (
+            registry.gauge("health.state") if registry is not None else None
+        )
+        self._streak_gauge = (
+            registry.gauge("health.fault_streak")
+            if registry is not None else None
+        )
         self.state = HEALTHY
         self._streak = 0
+        self._publish()
+
+    def _publish(self) -> None:
+        if self._state_gauge is not None:
+            self._state_gauge.set(self._STATE_CODES[self.state])
+            self._streak_gauge.set(self._streak)
 
     @property
     def fault_streak(self) -> int:
@@ -196,6 +216,7 @@ class HealthMonitor:
         if self.state == DEGRADED:
             self.state = HEALTHY
             self.counters.increment("health.recovered")
+        self._publish()
 
     def record_fault(self, fatal: bool = False) -> None:
         self._streak += 1
@@ -207,6 +228,7 @@ class HealthMonitor:
         elif self.state == HEALTHY and self._streak >= self.degrade_after:
             self.state = DEGRADED
             self.counters.increment("health.degraded")
+        self._publish()
 
     def mark_recovered(self) -> None:
         """Operator/recovery acknowledgement: return to service."""
@@ -214,3 +236,4 @@ class HealthMonitor:
         if self.state != HEALTHY:
             self.counters.increment("health.recovered")
         self.state = HEALTHY
+        self._publish()

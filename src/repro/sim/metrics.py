@@ -5,12 +5,20 @@ baseline comparisons.  The paper's central empirical claim is about latency
 *distribution shape* (constant for this scheme, heavy-tailed for amortized
 schemes), so :class:`LatencySeries` keeps the full sample and exposes exact
 order statistics rather than streaming approximations.
+
+Both accumulators can *mirror* into the unified
+:class:`~repro.obs.registry.MetricsRegistry` (see DESIGN.md §9): a
+``CounterSet`` built with ``registry=`` forwards every increment to a
+registry counter under its ``prefix``, and a ``LatencySeries`` built with
+``histogram=`` feeds each sample into a registry histogram.  The legacy
+in-place behaviour is unchanged when neither is supplied; new code should
+prefer the registry directly.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..errors import ConfigurationError
 
@@ -18,19 +26,41 @@ __all__ = ["LatencySeries", "CounterSet"]
 
 
 class LatencySeries:
-    """Collects per-operation latencies (seconds) and summarises them."""
+    """Collects per-operation latencies (seconds) and summarises them.
 
-    def __init__(self) -> None:
+    ``histogram`` is an optional sink with an ``observe(value)`` method
+    (e.g. :class:`repro.obs.registry.Histogram`); every accepted sample is
+    forwarded to it.
+    """
+
+    def __init__(self, histogram=None) -> None:
         self._samples: List[float] = []
+        self._histogram = histogram
 
     def record(self, latency: float) -> None:
         if latency < 0:
             raise ConfigurationError(f"negative latency {latency}")
         self._samples.append(latency)
+        if self._histogram is not None:
+            self._histogram.observe(latency)
 
     def extend(self, latencies: Iterable[float]) -> None:
-        for value in latencies:
-            self.record(value)
+        """Record a batch of samples, atomically.
+
+        The whole iterable is validated before any sample is committed, so
+        a negative latency in the middle of the batch leaves the series
+        (and the mirrored histogram) exactly as it was — previously the
+        leading valid samples were appended and then the error raised,
+        leaving the series partially mutated.
+        """
+        values = [float(value) for value in latencies]
+        for value in values:
+            if value < 0:
+                raise ConfigurationError(f"negative latency {value}")
+        self._samples.extend(values)
+        if self._histogram is not None:
+            for value in values:
+                self._histogram.observe(value)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -97,15 +127,27 @@ class LatencySeries:
 
 
 class CounterSet:
-    """Named monotonically increasing counters."""
+    """Named monotonically increasing counters.
 
-    def __init__(self) -> None:
+    With ``registry=`` (a :class:`~repro.obs.registry.MetricsRegistry`),
+    every increment is mirrored to ``registry.counter(prefix + name)`` —
+    the migration path that lets the engine, frontend, health monitor and
+    fault injector publish into the unified registry without changing any
+    call site.  ``reset()`` clears only the local counts; the registry's
+    counters are monotonic by contract and keep their values.
+    """
+
+    def __init__(self, registry=None, prefix: str = "") -> None:
         self._counts: Dict[str, int] = {}
+        self._registry = registry
+        self._prefix = prefix
 
     def increment(self, name: str, amount: int = 1) -> None:
         if amount < 0:
             raise ConfigurationError("counter increments must be non-negative")
         self._counts[name] = self._counts.get(name, 0) + amount
+        if self._registry is not None:
+            self._registry.counter(self._prefix + name).inc(amount)
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
@@ -122,6 +164,19 @@ class CounterSet:
         """
         for name, amount in other.as_dict().items():
             self.increment(prefix + name, amount)
+
+    def bind_registry(self, registry, prefix: Optional[str] = None) -> None:
+        """Start mirroring future increments into ``registry``.
+
+        Existing local counts are folded in immediately so the registry
+        view is complete from the moment of binding.
+        """
+        self._registry = registry
+        if prefix is not None:
+            self._prefix = prefix
+        if registry is not None:
+            for name, amount in self._counts.items():
+                registry.counter(self._prefix + name).inc(amount)
 
     def reset(self) -> None:
         self._counts.clear()

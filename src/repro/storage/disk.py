@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from .timing import DiskTimingModel
 from .trace import READ, WRITE, AccessEvent, AccessTrace
 from ..errors import StorageError
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..sim.clock import VirtualClock
 
 __all__ = ["DiskStore"]
@@ -30,6 +31,7 @@ class DiskStore:
         timing: Optional[DiskTimingModel] = None,
         clock: Optional[VirtualClock] = None,
         trace: Optional[AccessTrace] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if num_locations <= 0:
             raise StorageError("disk must have at least one location")
@@ -40,6 +42,7 @@ class DiskStore:
         self.timing = timing if timing is not None else DiskTimingModel.instantaneous()
         self.clock = clock if clock is not None else VirtualClock()
         self.trace = trace if trace is not None else AccessTrace()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._frames: List[Optional[bytes]] = [None] * num_locations
         # Ordinal of the in-flight client request; set by the engine so the
         # trace can attribute accesses to requests.
@@ -72,16 +75,20 @@ class DiskStore:
     def read_range(self, location: int, count: int) -> List[bytes]:
         """Read ``count`` consecutive frames as one contiguous disk access."""
         self._check_range(location, count)
-        self.clock.advance(self.timing.read_time(count * self.frame_size))
-        frames: List[bytes] = []
-        for offset in range(count):
-            frame = self._frames[location + offset]
-            if frame is None:
-                raise StorageError(f"location {location + offset} was never written")
-            frames.append(frame)
-        self.trace.record(
-            AccessEvent(READ, location, count, self.current_request, self.clock.now)
-        )
+        with self.tracer.span("disk.read", nbytes=count * self.frame_size):
+            self.clock.advance(self.timing.read_time(count * self.frame_size))
+            frames: List[bytes] = []
+            for offset in range(count):
+                frame = self._frames[location + offset]
+                if frame is None:
+                    raise StorageError(
+                        f"location {location + offset} was never written"
+                    )
+                frames.append(frame)
+            self.trace.record(
+                AccessEvent(READ, location, count, self.current_request,
+                            self.clock.now)
+            )
         return frames
 
     def write(self, location: int, frame: bytes) -> None:
@@ -93,12 +100,17 @@ class DiskStore:
         self._check_range(location, len(frames))
         for frame in frames:
             self._check_frame(frame)
-        self.clock.advance(self.timing.write_time(len(frames) * self.frame_size))
-        for offset, frame in enumerate(frames):
-            self._frames[location + offset] = frame
-        self.trace.record(
-            AccessEvent(WRITE, location, len(frames), self.current_request, self.clock.now)
-        )
+        with self.tracer.span("disk.write",
+                              nbytes=len(frames) * self.frame_size):
+            self.clock.advance(
+                self.timing.write_time(len(frames) * self.frame_size)
+            )
+            for offset, frame in enumerate(frames):
+                self._frames[location + offset] = frame
+            self.trace.record(
+                AccessEvent(WRITE, location, len(frames), self.current_request,
+                            self.clock.now)
+            )
 
     # -- request-granular access -----------------------------------------------
     #

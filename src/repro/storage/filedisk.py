@@ -28,6 +28,7 @@ from .disk import DiskStore
 from .timing import DiskTimingModel
 from .trace import READ, WRITE, AccessEvent, AccessTrace
 from ..errors import ConfigurationError, StorageError
+from ..obs.tracer import Tracer
 from ..sim.clock import VirtualClock
 
 __all__ = ["FileDiskStore", "SYNC_ALWAYS", "SYNC_ON_FLUSH", "SYNC_NEVER"]
@@ -51,8 +52,10 @@ class FileDiskStore(DiskStore):
         clock: Optional[VirtualClock] = None,
         trace: Optional[AccessTrace] = None,
         sync_policy: str = SYNC_ON_FLUSH,
+        tracer: Optional[Tracer] = None,
     ):
-        super().__init__(num_locations, frame_size, timing, clock, trace)
+        super().__init__(num_locations, frame_size, timing, clock, trace,
+                         tracer)
         if sync_policy not in _SYNC_POLICIES:
             raise ConfigurationError(
                 f"unknown sync_policy {sync_policy!r}; "
@@ -83,36 +86,43 @@ class FileDiskStore(DiskStore):
                 raise StorageError(
                     f"location {location + offset} was never written"
                 )
-        self.clock.advance(self.timing.read_time(count * self.frame_size))
-        self._file.seek(location * self.frame_size)
-        blob = self._file.read(count * self.frame_size)
-        if len(blob) != count * self.frame_size:
-            raise StorageError("short read from backing file")
-        frames = [
-            blob[i * self.frame_size : (i + 1) * self.frame_size]
-            for i in range(count)
-        ]
-        self.trace.record(
-            AccessEvent(READ, location, count, self.current_request, self.clock.now)
-        )
+        with self.tracer.span("disk.read", nbytes=count * self.frame_size):
+            self.clock.advance(self.timing.read_time(count * self.frame_size))
+            self._file.seek(location * self.frame_size)
+            blob = self._file.read(count * self.frame_size)
+            if len(blob) != count * self.frame_size:
+                raise StorageError("short read from backing file")
+            frames = [
+                blob[i * self.frame_size : (i + 1) * self.frame_size]
+                for i in range(count)
+            ]
+            self.trace.record(
+                AccessEvent(READ, location, count, self.current_request,
+                            self.clock.now)
+            )
         return frames
 
     def write_range(self, location: int, frames: Sequence[bytes]) -> None:
         self._check_range(location, len(frames))
         for frame in frames:
             self._check_frame(frame)
-        self.clock.advance(self.timing.write_time(len(frames) * self.frame_size))
-        self._file.seek(location * self.frame_size)
-        self._file.write(b"".join(frames))
-        if self.sync_policy == SYNC_ALWAYS:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-        for offset in range(len(frames)):
-            self._mark_written(location + offset)
-        self.trace.record(
-            AccessEvent(WRITE, location, len(frames), self.current_request,
-                        self.clock.now)
-        )
+        with self.tracer.span("disk.write",
+                              nbytes=len(frames) * self.frame_size):
+            self.clock.advance(
+                self.timing.write_time(len(frames) * self.frame_size)
+            )
+            self._file.seek(location * self.frame_size)
+            self._file.write(b"".join(frames))
+            if self.sync_policy == SYNC_ALWAYS:
+                with self.tracer.span("disk.fsync"):
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+            for offset in range(len(frames)):
+                self._mark_written(location + offset)
+            self.trace.record(
+                AccessEvent(WRITE, location, len(frames), self.current_request,
+                            self.clock.now)
+            )
 
     def peek(self, location: int) -> Optional[bytes]:
         if location < 0 or location >= self.num_locations:
@@ -131,9 +141,10 @@ class FileDiskStore(DiskStore):
 
     def flush(self) -> None:
         """Push buffered frames down; fsync unless the policy says never."""
-        self._file.flush()
-        if self.sync_policy != SYNC_NEVER:
-            os.fsync(self._file.fileno())
+        with self.tracer.span("disk.fsync"):
+            self._file.flush()
+            if self.sync_policy != SYNC_NEVER:
+                os.fsync(self._file.fileno())
 
     def close(self) -> None:
         """Durably close the store; idempotent and crash-safe.

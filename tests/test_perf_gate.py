@@ -1,0 +1,190 @@
+"""End-to-end tests of the perf-gate pipeline and the metrics CLI.
+
+Drives ``benchmarks/bench_engine.py`` (script mode) and
+``benchmarks/compare_bench.py`` in-process with a small pinned workload:
+clean run vs. clean run passes, a synthetic phase slowdown fails, and
+incomparable metas are rejected.  Also exercises ``python -m repro
+metrics`` end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from os import path
+
+import pytest
+
+from repro import cli
+from repro.obs import read_jsonl, rows_by_kind
+
+_BENCHMARKS = path.join(path.dirname(__file__), "..", "benchmarks")
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+import bench_engine  # noqa: E402
+import compare_bench  # noqa: E402
+
+QUERIES = "30"
+SEED = "7"
+
+
+def run_bench(out, *extra):
+    argv = ["--queries", QUERIES, "--seed", SEED, "--out", str(out)]
+    argv.extend(extra)
+    assert bench_engine.main(argv) == 0
+
+
+class TestBenchEngineScript:
+    def test_emits_meta_and_phase_rows(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        run_bench(out)
+        rows = read_jsonl(str(out))
+        metas = rows_by_kind(rows, "meta")
+        assert len(metas) == 1
+        meta = metas[0]
+        assert meta["queries"] == 30
+        assert meta["seed"] == 7
+        assert meta["calibration_s"] > 0.0
+        phases = rows_by_kind(rows, "phase")
+        names = {row["name"] for row in phases}
+        assert {"request", "decrypt", "reencrypt", "write_back"} <= names
+        request = next(r for r in phases if r["name"] == "request")
+        assert request["count"] == 30
+        assert request["errors"] == 0
+
+    def test_deterministic_across_runs(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_bench(first)
+        run_bench(second)
+        one = {r["name"]: r for r in
+               rows_by_kind(read_jsonl(str(first)), "phase")}
+        two = {r["name"]: r for r in
+               rows_by_kind(read_jsonl(str(second)), "phase")}
+        assert set(one) == set(two)
+        for name, row in one.items():
+            for key in ("count", "bytes", "errors"):
+                assert row[key] == two[name][key], (name, key)
+            assert row["virtual_s"] == pytest.approx(
+                two[name]["virtual_s"], rel=1e-12
+            )
+
+    def test_slow_phase_argument_validation(self):
+        with pytest.raises(SystemExit):
+            bench_engine._parse_slow_phase("decrypt")  # missing :factor
+        assert bench_engine._parse_slow_phase("decrypt:2.5") == {
+            "decrypt": 2.5
+        }
+
+
+class TestCompareBench:
+    def test_clean_runs_pass_the_gate(self, tmp_path):
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        run_bench(current)
+        assert compare_bench.main(
+            [str(baseline), str(current), "--threshold", "1.0"]
+        ) == 0
+
+    def test_synthetic_slowdown_fails_the_gate(self, tmp_path, capsys):
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        run_bench(current, "--slow-phase", "decrypt:3.0")
+        # At this tiny query count decrypt's baseline wall sits below the
+        # default --min-wall floor, so lower it to keep the phase gated.
+        assert compare_bench.main(
+            [str(baseline), str(current), "--threshold", "1.0",
+             "--min-wall", "0.001"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "decrypt" in out and "REGRESSED" in out
+
+    def test_deterministic_drift_fails_even_when_fast(self, tmp_path):
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        run_bench(current)
+        rows = read_jsonl(str(current))
+        for row in rows:
+            if row.get("kind") == "phase" and row["name"] == "disk.read":
+                row["count"] += 1  # simulate an extra disk access
+        with open(current, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        assert compare_bench.main(
+            [str(baseline), str(current), "--threshold", "1.0"]
+        ) == 1
+
+    def test_incomparable_metas_exit_2(self, tmp_path):
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        argv = ["--queries", "20", "--seed", SEED, "--out", str(current)]
+        assert bench_engine.main(argv) == 0
+        assert compare_bench.main([str(baseline), str(current)]) == 2
+
+    def test_malformed_input_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        ok = tmp_path / "ok.jsonl"
+        run_bench(ok)
+        assert compare_bench.main([str(bad), str(ok)]) == 2
+
+    def test_missing_phase_is_a_regression(self, tmp_path):
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        run_bench(current)
+        rows = [row for row in read_jsonl(str(current))
+                if not (row.get("kind") == "phase"
+                        and row["name"] == "journal.seal")]
+        with open(current, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        assert compare_bench.main(
+            [str(baseline), str(current), "--threshold", "1.0"]
+        ) == 1
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = path.join(
+            _BENCHMARKS, "results", "perf_baseline.jsonl"
+        )
+        run = compare_bench.load_run(baseline)
+        assert run["calibration"] > 0.0
+        assert "request" in run["phases"]
+
+
+class TestMetricsCli:
+    def test_metrics_command_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "metrics.jsonl"
+        code = cli.main([
+            "metrics", "--queries", "20", "--pages", "32", "--cache", "4",
+            "--page-size", "32", "--seed", "5", "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "request" in stdout
+        assert "ratio" in stdout
+        # Every Eq. 8 conformance ratio prints as exactly 1.0 on a clean run.
+        assert "engine.requests" in stdout
+
+        rows = read_jsonl(str(out))
+        kinds = {row["kind"] for row in rows}
+        assert {"meta", "phase", "counter", "costcheck"} <= kinds
+        checks = rows_by_kind(rows, "costcheck")
+        assert {row["term"] for row in checks} == {
+            "seek", "disk", "link", "crypto", "total"
+        }
+        for row in checks:
+            assert row["ratio"] == pytest.approx(1.0, rel=1e-9)
+
+    def test_metrics_trace_flag_exports_spans(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        code = cli.main([
+            "metrics", "--queries", "5", "--pages", "32", "--cache", "4",
+            "--page-size", "32", "--seed", "5", "--trace",
+            "--out", str(out),
+        ])
+        assert code == 0
+        spans = rows_by_kind(read_jsonl(str(out)), "span")
+        assert spans
+        assert any(row["name"] == "request" for row in spans)
+        roots = [row for row in spans if row["name"] == "request"]
+        assert all(row["parent"] is None for row in roots)
