@@ -1,0 +1,233 @@
+"""Parallel shard dispatch + batched crypto pipeline benchmark.
+
+Quantifies the two changes of the parallel-execution PR:
+
+* **Shard-level parallelism** — the same pinned query stream is driven
+  through a 4-shard partitioned deployment twice, with the
+  :class:`~repro.core.sharded.ShardExecutor` in serial and in parallel
+  mode.  Per-shard state is identical in both runs (each shard owns its
+  clock/RNG), so the deterministic speedup is the ratio of the summed
+  shard clocks (one unit doing everything in turn) to their max (parallel
+  hardware) — the quantity the paper's §5 partitioning argument prices.
+  The run *fails* if that ratio drops below 2x on 4 shards, which would
+  mean cover traffic stopped equalising shard work.
+* **Batched crypto** — a microbench of ``encrypt_pages``/``decrypt_pages``
+  over block-sized batches, the call shape the engine now uses (two suite
+  entries per request instead of ``2(k+1)``).
+
+Besides the pytest checks, this file is a script::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick --out run.jsonl
+
+emitting the perf-gate JSONL layout (meta line + phase rows) that
+``benchmarks/compare_bench.py`` diffs against
+``benchmarks/results/perf_baseline_parallel.jsonl``.  The count/bytes/
+virtual-second columns are deterministic under the pinned seed; wall
+times are calibration-normalised by the gate.  CI passes a looser
+wall threshold for this lane than for the single-engine one because
+thread scheduling adds jitter that the virtual columns are immune to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from os import path
+from typing import List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode from a checkout without PYTHONPATH
+    sys.path.insert(0, path.join(path.dirname(__file__), "..", "src"))
+
+from repro.baselines import make_records
+from repro.core.sharded import ShardedPirDatabase
+from repro.crypto.rng import SecureRandom
+from repro.crypto.suite import CipherSuite
+
+#: Pinned workload shape — change it and the committed baseline together.
+DEFAULT_SEED = 4321
+DEFAULT_QUERIES = 240
+QUICK_QUERIES = 80
+_BENCH_RECORDS = 128
+_BENCH_SHARDS = 4
+_BENCH_PAGE_SIZE = 64
+_CACHE_PER_SHARD = 4
+_CRYPTO_BATCH_FRAMES = 9   # a k=8 block plus the extra frame
+_CRYPTO_BATCH_ROUNDS = 60
+
+
+def run_workload(parallel: bool, queries: int, seed: int):
+    """Drive the pinned query stream; returns (payloads, db, wall_seconds)."""
+    from repro.hardware.specs import IBM_4764
+
+    db = ShardedPirDatabase.create(
+        make_records(_BENCH_RECORDS, _BENCH_PAGE_SIZE),
+        _BENCH_SHARDS,
+        cache_capacity_per_shard=_CACHE_PER_SHARD,
+        target_c=2.0,
+        page_capacity=_BENCH_PAGE_SIZE,
+        cover_traffic=True,
+        spec=IBM_4764,
+        seed=seed,
+        parallel=parallel,
+        cipher_backend="blake2",
+        trace_enabled=False,
+    )
+    start = time.perf_counter()
+    payloads = [db.query(index % _BENCH_RECORDS) for index in range(queries)]
+    wall = time.perf_counter() - start
+    db.close()
+    return payloads, db, wall
+
+
+def run_crypto_batch(seed: int):
+    """Batched seal/unseal microbench; returns (frames, frame_bytes, wall)."""
+    suite = CipherSuite(b"bench-batch", backend="blake2",
+                        rng=SecureRandom(seed))
+    plaintexts = [bytes([i]) * _BENCH_PAGE_SIZE
+                  for i in range(_CRYPTO_BATCH_FRAMES)]
+    start = time.perf_counter()
+    frame_bytes = 0
+    for _ in range(_CRYPTO_BATCH_ROUNDS):
+        frames = suite.encrypt_pages(plaintexts)
+        frame_bytes += sum(len(frame) for frame in frames)
+        assert suite.decrypt_pages(frames) == plaintexts
+    wall = time.perf_counter() - start
+    return 2 * _CRYPTO_BATCH_ROUNDS * _CRYPTO_BATCH_FRAMES, frame_bytes * 2, wall
+
+
+# ---------------------------------------------------------------------------
+# Pytest checks (collected with the benchmark suite)
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_matches_serial_and_speeds_up(report):
+    """Byte-identical replies, equal shard clocks, >= 2x virtual speedup."""
+    serial_payloads, serial_db, serial_wall = run_workload(
+        False, QUICK_QUERIES, DEFAULT_SEED
+    )
+    parallel_payloads, parallel_db, parallel_wall = run_workload(
+        True, QUICK_QUERIES, DEFAULT_SEED
+    )
+    assert parallel_payloads == serial_payloads
+    assert [s.clock.now for s in parallel_db.shards] == [
+        s.clock.now for s in serial_db.shards
+    ]
+    assert parallel_db.shard_request_counts() == \
+        serial_db.shard_request_counts()
+    parallel_db.consistency_check()
+
+    speedup = parallel_db.elapsed_serial() / parallel_db.elapsed()
+    assert speedup >= 2.0, (
+        f"virtual speedup {speedup:.2f}x < 2x on {_BENCH_SHARDS} shards"
+    )
+    report.line(f"{_BENCH_SHARDS}-shard deployment, {QUICK_QUERIES} queries, "
+                f"blake2 backend")
+    report.table(
+        ["mode", "wall (s)", "virtual (s)"],
+        [
+            ["serial", serial_wall, serial_db.elapsed_serial()],
+            ["parallel", parallel_wall, parallel_db.elapsed()],
+        ],
+    )
+    report.line(f"deterministic speedup (summed/max shard clocks): "
+                f"{speedup:.2f}x")
+
+
+def test_batch_crypto_roundtrip_counts():
+    frames, nbytes, _wall = run_crypto_batch(DEFAULT_SEED)
+    assert frames == 2 * _CRYPTO_BATCH_ROUNDS * _CRYPTO_BATCH_FRAMES
+    assert nbytes > frames * _BENCH_PAGE_SIZE  # overhead included
+
+
+# ---------------------------------------------------------------------------
+# Script mode: structured JSONL for the CI perf gate
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        from bench_engine import calibration_seconds  # script mode
+    except ImportError:
+        from benchmarks.bench_engine import calibration_seconds
+    from repro.obs import write_jsonl
+
+    parser = argparse.ArgumentParser(
+        description="parallel-dispatch benchmark (JSONL for the CI perf gate)"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run {QUICK_QUERIES} queries instead of "
+                             f"{DEFAULT_QUERIES}")
+    parser.add_argument("--queries", type=int, default=0,
+                        help="explicit query count (overrides --quick)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--out", default="",
+                        help="JSONL output path (default stdout)")
+    args = parser.parse_args(argv)
+
+    queries = args.queries or (QUICK_QUERIES if args.quick else DEFAULT_QUERIES)
+    calibration = calibration_seconds()
+    serial_payloads, serial_db, serial_wall = run_workload(
+        False, queries, args.seed
+    )
+    parallel_payloads, parallel_db, parallel_wall = run_workload(
+        True, queries, args.seed
+    )
+    if parallel_payloads != serial_payloads:
+        print("error: parallel run diverged from serial run", file=sys.stderr)
+        return 2
+    frames, crypto_bytes, crypto_wall = run_crypto_batch(args.seed)
+
+    virtual_speedup = parallel_db.elapsed_serial() / parallel_db.elapsed()
+    if virtual_speedup < 2.0:
+        print(f"error: virtual speedup {virtual_speedup:.2f}x < 2x",
+              file=sys.stderr)
+        return 1
+
+    rows = [{
+        "kind": "meta",
+        "queries": queries,
+        "seed": args.seed,
+        "pages": _BENCH_RECORDS,
+        "block_size": serial_db.shards[0].params.block_size,
+        "page_size": _BENCH_PAGE_SIZE,
+        "shards": _BENCH_SHARDS,
+        "calibration_s": calibration,
+        # Informational (not gated): wall speedup is scheduler-dependent.
+        "virtual_speedup": virtual_speedup,
+        "wall_speedup": serial_wall / parallel_wall if parallel_wall else 0.0,
+    }]
+    total_ops = queries * _BENCH_SHARDS  # real op + covers per query
+    rows.append({
+        "kind": "phase", "name": "dispatch.serial",
+        "count": total_ops, "bytes": 0,
+        "virtual_s": serial_db.elapsed_serial(), "wall_s": serial_wall,
+    })
+    rows.append({
+        "kind": "phase", "name": "dispatch.parallel",
+        "count": total_ops, "bytes": 0,
+        "virtual_s": parallel_db.elapsed(), "wall_s": parallel_wall,
+    })
+    rows.append({
+        "kind": "phase", "name": "crypto.batch",
+        "count": frames, "bytes": crypto_bytes,
+        "virtual_s": 0.0, "wall_s": crypto_wall,
+    })
+    if args.out:
+        written = write_jsonl(args.out, rows)
+        print(f"wrote {written} rows ({queries} queries, "
+              f"virtual speedup {virtual_speedup:.2f}x, "
+              f"wall speedup {serial_wall / parallel_wall:.2f}x) "
+              f"to {args.out}")
+    else:
+        import json
+
+        for row in rows:
+            print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,33 +18,150 @@ request (``touch``) on every other shard, restoring indistinguishability at
 the cost of the parallel-hardware latency max instead of a single shard's.
 Setting ``cover_traffic=False`` exposes the trade-off for the ablation
 benchmark.
+
+Two properties of the cover traffic matter for privacy and performance:
+
+* **Order independence.**  The per-shard operations of one logical request
+  are always issued in canonical shard-index order, never "real shard
+  first" — an observer of the cross-shard access *sequence* must learn
+  nothing about which shard served the real operation (the old
+  target-first ordering leaked it exactly).
+* **Parallel dispatch.**  With ``parallel=True`` (the default) the real
+  operation and all covers run concurrently on a :class:`ShardExecutor` —
+  a thread pool with one worker and one lock per shard, so a shard's
+  engine is never entered by two threads at once.  That makes
+  :meth:`ShardedPirDatabase.elapsed`'s max-over-shards model honest in
+  wall-clock terms too.  Each shard owns its clock, RNG and engine, so the
+  per-shard request streams (and therefore all frames, traces and virtual
+  clocks) are byte-identical between parallel and serial execution.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .database import PirDatabase
-from ..errors import ConfigurationError, PageNotFoundError
+from ..errors import ConfigurationError, PageDeletedError, PageNotFoundError
 from ..hardware.coprocessor import SecureStorageReport
 from ..hardware.specs import HardwareSpec
+from ..sim.metrics import CounterSet
 
-__all__ = ["ShardedPirDatabase"]
+__all__ = ["ShardedPirDatabase", "ShardExecutor"]
+
+
+class ShardExecutor:
+    """Dispatches per-shard operations, optionally on parallel workers.
+
+    One worker thread and one lock per shard: operations for *different*
+    shards run concurrently, while a shard's engine (single-threaded by
+    design — its RNG, cipher suite and tracer are stateful) is entered by
+    at most one thread at a time.  In serial mode (``parallel=False``)
+    operations run inline in submission order; both modes drive each
+    shard through the same per-shard operation sequence, so results are
+    identical and only wall-clock time differs.
+    """
+
+    def __init__(self, num_shards: int, parallel: bool = True,
+                 counters: Optional[CounterSet] = None):
+        if num_shards <= 0:
+            raise ConfigurationError("executor needs at least one shard")
+        self.parallel = parallel and num_shards > 1
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._counters = counters if counters is not None else CounterSet()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self._locks), thread_name_prefix="shard"
+            )
+        return self._pool
+
+    def _run_one(self, shard_index: int, operation: Callable[[], object]):
+        with self._locks[shard_index]:
+            return operation()
+
+    def run(self, operations: Sequence[Tuple[int, Callable[[], object]]]) -> list:
+        """Execute ``(shard_index, thunk)`` pairs; returns results in order.
+
+        All operations are driven to completion even when one raises, so a
+        failing real operation cannot leave cover traffic half-issued (the
+        per-shard state always advances uniformly); the first exception in
+        submission order is then re-raised.
+        """
+        self._counters.increment("dispatches")
+        self._counters.increment("operations", len(operations))
+        if not self.parallel:
+            # Serial fallback still drives every shard before re-raising.
+            results: list = []
+            first_error: Optional[BaseException] = None
+            for shard_index, operation in operations:
+                try:
+                    results.append(self._run_one(shard_index, operation))
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    results.append(None)
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            return results
+        pool = self._ensure_pool()
+        self._counters.increment("parallel_dispatches")
+        futures = [
+            pool.submit(self._run_one, shard_index, operation)
+            for shard_index, operation in operations
+        ]
+        wait(futures)
+        first_error = None
+        results = []
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                results.append(None)
+                if first_error is None:
+                    first_error = error
+            else:
+                results.append(future.result())
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial mode is a no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class ShardedPirDatabase:
     """A database partitioned over independent coprocessor instances."""
 
     def __init__(self, shards: List[PirDatabase], records_per_shard: int,
-                 num_records: int, cover_traffic: bool):
+                 num_records: int, cover_traffic: bool,
+                 parallel: bool = True, metrics=None):
         self.shards = shards
         self._per_shard = records_per_shard
         self.num_records = num_records
         self.cover_traffic = cover_traffic
+        self.counters = CounterSet(registry=metrics, prefix="shardpool.")
+        self.executor = ShardExecutor(
+            len(shards), parallel=parallel, counters=self.counters
+        )
         # Inserted pages get fresh global ids above the record space; the
-        # routing table lives with the rest of the trusted metadata.
+        # routing table lives with the rest of the trusted metadata.  The
+        # lock guards it (and the tombstone set) against concurrent client
+        # threads — the per-shard engines have their own executor locks.
+        self._routing_lock = threading.Lock()
         self._inserted: Dict[int, Tuple[int, int]] = {}
         self._next_inserted_id = num_records
+        # Deleted *base-range* ids stay dead forever: their disk slot may
+        # be recycled by a later insert under a fresh global id, and
+        # without the tombstone the stale id would silently alias the new
+        # record (same bug class as stale ``_inserted`` entries).
+        self._deleted_base: set = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,13 +179,26 @@ class ShardedPirDatabase:
         cover_traffic: bool = True,
         spec: Optional[HardwareSpec] = None,
         seed: Optional[int] = None,
+        parallel: bool = True,
+        metrics=None,
         **database_options,
     ) -> "ShardedPirDatabase":
-        """Partition ``records`` into contiguous shards, one engine each."""
+        """Partition ``records`` into contiguous shards, one engine each.
+
+        ``parallel`` selects concurrent dispatch of the real operation and
+        its covers (see :class:`ShardExecutor`); a shared ``tracer`` in
+        ``database_options`` forces serial dispatch, because a
+        :class:`~repro.obs.tracer.Tracer` is single-threaded by design
+        and would interleave spans from different shards.  ``metrics``
+        (a thread-safe :class:`~repro.obs.registry.MetricsRegistry`) is
+        shared by all shards and the dispatch counters (``shardpool.*``).
+        """
         if num_shards <= 0:
             raise ConfigurationError("need at least one shard")
         if len(records) < num_shards:
             raise ConfigurationError("fewer records than shards")
+        if database_options.get("tracer") is not None:
+            parallel = False
         per_shard = (len(records) + num_shards - 1) // num_shards
         shards: List[PirDatabase] = []
         for index in range(num_shards):
@@ -86,10 +216,26 @@ class ShardedPirDatabase:
                     reserve_fraction=reserve_fraction,
                     spec=spec,
                     seed=None if seed is None else seed * 1000 + index,
+                    metrics=metrics,
                     **database_options,
                 )
             )
-        return cls(shards, per_shard, len(records), cover_traffic)
+        return cls(shards, per_shard, len(records), cover_traffic,
+                   parallel=parallel, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker threads (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedPirDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Routing
@@ -101,19 +247,38 @@ class ShardedPirDatabase:
 
     def _route(self, global_id: int) -> Tuple[int, int]:
         """Global id -> (shard index, local page id)."""
-        if 0 <= global_id < self.num_records:
-            return global_id // self._per_shard, global_id % self._per_shard
-        if global_id in self._inserted:
-            return self._inserted[global_id]
+        with self._routing_lock:
+            if 0 <= global_id < self.num_records:
+                if global_id in self._deleted_base:
+                    raise PageDeletedError(f"page {global_id} is deleted")
+                return global_id // self._per_shard, global_id % self._per_shard
+            if global_id in self._inserted:
+                return self._inserted[global_id]
         raise PageNotFoundError(f"unknown global page id {global_id}")
 
     def _with_cover(self, shard_index: int, operation):
-        result = operation(self.shards[shard_index])
-        if self.cover_traffic:
-            for other, shard in enumerate(self.shards):
-                if other != shard_index:
-                    shard.touch()
-        return result
+        """Run ``operation`` on its shard plus covers on all the others.
+
+        The per-shard operations are always issued in canonical
+        shard-index order — independent of which shard carries the real
+        operation — so the cross-shard access sequence leaks nothing about
+        the target (see the module docstring); the executor then runs them
+        serially or concurrently without changing any per-shard stream.
+        """
+        if not self.cover_traffic:
+            results = self.executor.run(
+                [(shard_index, partial(operation, self.shards[shard_index]))]
+            )
+            return results[0]
+        self.counters.increment("covers", self.num_shards - 1)
+        operations: List[Tuple[int, Callable[[], object]]] = []
+        for index, shard in enumerate(self.shards):
+            if index == shard_index:
+                operations.append((index, partial(operation, shard)))
+            else:
+                operations.append((index, shard.touch))
+        results = self.executor.run(operations)
+        return results[shard_index]
 
     # ------------------------------------------------------------------
     # Operations
@@ -130,6 +295,15 @@ class ShardedPirDatabase:
     def delete(self, global_id: int) -> None:
         shard_index, local = self._route(global_id)
         self._with_cover(shard_index, lambda db: db.delete(local))
+        # Drop the routing entry only after the shard-level delete
+        # succeeded: the shard may recycle the local slot for a future
+        # insert, and a stale mapping would alias the old global id onto
+        # the new record.
+        with self._routing_lock:
+            if global_id < self.num_records:
+                self._deleted_base.add(global_id)
+            else:
+                self._inserted.pop(global_id, None)
 
     def insert(self, payload: bytes) -> int:
         """Insert into the emptiest shard; returns a fresh global id."""
@@ -138,9 +312,10 @@ class ShardedPirDatabase:
             key=lambda index: self.shards[index].cop.page_map.free_count,
         )
         local = self._with_cover(best, lambda db: db.insert(payload))
-        global_id = self._next_inserted_id
-        self._next_inserted_id += 1
-        self._inserted[global_id] = (best, local)
+        with self._routing_lock:
+            global_id = self._next_inserted_id
+            self._next_inserted_id += 1
+            self._inserted[global_id] = (best, local)
         return global_id
 
     # ------------------------------------------------------------------
@@ -155,6 +330,16 @@ class ShardedPirDatabase:
     def elapsed(self) -> float:
         """Simulated time so far, assuming shards run on parallel hardware."""
         return max(shard.clock.now for shard in self.shards)
+
+    def elapsed_serial(self) -> float:
+        """Simulated time if every shard operation ran on one unit in turn.
+
+        The sum of the per-shard clocks: what the same request stream
+        would cost without parallel hardware.  ``elapsed_serial() /
+        elapsed()`` is the deterministic speedup the partitioned
+        deployment buys (``bench_parallel.py`` gates on it).
+        """
+        return sum(shard.clock.now for shard in self.shards)
 
     def total_requests(self) -> int:
         return sum(shard.engine.request_count for shard in self.shards)

@@ -12,9 +12,37 @@ from __future__ import annotations
 from .aes import AES, BLOCK_SIZE
 from ..errors import CryptoError
 
-__all__ = ["ctr_transform", "NONCE_SIZE"]
+__all__ = ["ctr_transform", "ctr_keystream", "NONCE_SIZE"]
 
 NONCE_SIZE = 12  # bytes of random nonce per encryption; 4 bytes left for the counter
+
+
+def ctr_keystream(
+    cipher: AES, nonce: bytes, length: int, initial_counter: int = 0
+) -> bytes:
+    """Raw CTR keystream bytes for one (key, nonce) pair.
+
+    Exposed separately from :func:`ctr_transform` so batched callers
+    (:meth:`repro.crypto.suite.CipherSuite.encrypt_pages`) can concatenate
+    the keystreams of many frames and XOR them against the payloads in a
+    single big-int operation; the per-block expansion — and therefore the
+    bytes produced — is identical to the transform path.  The keyed
+    ``cipher`` carries its round keys, so a batch shares one key schedule.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"CTR nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    if initial_counter < 0:
+        raise CryptoError("initial_counter must be non-negative")
+    if length < 0:
+        raise CryptoError("keystream length must be non-negative")
+    block_count = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    if initial_counter + block_count > 2**32:
+        raise CryptoError("CTR counter would overflow 32 bits for this message")
+    encrypt = cipher.encrypt_block
+    return b"".join(
+        encrypt(nonce + (initial_counter + block_index).to_bytes(4, "big"))
+        for block_index in range(block_count)
+    )[:length]
 
 
 def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
@@ -33,19 +61,7 @@ def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int =
     initial_counter:
         Starting value of the 32-bit block counter (useful for seeking).
     """
-    if len(nonce) != NONCE_SIZE:
-        raise CryptoError(f"CTR nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
-    if initial_counter < 0:
-        raise CryptoError("initial_counter must be non-negative")
-    block_count = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
-    if initial_counter + block_count > 2**32:
-        raise CryptoError("CTR counter would overflow 32 bits for this message")
-
-    encrypt = cipher.encrypt_block
-    keystream = b"".join(
-        encrypt(nonce + (initial_counter + block_index).to_bytes(4, "big"))
-        for block_index in range(block_count)
-    )[: len(data)]
+    keystream = ctr_keystream(cipher, nonce, len(data), initial_counter)
     return (
         int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little")
     ).to_bytes(len(data), "little")

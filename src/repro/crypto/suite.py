@@ -31,17 +31,38 @@ Three keystream backends are provided:
 
 The backend choice never changes frame sizes or the algorithm's behaviour;
 it is a simulation-fidelity knob, documented in DESIGN.md.
+
+Batch pipeline
+--------------
+
+A request moves ``2(k+1)`` frames through the suite, and paying Python
+call overhead per frame dominates the small-page regime.
+:meth:`CipherSuite.encrypt_pages` / :meth:`CipherSuite.decrypt_pages`
+process a whole multi-frame batch per call:
+
+* nonces are drawn in frame order (so a batch consumes the RNG exactly
+  like the equivalent sequence of single-frame calls — batch and serial
+  paths produce **byte-identical frames**),
+* the keystream of every frame is materialised and the concatenated batch
+  is XORed against the concatenated payloads in a *single* big-int
+  operation,
+* MAC tags are computed/verified from precomputed HMAC pad states (the
+  SHA-256 of the inner/outer key pads is hashed once per suite, then
+  ``copy()``-ed per frame), and batched verification checks every tag
+  before reporting the full set of failing frame indices,
+* per-backend key schedules (AES round keys, the keyed-BLAKE2b base
+  state) are computed once per suite and shared across the batch.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from .aes import AES
 from .kdf import derive_key
 from .mac import TAG_SIZE, hmac_sha256
-from .modes import NONCE_SIZE, ctr_transform
+from .modes import NONCE_SIZE, ctr_keystream
 from .purestack import pure_hmac_sha256, pure_keystream_xor
 from .rng import SecureRandom
 from ..errors import AuthenticationError, CryptoError
@@ -53,6 +74,7 @@ FRAME_OVERHEAD = NONCE_SIZE + TAG_SIZE
 BACKENDS = ("aes", "blake2", "null", "pure")
 
 _BLAKE_BLOCK = 64  # output bytes per keyed-BLAKE2b call
+_HMAC_BLOCK = 64  # SHA-256 block size (HMAC pad width)
 
 
 def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
@@ -69,6 +91,10 @@ class CipherSuite:
     >>> frame = suite.encrypt_page(b"hello")
     >>> suite.decrypt_page(frame)
     b'hello'
+
+    Not thread-safe: the nonce RNG is stateful, so give each thread its
+    own suite (the engine owns one per coprocessor, which is entered by a
+    single thread at a time — see DESIGN.md §10).
     """
 
     def __init__(
@@ -90,33 +116,68 @@ class CipherSuite:
         self._enc_key = derive_key(master_key, "page-encryption", 16)
         self._mac_key = derive_key(master_key, "page-authentication", 32)
         self._aes: Optional[AES] = AES(self._enc_key) if backend == "aes" else None
+        # Keyed-BLAKE2b absorbs its key block at construction; copying the
+        # base state per keystream block skips that work (byte-identical
+        # output to a one-shot keyed hash).
+        self._blake_base = (
+            hashlib.blake2b(key=self._enc_key, digest_size=_BLAKE_BLOCK)
+            if backend == "blake2" else None
+        )
         # The pure backend authenticates with the repository's own SHA-256
-        # so the whole chain is hashlib-free; other backends use the fast MAC.
+        # so the whole chain is hashlib-free; other backends use hashlib
+        # HMAC-SHA256 with the key-pad states hashed once and copied per
+        # tag.  Both produce the same bytes as mac.hmac_sha256.
         self._mac = pure_hmac_sha256 if backend == "pure" else hmac_sha256
+        if backend == "pure":
+            self._inner_pad = self._outer_pad = None
+        else:
+            padded = self._mac_key.ljust(_HMAC_BLOCK, b"\x00")
+            self._inner_pad = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+            self._outer_pad = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
 
     # -- keystream ------------------------------------------------------------
 
-    def _keystream_xor(self, nonce: bytes, data: bytes) -> bytes:
+    def _keystream(self, nonce: bytes, length: int) -> Optional[bytes]:
+        """Raw keystream bytes for one frame (None = identity, null backend)."""
         if self.backend == "null":
-            return data
+            return None
         if self.backend == "aes":
             assert self._aes is not None
-            return ctr_transform(self._aes, nonce, data)
+            return ctr_keystream(self._aes, nonce, length)
+        if self.backend == "pure":
+            # purestack only exposes the XOR form; stream against zeros.
+            return pure_keystream_xor(self._enc_key, nonce, bytes(length))
+        # blake2: keystream block i = BLAKE2b(key=enc_key, data=nonce||i),
+        # derived from the shared pre-keyed base state.
+        assert self._blake_base is not None
+        base = self._blake_base
+        blocks = (length + _BLAKE_BLOCK - 1) // _BLAKE_BLOCK
+        parts = []
+        for block_index in range(blocks):
+            h = base.copy()
+            h.update(nonce + block_index.to_bytes(8, "big"))
+            parts.append(h.digest())
+        return b"".join(parts)[:length]
+
+    def _keystream_xor(self, nonce: bytes, data: bytes) -> bytes:
         if self.backend == "pure":
             return pure_keystream_xor(self._enc_key, nonce, data)
-        # blake2: keystream block i = BLAKE2b(key=enc_key, data=nonce||i).
-        # The whole keystream is materialised and XORed via big-int ops,
-        # which is ~10x faster than a per-byte Python loop.
-        blocks = (len(data) + _BLAKE_BLOCK - 1) // _BLAKE_BLOCK
-        keystream = b"".join(
-            hashlib.blake2b(
-                nonce + block_index.to_bytes(8, "big"),
-                key=self._enc_key,
-                digest_size=_BLAKE_BLOCK,
-            ).digest()
-            for block_index in range(blocks)
-        )[: len(data)]
+        keystream = self._keystream(nonce, len(data))
+        if keystream is None:
+            return data
         return _xor_bytes(data, keystream)
+
+    # -- authentication -------------------------------------------------------
+
+    def _tag(self, data: bytes) -> bytes:
+        """Truncated HMAC-SHA256 of ``data``, from the precomputed pads."""
+        if self._inner_pad is None:
+            return self._mac(self._mac_key, data)[:TAG_SIZE]
+        inner = self._inner_pad.copy()
+        inner.update(data)
+        outer = self._outer_pad.copy()
+        outer.update(inner.digest())
+        return outer.digest()[:TAG_SIZE]
 
     # -- frames ---------------------------------------------------------------
 
@@ -133,10 +194,10 @@ class CipherSuite:
         if self._fine:
             with self.tracer.fine_span("crypto.encrypt", nbytes=len(plaintext)):
                 ciphertext = self._keystream_xor(nonce, plaintext)
-                tag = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+                tag = self._tag(nonce + ciphertext)
         else:
             ciphertext = self._keystream_xor(nonce, plaintext)
-            tag = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+            tag = self._tag(nonce + ciphertext)
         return nonce + ciphertext + tag
 
     def decrypt_page(self, frame: bytes) -> bytes:
@@ -150,9 +211,9 @@ class CipherSuite:
         tag = frame[len(frame) - TAG_SIZE :]
         if self._fine:
             with self.tracer.fine_span("crypto.mac_verify", nbytes=len(frame)):
-                expected = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+                expected = self._tag(nonce + ciphertext)
         else:
-            expected = self._mac(self._mac_key, nonce + ciphertext)[:TAG_SIZE]
+            expected = self._tag(nonce + ciphertext)
         diff = 0
         for a, b in zip(expected, tag):
             diff |= a ^ b
@@ -162,6 +223,107 @@ class CipherSuite:
             with self.tracer.fine_span("crypto.keystream", nbytes=len(ciphertext)):
                 return self._keystream_xor(nonce, ciphertext)
         return self._keystream_xor(nonce, ciphertext)
+
+    # -- batch pipeline -------------------------------------------------------
+
+    def encrypt_pages(
+        self,
+        plaintexts: Sequence[bytes],
+        nonces: Optional[Sequence[bytes]] = None,
+    ) -> List[bytes]:
+        """Encrypt a batch of payloads into frames.
+
+        Nonces are drawn from the RNG in frame order, so
+        ``encrypt_pages(batch)`` produces the same frames as the
+        equivalent sequence of :meth:`encrypt_page` calls on the same RNG
+        state — the batch only saves Python overhead, never changes bytes.
+        """
+        if nonces is None:
+            nonces = [self._rng.token(NONCE_SIZE) for _ in plaintexts]
+        else:
+            if len(nonces) != len(plaintexts):
+                raise CryptoError("need exactly one nonce per plaintext")
+            for nonce in nonces:
+                if len(nonce) != NONCE_SIZE:
+                    raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
+        if self._fine:
+            with self.tracer.fine_span(
+                "crypto.encrypt_batch", nbytes=sum(len(p) for p in plaintexts)
+            ):
+                return self._encrypt_batch(plaintexts, nonces)
+        return self._encrypt_batch(plaintexts, nonces)
+
+    def _encrypt_batch(
+        self, plaintexts: Sequence[bytes], nonces: Sequence[bytes]
+    ) -> List[bytes]:
+        ciphertexts = self._transform_batch(nonces, plaintexts)
+        return [
+            nonce + ciphertext + self._tag(nonce + ciphertext)
+            for nonce, ciphertext in zip(nonces, ciphertexts)
+        ]
+
+    def decrypt_pages(self, frames: Sequence[bytes]) -> List[bytes]:
+        """Verify and decrypt a batch of frames.
+
+        Every MAC is checked before any failure is reported;
+        :class:`AuthenticationError` carries the indices of *all* failing
+        frames so one tampered frame cannot mask another.
+        """
+        if self._fine:
+            with self.tracer.fine_span(
+                "crypto.decrypt_batch", nbytes=sum(len(f) for f in frames)
+            ):
+                return self._decrypt_batch(frames)
+        return self._decrypt_batch(frames)
+
+    def _decrypt_batch(self, frames: Sequence[bytes]) -> List[bytes]:
+        nonces: List[bytes] = []
+        ciphertexts: List[bytes] = []
+        for frame in frames:
+            if len(frame) < FRAME_OVERHEAD:
+                raise CryptoError(
+                    f"frame too short: {len(frame)} bytes < overhead "
+                    f"{FRAME_OVERHEAD}"
+                )
+            nonces.append(frame[:NONCE_SIZE])
+            ciphertexts.append(frame[NONCE_SIZE : len(frame) - TAG_SIZE])
+        failed: List[int] = []
+        for index, frame in enumerate(frames):
+            expected = self._tag(frame[: len(frame) - TAG_SIZE])
+            tag = frame[len(frame) - TAG_SIZE :]
+            diff = 0
+            for a, b in zip(expected, tag):
+                diff |= a ^ b
+            if diff != 0:
+                failed.append(index)
+        if failed:
+            raise AuthenticationError(
+                f"frame(s) {failed} of batch of {len(frames)} failed MAC "
+                "verification"
+            )
+        return self._transform_batch(nonces, ciphertexts)
+
+    def _transform_batch(
+        self, nonces: Sequence[bytes], payloads: Sequence[bytes]
+    ) -> List[bytes]:
+        """XOR each payload with its frame keystream, batch-wide.
+
+        The per-frame keystreams are concatenated and applied with one
+        big-int XOR over the whole batch, then sliced back per frame.
+        """
+        if self.backend == "null" or not payloads:
+            return list(payloads)
+        streams = [
+            self._keystream(nonce, len(payload))
+            for nonce, payload in zip(nonces, payloads)
+        ]
+        mixed = _xor_bytes(b"".join(payloads), b"".join(streams))
+        out: List[bytes] = []
+        offset = 0
+        for payload in payloads:
+            out.append(mixed[offset : offset + len(payload)])
+            offset += len(payload)
+        return out
 
     def frame_size(self, payload_size: int) -> int:
         """Size in bytes of an encrypted frame for a payload of ``payload_size``."""

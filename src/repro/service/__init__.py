@@ -1,6 +1,6 @@
 """Three-party query service: clients <-> secure hardware over SSL (Fig. 1)."""
 
-from .frontend import QueryFrontend, ServiceClient
+from .frontend import QueryFrontend, SealedReplyCache, ServiceClient
 from .health import (
     DEGRADED,
     FAILED,
@@ -11,6 +11,9 @@ from .health import (
     error_for_refusal,
 )
 from .protocol import (
+    MAX_BATCH_OPS,
+    Batch,
+    BatchReply,
     Delete,
     Insert,
     Ok,
@@ -24,6 +27,7 @@ from .protocol import (
 
 __all__ = [
     "QueryFrontend",
+    "SealedReplyCache",
     "ServiceClient",
     "HealthMonitor",
     "Refusal",
@@ -32,6 +36,9 @@ __all__ = [
     "HEALTHY",
     "DEGRADED",
     "FAILED",
+    "MAX_BATCH_OPS",
+    "Batch",
+    "BatchReply",
     "Delete",
     "Insert",
     "Ok",

@@ -19,7 +19,8 @@ until :meth:`QueryFrontend.recover` has repaired the store.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
 
 from . import protocol
 from .health import (
@@ -42,7 +43,47 @@ from ..sim.clock import VirtualClock
 from ..sim.metrics import CounterSet, LatencySeries
 from ..twoparty.channel import SimulatedChannel
 
-__all__ = ["QueryFrontend", "ServiceClient"]
+__all__ = ["QueryFrontend", "ServiceClient", "SealedReplyCache"]
+
+
+class SealedReplyCache:
+    """Bounded LRU of ``(session, sealed request) -> sealed reply``.
+
+    Duplicate suppression for at-least-once delivery only ever needs the
+    *recently* served transmissions (a network duplicate arrives close to
+    the original), so the cache holds the last ``capacity`` replies across
+    all sessions and evicts the least recently used beyond that — the old
+    unbounded per-session dict grew forever on long sessions.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ProtocolError("reply cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, session_id: int, sealed_request: bytes) -> Optional[bytes]:
+        key = (session_id, sealed_request)
+        reply = self._entries.get(key)
+        if reply is not None:
+            self._entries.move_to_end(key)
+        return reply
+
+    def put(self, session_id: int, sealed_request: bytes,
+            sealed_reply: bytes) -> None:
+        key = (session_id, sealed_request)
+        self._entries[key] = sealed_reply
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def drop_session(self, session_id: int) -> None:
+        stale = [key for key in self._entries if key[0] == session_id]
+        for key in stale:
+            del self._entries[key]
 
 
 class QueryFrontend:
@@ -53,14 +94,22 @@ class QueryFrontend:
         database: PirDatabase,
         health: Optional[HealthMonitor] = None,
         metrics=None,
+        reply_cache_size: int = 256,
     ):
         self.database = database
         self._sessions: Dict[int, CipherSuite] = {}
-        # Per-session (sealed request, sealed reply) of the last *served*
-        # request, for at-least-once duplicate suppression (see serve()).
-        self._last_replies: Dict[int, Tuple[bytes, bytes]] = {}
+        # Recently served (sealed request -> sealed reply) pairs for
+        # at-least-once duplicate suppression (see serve()); bounded LRU
+        # so long-lived sessions cannot grow it without limit.
+        self._reply_cache = SealedReplyCache(reply_cache_size)
         self._next_session = 1
         self.counters = CounterSet(registry=metrics, prefix="frontend.")
+        self._batch_sizes = (
+            metrics.histogram("frontend.batch.size",
+                              buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                       512, 1024))
+            if metrics is not None else None
+        )
         self.health = (
             health
             if health is not None
@@ -95,7 +144,7 @@ class QueryFrontend:
 
     def close_session(self, session_id: int) -> None:
         self._sessions.pop(session_id, None)
-        self._last_replies.pop(session_id, None)
+        self._reply_cache.drop_session(session_id)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -129,10 +178,10 @@ class QueryFrontend:
         """
         with self.tracer.span("frontend.serve"):
             suite = self.session_suite(session_id)
-            cached = self._last_replies.get(session_id)
-            if cached is not None and cached[0] == sealed_request:
+            cached = self._reply_cache.get(session_id, sealed_request)
+            if cached is not None:
                 self.counters.increment("requests.duplicate")
-                return cached[1]
+                return cached
             try:
                 request = protocol.decode_client_message(
                     suite.decrypt_page(sealed_request)
@@ -154,7 +203,10 @@ class QueryFrontend:
                 protocol.encode_client_message(reply)
             )
             if not isinstance(reply, protocol.Refused):
-                self._last_replies[session_id] = (sealed_request, sealed_reply)
+                # BatchReply is cached even when some entries are Refused:
+                # the *other* entries may have mutated durable state, so a
+                # duplicate must not re-execute them.
+                self._reply_cache.put(session_id, sealed_request, sealed_reply)
             return sealed_reply
 
     def _refusal_for(
@@ -177,6 +229,8 @@ class QueryFrontend:
 
     def _dispatch(self, request: protocol.ClientMessage) -> protocol.ClientMessage:
         db = self.database
+        if isinstance(request, protocol.Batch):
+            return self._dispatch_batch(request)
         if isinstance(request, protocol.Query):
             payload = db.query(request.page_id)
             return protocol.Result(request.page_id, payload)
@@ -192,6 +246,29 @@ class QueryFrontend:
         raise ProtocolError(
             f"frontend cannot handle {type(request).__name__}"
         )
+
+    def _dispatch_batch(self, batch: protocol.Batch) -> protocol.BatchReply:
+        """Run each batch op; failures refuse that slot, not the batch.
+
+        Health is consulted *per operation*: a fatal fault on op i trips the
+        monitor and every later op in the same batch is shed with the usual
+        degraded-service refusal instead of hammering a broken engine.
+        """
+        self.counters.increment("batch.requests")
+        self.counters.increment("batch.ops", len(batch.ops))
+        if self._batch_sizes is not None:
+            self._batch_sizes.observe(len(batch.ops))
+        replies: List[protocol.ClientMessage] = []
+        with self.tracer.span("frontend.batch"):
+            for op in batch.ops:
+                try:
+                    self.health.check()
+                    reply = self._dispatch(op)
+                    self.health.record_success()
+                except ReproError as exc:
+                    reply = self._refusal_for(exc)
+                replies.append(reply)
+        return protocol.BatchReply(replies)
 
 
 class ServiceClient:
@@ -288,6 +365,57 @@ class ServiceClient:
         reply = self._call(protocol.Delete(page_id))
         if not isinstance(reply, protocol.Ok):
             raise ProtocolError(f"expected Ok, got {type(reply).__name__}")
+
+    def batch(
+        self, operations: Sequence[protocol.ClientMessage]
+    ) -> List[protocol.ClientMessage]:
+        """Run several ops in one sealed round trip; returns positional replies.
+
+        One session frame carries the whole batch, so the per-message
+        session crypto and channel RTT are paid once instead of
+        ``len(operations)`` times.  Failures are per-operation: slot i holds
+        a :class:`~repro.service.protocol.Refused` when op i was declined
+        while the others proceeded — the caller inspects each slot rather
+        than getting an exception.  (Exceptions still surface when the
+        *batch itself* never reaches the engine: a malformed batch or a
+        frontend that is shedding all load refuses the whole message.)
+
+        Mutating batches should not be blindly retried through a
+        :class:`~repro.faults.retry.RetryPolicy`-driven loop unless every
+        op is idempotent; the duplicate-suppression cache protects only
+        byte-identical retransmissions of the same sealed frame.
+        """
+        reply = self._call(protocol.Batch(tuple(operations)))
+        if not isinstance(reply, protocol.BatchReply):
+            raise ProtocolError(
+                f"expected BatchReply, got {type(reply).__name__}"
+            )
+        if len(reply.replies) != len(operations):
+            raise ProtocolError(
+                f"batch of {len(operations)} ops answered with "
+                f"{len(reply.replies)} replies"
+            )
+        self.counters.increment("batches")
+        return list(reply.replies)
+
+    def query_many(self, page_ids: Sequence[int]) -> List[bytes]:
+        """Batched :meth:`query`; raises on the first refused slot."""
+        payloads = []
+        for page_id, reply in zip(
+            page_ids, self.batch([protocol.Query(p) for p in page_ids])
+        ):
+            if isinstance(reply, protocol.Refused):
+                raise error_for_refusal(
+                    reply.code,
+                    f"query {page_id} refused: {reply.reason}",
+                    reply.retry_after,
+                )
+            if not isinstance(reply, protocol.Result):
+                raise ProtocolError(
+                    f"expected Result, got {type(reply).__name__}"
+                )
+            payloads.append(reply.payload)
+        return payloads
 
     def close(self) -> None:
         self.frontend.close_session(self.session_id)

@@ -8,31 +8,40 @@ defines the plaintext structure, and :class:`repro.service.frontend` wraps
 each message in a per-session :class:`~repro.crypto.suite.CipherSuite`
 frame, standing in for the TLS record layer.
 
-========  ==========  ===========================================
-opcode    message     body
-========  ==========  ===========================================
-0x10      QUERY       u64 page_id
-0x11      UPDATE      u64 page_id, u32 len, payload
-0x12      INSERT      u32 len, payload
-0x13      DELETE      u64 page_id
-0x20      RESULT      u64 page_id, u32 len, payload
-0x21      OK          (empty)
-0x2F      REFUSED     u32 len, utf-8 reason,
-                      u32 len, utf-8 code, f64 retry_after
-========  ==========  ===========================================
+========  ===========  ===========================================
+opcode    message      body
+========  ===========  ===========================================
+0x10      QUERY        u64 page_id
+0x11      UPDATE       u64 page_id, u32 len, payload
+0x12      INSERT       u32 len, payload
+0x13      DELETE       u64 page_id
+0x14      BATCH        u32 count, count x (u32 len, encoded op)
+0x20      RESULT       u64 page_id, u32 len, payload
+0x21      OK           (empty)
+0x22      BATCH_REPLY  u32 count, count x (u32 len, encoded reply)
+0x2F      REFUSED      u32 len, utf-8 reason,
+                       u32 len, utf-8 code, f64 retry_after
+========  ===========  ===========================================
 
 REFUSED carries a machine-readable ``code`` (a stable kebab-case slug per
 error class, see :mod:`repro.service.health`) next to the display-text
 reason, plus a ``retry_after`` hint in seconds (negative = no hint).  A
 legacy REFUSED body that ends after the reason decodes with the defaults,
 so old peers interoperate.
+
+BATCH carries several operations (QUERY/UPDATE/INSERT/DELETE — batches do
+not nest) inside one sealed session frame, amortising the per-message
+session-crypto and channel overhead; the frontend answers with one
+BATCH_REPLY whose i-th entry is the reply to the i-th operation.  Failures
+are *per-operation*: a refused op yields a REFUSED entry (with its usual
+machine-readable code) in that slot while the other operations proceed.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
 from ..errors import ProtocolError
 
@@ -41,9 +50,12 @@ __all__ = [
     "Update",
     "Insert",
     "Delete",
+    "Batch",
     "Result",
     "Ok",
+    "BatchReply",
     "Refused",
+    "MAX_BATCH_OPS",
     "encode_client_message",
     "decode_client_message",
 ]
@@ -56,9 +68,16 @@ _OP_QUERY = 0x10
 _OP_UPDATE = 0x11
 _OP_INSERT = 0x12
 _OP_DELETE = 0x13
+_OP_BATCH = 0x14
 _OP_RESULT = 0x20
 _OP_OK = 0x21
+_OP_BATCH_REPLY = 0x22
 _OP_REFUSED = 0x2F
+
+#: Upper bound on operations per BATCH — stops a single sealed message from
+#: monopolising the engine (and bounds decode memory) while staying far
+#: above any sensible amortisation sweet spot.
+MAX_BATCH_OPS = 1024
 
 
 @dataclass(frozen=True)
@@ -83,6 +102,20 @@ class Delete:
 
 
 @dataclass(frozen=True)
+class Batch:
+    """Several operations sealed inside one session frame.
+
+    ``ops`` may hold Query/Update/Insert/Delete messages only; nesting
+    batches is a protocol error, as is an empty batch.
+    """
+
+    ops: Tuple["ClientMessage", ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+
+@dataclass(frozen=True)
 class Result:
     page_id: int
     payload: bytes
@@ -91,6 +124,16 @@ class Result:
 @dataclass(frozen=True)
 class Ok:
     pass
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Positional replies to a :class:`Batch` — entry i answers op i."""
+
+    replies: Tuple["ClientMessage", ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "replies", tuple(self.replies))
 
 
 @dataclass(frozen=True)
@@ -111,7 +154,56 @@ class Refused:
         return self.retry_after >= 0.0
 
 
-ClientMessage = Union[Query, Update, Insert, Delete, Result, Ok, Refused]
+ClientMessage = Union[
+    Query, Update, Insert, Delete, Batch, Result, Ok, BatchReply, Refused
+]
+
+_BATCH_OPS = (Query, Update, Insert, Delete)
+_BATCH_REPLIES = (Result, Ok, Refused)
+
+
+def _encode_items(opcode: int, items, allowed, kind: str) -> bytes:
+    if not items:
+        raise ProtocolError(f"empty {kind}")
+    if len(items) > MAX_BATCH_OPS:
+        raise ProtocolError(
+            f"{kind} of {len(items)} exceeds the {MAX_BATCH_OPS}-op limit"
+        )
+    parts = [bytes([opcode]), _U32.pack(len(items))]
+    for item in items:
+        if not isinstance(item, allowed):
+            raise ProtocolError(
+                f"{kind} cannot carry {type(item).__name__}"
+            )
+        encoded = encode_client_message(item)
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def _decode_items(buffer: bytes, allowed, kind: str):
+    count = _U32.unpack_from(buffer, 1)[0]
+    if count == 0:
+        raise ProtocolError(f"empty {kind}")
+    if count > MAX_BATCH_OPS:
+        raise ProtocolError(
+            f"{kind} of {count} exceeds the {MAX_BATCH_OPS}-op limit"
+        )
+    items = []
+    offset = 5
+    for _ in range(count):
+        length = _U32.unpack_from(buffer, offset)[0]
+        offset += 4
+        if offset + length > len(buffer):
+            raise ProtocolError(f"bad {kind} item length")
+        item = _decode_client_message(buffer[offset : offset + length])
+        if not isinstance(item, allowed):
+            raise ProtocolError(f"{kind} cannot carry {type(item).__name__}")
+        items.append(item)
+        offset += length
+    if offset != len(buffer):
+        raise ProtocolError(f"trailing bytes after {kind}")
+    return tuple(items)
 
 
 def encode_client_message(message: ClientMessage) -> bytes:
@@ -125,6 +217,12 @@ def encode_client_message(message: ClientMessage) -> bytes:
         return bytes([_OP_INSERT]) + _U32.pack(len(message.payload)) + message.payload
     if isinstance(message, Delete):
         return bytes([_OP_DELETE]) + _U64.pack(message.page_id)
+    if isinstance(message, Batch):
+        return _encode_items(_OP_BATCH, message.ops, _BATCH_OPS, "batch")
+    if isinstance(message, BatchReply):
+        return _encode_items(
+            _OP_BATCH_REPLY, message.replies, _BATCH_REPLIES, "batch reply"
+        )
     if isinstance(message, Result):
         return (bytes([_OP_RESULT]) + _U64.pack(message.page_id)
                 + _U32.pack(len(message.payload)) + message.payload)
@@ -173,6 +271,10 @@ def _decode_client_message(buffer: bytes) -> ClientMessage:
         if len(buffer) != 9:
             raise ProtocolError("bad DELETE length")
         return Delete(_U64.unpack_from(buffer, 1)[0])
+    if opcode == _OP_BATCH:
+        return Batch(_decode_items(buffer, _BATCH_OPS, "batch"))
+    if opcode == _OP_BATCH_REPLY:
+        return BatchReply(_decode_items(buffer, _BATCH_REPLIES, "batch reply"))
     if opcode == _OP_RESULT:
         page_id = _U64.unpack_from(buffer, 1)[0]
         return Result(page_id, _take_payload(buffer, 9))

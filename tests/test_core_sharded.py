@@ -95,6 +95,144 @@ class TestCoverTraffic:
                 db.query(step % 60)
         assert covered.total_requests() == 3 * bare.total_requests()
 
+    def test_access_order_independent_of_target_shard(self):
+        """The cross-shard issue order must not reveal the real shard.
+
+        The old dispatcher ran the real operation first and the covers
+        after it, so the *position* of each shard in the access sequence
+        leaked the target.  In serial mode operations run inline in
+        submission order, so recording per-shard entry observes exactly
+        the order the dispatcher issues.
+        """
+        orders = {}
+        for target in (0, 25, 59):  # one id per shard
+            db = _sharded(seed=22, parallel=False)
+            observed = []
+
+            def _instrument(index, shard):
+                real_touch = shard.touch
+                real_query = shard.query
+
+                def touch():
+                    observed.append(index)
+                    return real_touch()
+
+                def query(page_id):
+                    observed.append(index)
+                    return real_query(page_id)
+
+                shard.touch = touch
+                shard.query = query
+
+            for index, shard in enumerate(db.shards):
+                _instrument(index, shard)
+            db.query(target)
+            orders[target] = tuple(observed)
+        assert set(orders.values()) == {(0, 1, 2)}, orders
+
+    def test_failed_operation_still_issues_covers(self):
+        """Covers run even when the real op fails: loads stay equalised."""
+        db = _sharded(seed=23)
+        db.delete(10)
+        before = db.shard_request_counts()
+        with pytest.raises(PageNotFoundError):
+            db.query(10**9)
+        # Routing errors never reach the shards at all ...
+        assert db.shard_request_counts() == before
+        # ... but a failure *inside* the target shard still drives every
+        # cover, so the executor never leaves cover traffic half-issued.
+        shard0 = db.shards[0]
+        original = shard0.query
+        shard0.query = lambda page_id: (_ for _ in ()).throw(
+            PageNotFoundError("injected shard fault")
+        )
+        try:
+            with pytest.raises(PageNotFoundError, match="injected"):
+                db.query(0)
+        finally:
+            shard0.query = original
+        after = db.shard_request_counts()
+        assert after[1] == before[1] + 1
+        assert after[2] == before[2] + 1
+
+
+class TestRoutingStaleness:
+    def test_deleted_inserted_id_does_not_alias_new_insert(self):
+        """delete -> insert must not resurrect the old global id.
+
+        The old routing table never removed entries on delete, so once a
+        shard recycled the freed slot the stale global id silently aliased
+        the *new* record.
+        """
+        db = _sharded(seed=24)
+        old_id = db.insert(b"short-lived")
+        db.delete(old_id)
+        new_id = db.insert(b"replacement")
+        assert db.query(new_id) == b"replacement"
+        with pytest.raises(PageNotFoundError):
+            db.query(old_id)
+
+    def test_deleted_base_id_stays_dead_after_reinsert(self):
+        db = _sharded(seed=25)
+        db.delete(5)
+        # Inserts may recycle shard 0's freed slot under a fresh id.
+        fresh = [db.insert(f"recycled-{i}".encode()) for i in range(3)]
+        with pytest.raises(PageDeletedError):
+            db.query(5)
+        for i, gid in enumerate(fresh):
+            assert db.query(gid) == f"recycled-{i}".encode()
+
+    def test_delete_is_idempotent_error(self):
+        db = _sharded(seed=26)
+        db.delete(7)
+        with pytest.raises(PageDeletedError):
+            db.delete(7)
+
+
+class TestParallelExecution:
+    def test_parallel_and_serial_streams_identical(self):
+        """Each shard owns its clock/RNG, so interleaving changes nothing."""
+        results = {}
+        for parallel in (False, True):
+            with _sharded(seed=27, parallel=parallel,
+                          spec=HardwareSpec()) as db:
+                payloads = [db.query(step % 60) for step in range(20)]
+                db.update(3, b"parallel-proof")
+                payloads.append(db.query(3))
+                results[parallel] = (
+                    payloads,
+                    [shard.clock.now for shard in db.shards],
+                    db.shard_request_counts(),
+                )
+                db.consistency_check()
+        assert results[False] == results[True]
+
+    def test_elapsed_serial_sums_shard_clocks(self):
+        with _sharded(seed=28, spec=HardwareSpec()) as db:
+            for step in range(9):
+                db.query(step % 60)
+            assert db.elapsed_serial() == pytest.approx(
+                sum(s.clock.now for s in db.shards)
+            )
+            # Cover traffic keeps shard loads equal, so the parallel
+            # deployment's speedup approaches the shard count.
+            assert db.elapsed_serial() / db.elapsed() > 2.0
+
+    def test_executor_counters(self):
+        with _sharded(seed=29) as db:
+            db.query(0)
+            db.query(42)
+        assert db.counters.get("dispatches") == 2
+        assert db.counters.get("operations") == 6
+        assert db.counters.get("covers") == 4
+
+    def test_shared_tracer_forces_serial(self):
+        from repro.obs.tracer import Tracer
+
+        db = _sharded(seed=30, tracer=Tracer())
+        assert db.executor.parallel is False
+        db.query(1)
+
 
 class TestAggregates:
     def test_achieved_c_is_worst_shard(self):

@@ -1,0 +1,164 @@
+"""Concurrency stress: client threads on the shard executor + batch crypto.
+
+The parallel dispatcher promises that any interleaving of client threads
+drives each shard through a well-formed request sequence: pageMap/pageCache
+invariants hold afterwards, every write is readable, and the aggregate
+counters match a serial run of the same operation multiset — the
+interleaving may reorder work but must never lose or duplicate it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.baselines import make_records
+from repro.core.sharded import ShardedPirDatabase
+from repro.crypto.rng import SecureRandom
+from repro.crypto.suite import CipherSuite
+from repro.obs.registry import MetricsRegistry
+
+NUM_RECORDS = 80
+NUM_SHARDS = 4
+THREADS = 8
+OPS_PER_THREAD = 12
+RECORDS = make_records(NUM_RECORDS, 16)
+
+
+def _make_db(parallel: bool, metrics: MetricsRegistry) -> ShardedPirDatabase:
+    return ShardedPirDatabase.create(
+        RECORDS,
+        NUM_SHARDS,
+        cache_capacity_per_shard=4,
+        target_c=2.0,
+        page_capacity=16,
+        reserve_fraction=0.2,
+        seed=99,
+        parallel=parallel,
+        metrics=metrics,
+    )
+
+
+def _thread_ops(thread_id: int):
+    """The operation list for one thread: queries plus thread-owned updates."""
+    ops = []
+    for i in range(OPS_PER_THREAD):
+        ops.append(("query", (thread_id * 7 + i * 3) % NUM_RECORDS))
+    # Each thread updates only ids it owns, so final values are deterministic
+    # regardless of cross-thread interleaving.
+    own = thread_id  # ids t, t+THREADS, ... belong to thread t
+    ops.append(("update", own, f"owned-by-{thread_id}".encode()))
+    ops.append(("update", own + THREADS, f"also-{thread_id}".encode()))
+    return ops
+
+
+def _apply(db: ShardedPirDatabase, op) -> None:
+    if op[0] == "query":
+        assert db.query(op[1]) is not None
+    else:
+        db.update(op[1], op[2])
+
+
+class TestShardExecutorStress:
+    def test_threads_hammering_parallel_executor(self):
+        metrics = MetricsRegistry()
+        with _make_db(parallel=True, metrics=metrics) as db:
+            errors = []
+
+            def worker(thread_id: int) -> None:
+                try:
+                    for op in _thread_ops(thread_id):
+                        _apply(db, op)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+
+            # pageMap / pageCache invariants survived the interleaving.
+            db.consistency_check()
+            # Every thread's writes are durable and correctly routed.
+            for t in range(THREADS):
+                assert db.query(t) == f"owned-by-{t}".encode()
+                assert db.query(t + THREADS) == f"also-{t}".encode()
+            # Cover traffic kept shard loads equal under concurrency.
+            assert len(set(db.shard_request_counts())) == 1
+
+            parallel_snapshot = metrics.snapshot()["counters"]
+            parallel_total = db.total_requests()
+
+        # Serial reference: same operation multiset on one thread.
+        serial_metrics = MetricsRegistry()
+        with _make_db(parallel=False, metrics=serial_metrics) as ref:
+            for t in range(THREADS):
+                for op in _thread_ops(t):
+                    _apply(ref, op)
+            # The verification queries above, replayed for counter parity.
+            for t in range(THREADS):
+                assert ref.query(t) == f"owned-by-{t}".encode()
+                assert ref.query(t + THREADS) == f"also-{t}".encode()
+            ref.consistency_check()
+            serial_snapshot = serial_metrics.snapshot()["counters"]
+            assert parallel_total == ref.total_requests()
+
+        # The registries agree on every work-counting metric; only the
+        # ``parallel_dispatches`` marker may differ between the two modes.
+        for name, value in serial_snapshot.items():
+            if name.endswith("parallel_dispatches"):
+                continue
+            assert parallel_snapshot.get(name) == value, name
+
+
+class TestBatchCryptoStress:
+    def test_thread_local_suites_stay_deterministic(self):
+        """Concurrent batch crypto matches single-threaded reference bytes.
+
+        Suites are documented single-threaded, so each thread owns one;
+        the stress point is that nothing process-global (hashlib state,
+        precomputed pads) bleeds between threads.
+        """
+        per_thread_frames = [None] * THREADS
+        errors = []
+
+        def worker(thread_id: int) -> None:
+            try:
+                suite = CipherSuite(
+                    b"stress", backend="blake2",
+                    rng=SecureRandom(1000 + thread_id),
+                )
+                plaintexts = [
+                    bytes([thread_id, i]) * 24 for i in range(16)
+                ]
+                frames = None
+                for _ in range(20):
+                    frames = suite.encrypt_pages(plaintexts)
+                    assert suite.decrypt_pages(frames) == plaintexts
+                per_thread_frames[thread_id] = frames
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        for thread_id in range(THREADS):
+            reference = CipherSuite(
+                b"stress", backend="blake2",
+                rng=SecureRandom(1000 + thread_id),
+            )
+            plaintexts = [bytes([thread_id, i]) * 24 for i in range(16)]
+            expected = None
+            for _ in range(20):
+                expected = reference.encrypt_pages(plaintexts)
+            assert per_thread_frames[thread_id] == expected

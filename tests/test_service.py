@@ -7,6 +7,9 @@ import pytest
 from repro.baselines import make_records
 from repro.errors import PageDeletedError, PageNotFoundError, ProtocolError
 from repro.service import (
+    MAX_BATCH_OPS,
+    Batch,
+    BatchReply,
     Delete,
     Insert,
     Ok,
@@ -14,6 +17,7 @@ from repro.service import (
     QueryFrontend,
     Refused,
     Result,
+    SealedReplyCache,
     ServiceClient,
     Update,
     decode_client_message,
@@ -55,6 +59,44 @@ class TestProtocolCodec:
         good = encode_client_message(Update(1, b"xy"))
         with pytest.raises(ProtocolError):
             decode_client_message(good + b"\x00")  # trailing garbage
+
+    def test_batch_roundtrip(self):
+        batch = Batch((Query(1), Update(2, b"pay"), Insert(b"new"), Delete(3)))
+        assert decode_client_message(encode_client_message(batch)) == batch
+        reply = BatchReply((Result(1, b"pay"), Ok(), Refused("no", "deleted")))
+        assert decode_client_message(encode_client_message(reply)) == reply
+
+    def test_batch_validation(self):
+        with pytest.raises(ProtocolError):
+            encode_client_message(Batch(()))  # empty
+        with pytest.raises(ProtocolError):
+            encode_client_message(Batch((Batch((Query(1),)),)))  # nested
+        with pytest.raises(ProtocolError):
+            encode_client_message(Batch((Result(1, b"x"),)))  # reply in batch
+        with pytest.raises(ProtocolError):
+            encode_client_message(Batch(tuple(
+                Query(i) for i in range(MAX_BATCH_OPS + 1)
+            )))
+        with pytest.raises(ProtocolError):
+            encode_client_message(BatchReply((Query(1),)))  # op in reply
+
+    def test_batch_malformed_wire_bytes(self):
+        good = encode_client_message(Batch((Query(1), Delete(2))))
+        with pytest.raises(ProtocolError):
+            decode_client_message(good + b"\x00")  # trailing garbage
+        with pytest.raises(ProtocolError):
+            decode_client_message(good[:-3])  # truncated inner item
+        with pytest.raises(ProtocolError):
+            decode_client_message(b"\x14\x00\x00\x00\x00")  # zero count
+        # A batch whose inner item is itself a batch must be refused even
+        # when hand-crafted on the wire (the encoder already refuses it).
+        inner = encode_client_message(Query(1))
+        nested = encode_client_message(Batch((Query(1),)))
+        crafted = (b"\x14" + (2).to_bytes(4, "big")
+                   + len(inner).to_bytes(4, "big") + inner
+                   + len(nested).to_bytes(4, "big") + nested)
+        with pytest.raises(ProtocolError):
+            decode_client_message(crafted)
 
 
 class TestFrontend:
@@ -124,3 +166,116 @@ class TestFrontend:
         with pytest.raises(PageNotFoundError):
             client.query(10**9)  # out of range -> Refused
         assert client.query(4) == RECORDS[4]  # session still healthy
+
+
+class TestBatchRequests:
+    @pytest.fixture
+    def frontend(self):
+        return QueryFrontend(make_db(num_records=40, reserve_fraction=0.2,
+                                     seed=510))
+
+    def test_mixed_batch(self, frontend):
+        client = ServiceClient(frontend)
+        replies = client.batch([
+            Query(5),
+            Update(6, b"batched"),
+            Insert(b"batch insert"),
+            Query(6),
+        ])
+        assert replies[0] == Result(5, RECORDS[5])
+        assert replies[1] == Ok()
+        assert isinstance(replies[2], Result)
+        assert replies[3] == Result(6, b"batched")
+        assert client.query(replies[2].page_id) == b"batch insert"
+
+    def test_batch_pays_session_crypto_once(self, frontend):
+        client = ServiceClient(frontend)
+        client.batch([Query(i) for i in range(8)])
+        # One sealed request frame in, one sealed reply frame out.
+        assert frontend.counters.get("requests") == 1
+        assert frontend.counters.get("batch.requests") == 1
+        assert frontend.counters.get("batch.ops") == 8
+
+    def test_failures_are_per_operation(self, frontend):
+        client = ServiceClient(frontend)
+        client.delete(3)
+        replies = client.batch([Query(2), Query(3), Query(10**9), Query(4)])
+        assert replies[0] == Result(2, RECORDS[2])
+        assert isinstance(replies[1], Refused)
+        assert replies[1].code == "deleted"
+        assert isinstance(replies[2], Refused)
+        assert replies[2].code == "not-found"
+        assert replies[3] == Result(4, RECORDS[4])
+
+    def test_query_many(self, frontend):
+        client = ServiceClient(frontend)
+        assert client.query_many([1, 7, 13]) == [
+            RECORDS[1], RECORDS[7], RECORDS[13]
+        ]
+        client.delete(7)
+        with pytest.raises(PageDeletedError):
+            client.query_many([1, 7, 13])
+
+    def test_duplicate_batch_not_reexecuted(self, frontend):
+        session = frontend.open_session()
+        suite = frontend.session_suite(session)
+        sealed = suite.encrypt_page(encode_client_message(
+            Batch((Insert(b"once"), Query(1)))
+        ))
+        first = frontend.serve(session, sealed)
+        count = frontend.database.engine.request_count
+        assert frontend.serve(session, sealed) == first
+        assert frontend.database.engine.request_count == count
+        assert frontend.counters.get("requests.duplicate") == 1
+
+    def test_batch_trace_indistinguishable_from_serial(self, frontend):
+        client = ServiceClient(frontend)
+        client.batch([Query(0), Update(1, b"x"), Query(2)])
+        client.query(3)
+        assert shapes_identical(frontend.database.trace, 0)
+
+
+class TestSealedReplyCache:
+    def test_lru_eviction_bound(self):
+        cache = SealedReplyCache(capacity=3)
+        for i in range(5):
+            cache.put(1, b"req%d" % i, b"rep%d" % i)
+        assert len(cache) == 3
+        assert cache.get(1, b"req0") is None
+        assert cache.get(1, b"req4") == b"rep4"
+
+    def test_get_refreshes_recency(self):
+        cache = SealedReplyCache(capacity=2)
+        cache.put(1, b"a", b"ra")
+        cache.put(1, b"b", b"rb")
+        assert cache.get(1, b"a") == b"ra"  # refresh a
+        cache.put(1, b"c", b"rc")  # evicts b, not a
+        assert cache.get(1, b"b") is None
+        assert cache.get(1, b"a") == b"ra"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            SealedReplyCache(0)
+
+    def test_frontend_cache_stays_bounded_under_load(self):
+        frontend = QueryFrontend(
+            make_db(num_records=40, reserve_fraction=0.2, seed=511),
+            reply_cache_size=4,
+        )
+        session = frontend.open_session()
+        suite = frontend.session_suite(session)
+        sealed_requests = [
+            suite.encrypt_page(encode_client_message(Query(i % 40)))
+            for i in range(12)
+        ]
+        for sealed in sealed_requests:
+            frontend.serve(session, sealed)
+        assert len(frontend._reply_cache) == 4
+        # Recent transmissions still deduplicate ...
+        count = frontend.database.engine.request_count
+        frontend.serve(session, sealed_requests[-1])
+        assert frontend.database.engine.request_count == count
+        assert frontend.counters.get("requests.duplicate") == 1
+        # ... while evicted ones re-execute (safe: queries are idempotent).
+        frontend.serve(session, sealed_requests[0])
+        assert frontend.database.engine.request_count == count + 1

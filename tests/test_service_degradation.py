@@ -592,6 +592,6 @@ class TestDuplicateSuppression:
         frontend = make_frontend()
         client = ServiceClient(frontend)
         client.query(1)
-        assert frontend._last_replies
+        assert len(frontend._reply_cache) == 1
         client.close()
-        assert not frontend._last_replies
+        assert len(frontend._reply_cache) == 0
