@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from .engine import RetrievalEngine
 from .params import SystemParameters
+from ..crypto.pipeline import PIPELINE_MODES, KeystreamPipeline
 from ..crypto.rng import SecureRandom
 from ..errors import ConfigurationError, PageDeletedError
 from ..hardware.cache import RANDOM_POLICY
@@ -81,6 +82,8 @@ class PirDatabase:
         read_retry=None,
         tracer: Optional[Tracer] = None,
         metrics=None,
+        keystream_pipeline: Optional[str] = None,
+        pipeline_max_bytes: Optional[int] = None,
     ) -> "PirDatabase":
         """Build, encrypt, permute and warm up a database from raw records.
 
@@ -107,11 +110,22 @@ class PirDatabase:
         so the recorded phases cover requests only.  ``metrics`` (a
         :class:`repro.obs.registry.MetricsRegistry`) gives the engine's
         counters and latency histogram a process-wide home.
+        ``keystream_pipeline`` enables idle-time decrypt-keystream
+        prefetch (:mod:`repro.crypto.pipeline`): ``"sync"`` computes the
+        next block's keystreams at the end of each request, ``"background"``
+        moves the computation onto a worker thread; either way the frames,
+        RNG streams and virtual clock are identical to running without
+        it.  ``pipeline_max_bytes`` bounds the cached keystream bytes.
         """
         if not records:
             raise ConfigurationError("records must be non-empty")
         if setup_mode not in (SETUP_DIRECT, SETUP_OBLIVIOUS):
             raise ConfigurationError(f"unknown setup_mode {setup_mode!r}")
+        if keystream_pipeline is not None and keystream_pipeline not in PIPELINE_MODES:
+            raise ConfigurationError(
+                f"unknown keystream_pipeline {keystream_pipeline!r}; "
+                f"expected None or one of {PIPELINE_MODES}"
+            )
         if block_size is not None:
             params = SystemParameters.from_block_size(
                 len(records), cache_capacity, block_size,
@@ -185,12 +199,25 @@ class PirDatabase:
             for page_id in range(params.num_locations):
                 layout[permutation.apply(page_id)] = page_id
 
+        if keystream_pipeline is not None:
+            pipeline_options = {}
+            if pipeline_max_bytes is not None:
+                pipeline_options["max_bytes"] = pipeline_max_bytes
+            cop.attach_pipeline(KeystreamPipeline(
+                background=(keystream_pipeline == "background"),
+                metrics=metrics,
+                **pipeline_options,
+            ))
+
         page_by_id = {page.page_id: page for page in disk_pages}
         batch = 4096
         for start in range(0, params.num_locations, batch):
             stop = min(start + batch, params.num_locations)
             frames = [cop.seal(page_by_id[layout[pos]]) for pos in range(start, stop)]
             disk.write_range(start, frames)
+            # Seed the prefetcher with the initial frames' nonces so the
+            # very first scan already hits (no-op without a pipeline).
+            cop.note_frames_written(range(start, stop), frames)
 
         cache_pages = [
             Page(params.num_locations + slot, b"", deleted=True)
@@ -211,6 +238,10 @@ class PirDatabase:
             params, cop, disk, journal=journal, read_retry=read_retry,
             tracer=tracer, metrics=metrics,
         )
+        # Warm the pipeline for the first request's block during setup
+        # (before the tracer reset, so the span is dropped with the rest
+        # of the setup trace).
+        engine.prefetch_next()
         if tracer is not None:
             # Setup wrote the whole database through the instrumented disk;
             # drop those spans so the trace covers requests only (that is
@@ -273,6 +304,21 @@ class PirDatabase:
         engine's :class:`~repro.core.engine.RecoveryReport`.
         """
         return self.engine.recover()
+
+    def close(self) -> None:
+        """Release background resources (the keystream prefetch worker).
+
+        Idempotent; a database without a pipeline has nothing to release.
+        Usable as a context manager: ``with PirDatabase.create(...) as db:``.
+        """
+        if self.cop.pipeline is not None:
+            self.cop.pipeline.close()
+
+    def __enter__(self) -> "PirDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def rotate_master_key(self, new_master_key: bytes) -> None:
         """Online key rotation, piggybacked on the continuous reshuffle.

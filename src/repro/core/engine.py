@@ -323,7 +323,29 @@ class RetrievalEngine:
         self.counters.increment("requests")
         if self._query_hist is not None and self.last_outcome is not None:
             self._query_hist.observe(self.last_outcome.elapsed)
+        # Idle-time keystream prefetch for the *next* request's block — a
+        # sibling of the "request" span, so it never inflates the request's
+        # own wall/virtual totals (and it charges no virtual time at all).
+        self.prefetch_next()
         return result
+
+    def prefetch_next(self) -> int:
+        """Precompute decrypt keystreams for the next round-robin block.
+
+        The scan order is deterministic, so the k locations the next
+        request will read are known now; their nonces were recorded when
+        the frames were written (or seeded at setup).  The extra (k+1)-th
+        page depends on the next request's target and cannot be
+        prefetched — it accounts for the one expected miss per request.
+        A no-op without an attached pipeline.  Returns the number of
+        keystream bytes scheduled.
+        """
+        if self.cop.pipeline is None:
+            return 0
+        k = self.params.block_size
+        start = self._next_block * k
+        with self.tracer.span("pipeline.prefetch"):
+            return self.cop.prefetch_keystreams(range(start, start + k))
 
     def _execute_request(
         self,
@@ -542,6 +564,14 @@ class RetrievalEngine:
             # record able to repair the store.
             self._pending_intent = intent
             raise
+        # The write-back succeeded: tell the prefetcher which nonces now
+        # live at these locations (reads the frame headers we just wrote;
+        # draws no randomness, advances no clock).
+        self.cop.note_frames_written(
+            list(range(intent.block_start, intent.block_start + k))
+            + [intent.extra_location],
+            intent.frames,
+        )
 
         self._next_block = intent.next_block
         self._request_count = intent.request_index + 1

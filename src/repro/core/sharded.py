@@ -228,8 +228,11 @@ class ShardedPirDatabase:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor's worker threads (idempotent)."""
+        """Release the executor's worker threads and each shard's
+        keystream-prefetch worker, when present (idempotent)."""
         self.executor.close()
+        for shard in self.shards:
+            shard.close()
 
     def __enter__(self) -> "ShardedPirDatabase":
         return self

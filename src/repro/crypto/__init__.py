@@ -6,10 +6,11 @@ only need :class:`~repro.crypto.suite.CipherSuite` and
 :class:`~repro.crypto.rng.SecureRandom`.
 """
 
-from .aes import AES, BLOCK_SIZE
+from .aes import AES, BLOCK_SIZE, default_accel, set_default_accel
 from .kdf import derive_key, hkdf_expand, hkdf_extract
 from .mac import TAG_SIZE, hmac_sha256, verify_hmac
-from .modes import NONCE_SIZE, ctr_transform
+from .modes import NONCE_SIZE, ctr_keystream, ctr_keystream_batch, ctr_transform
+from .pipeline import KeystreamPipeline
 from .rng import SecureRandom
 from .sha256 import Sha256, sha256
 from .suite import BACKENDS, FRAME_OVERHEAD, CipherSuite
@@ -17,6 +18,8 @@ from .suite import BACKENDS, FRAME_OVERHEAD, CipherSuite
 __all__ = [
     "AES",
     "BLOCK_SIZE",
+    "default_accel",
+    "set_default_accel",
     "derive_key",
     "hkdf_expand",
     "hkdf_extract",
@@ -24,7 +27,10 @@ __all__ = [
     "hmac_sha256",
     "verify_hmac",
     "NONCE_SIZE",
+    "ctr_keystream",
+    "ctr_keystream_batch",
     "ctr_transform",
+    "KeystreamPipeline",
     "SecureRandom",
     "Sha256",
     "sha256",

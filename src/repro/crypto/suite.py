@@ -15,7 +15,8 @@ Three keystream backends are provided:
 ``aes``
     Real AES-128-CTR from :mod:`repro.crypto.aes` — the paper's cipher.
     Used by default for correctness-sensitive paths and validated against
-    NIST vectors.  Pure Python, so slow for big Monte-Carlo runs.
+    NIST vectors.  Runs the T-table fast kernel by default (byte-identical
+    to the FIPS-197 reference; ``REPRO_AES_ACCEL=0`` forces reference).
 ``blake2``
     Keyed BLAKE2b in counter mode (via ``hashlib``, i.e. C speed).  Same
     security contract for the purposes of this system (a PRF-based stream
@@ -51,7 +52,11 @@ process a whole multi-frame batch per call:
   ``copy()``-ed per frame), and batched verification checks every tag
   before reporting the full set of failing frame indices,
 * per-backend key schedules (AES round keys, the keyed-BLAKE2b base
-  state) are computed once per suite and shared across the batch.
+  state) are computed once per suite and shared across the batch,
+* when a :class:`~repro.crypto.pipeline.KeystreamPipeline` is attached,
+  decrypt batches consult it per frame before computing: hits only XOR,
+  and the remaining misses share one fused kernel call on the aes
+  backend (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -62,7 +67,7 @@ from typing import List, Optional, Sequence
 from .aes import AES
 from .kdf import derive_key
 from .mac import TAG_SIZE, hmac_sha256
-from .modes import NONCE_SIZE, ctr_keystream
+from .modes import NONCE_SIZE, ctr_keystream, ctr_keystream_batch
 from .purestack import pure_hmac_sha256, pure_keystream_xor
 from .rng import SecureRandom
 from ..errors import AuthenticationError, CryptoError
@@ -115,7 +120,19 @@ class CipherSuite:
         self._fine = self.tracer.fine
         self._enc_key = derive_key(master_key, "page-encryption", 16)
         self._mac_key = derive_key(master_key, "page-authentication", 32)
-        self._aes: Optional[AES] = AES(self._enc_key) if backend == "aes" else None
+        # for_key caches keyed instances process-wide, so the legacy-key
+        # suite kept alive during a rotation (and any suite re-derived for
+        # the same master key) reuses an existing key schedule instead of
+        # re-expanding it.
+        self._aes: Optional[AES] = (
+            AES.for_key(self._enc_key) if backend == "aes" else None
+        )
+        # Optional keystream prefetcher (repro.crypto.pipeline); attached
+        # by the coprocessor when the database enables it.  Decrypt paths
+        # consult it; encrypt paths only when the caller supplied explicit
+        # nonces (fresh random nonces can never have been prefetched, so
+        # consulting for them would just pollute the miss counter).
+        self.pipeline = None
         # Keyed-BLAKE2b absorbs its key block at construction; copying the
         # base state per keystream block skips that work (byte-identical
         # output to a one-shot keyed hash).
@@ -136,6 +153,35 @@ class CipherSuite:
             self._outer_pad = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
 
     # -- keystream ------------------------------------------------------------
+
+    def compute_keystream(self, nonce: bytes, length: int) -> Optional[bytes]:
+        """Keystream bytes this suite would use for (nonce, length).
+
+        A pure function of the suite's key and the arguments — no RNG
+        draw, no clock charge — which is what lets
+        :class:`repro.crypto.pipeline.KeystreamPipeline` precompute it
+        off the request path without perturbing determinism.  Returns
+        None for the null backend (identity transform, nothing to cache).
+        """
+        return self._keystream(nonce, length)
+
+    def compute_keystreams(
+        self, nonces: Sequence[bytes], lengths: Sequence[int]
+    ) -> List[Optional[bytes]]:
+        """Batch :meth:`compute_keystream` — one fused kernel entry on aes.
+
+        The prefetch pipeline computes a whole block's keystreams at once
+        through here, so the counter blocks of all frames cross the
+        vectorised lane's threshold together (same reason
+        ``_transform_batch`` batches).
+        """
+        if self.backend == "aes":
+            assert self._aes is not None
+            return list(ctr_keystream_batch(self._aes, nonces, lengths))
+        return [
+            self._keystream(nonce, length)
+            for nonce, length in zip(nonces, lengths)
+        ]
 
     def _keystream(self, nonce: bytes, length: int) -> Optional[bytes]:
         """Raw keystream bytes for one frame (None = identity, null backend)."""
@@ -159,12 +205,17 @@ class CipherSuite:
             parts.append(h.digest())
         return b"".join(parts)[:length]
 
-    def _keystream_xor(self, nonce: bytes, data: bytes) -> bytes:
+    def _keystream_xor(self, nonce: bytes, data: bytes, consult: bool = False) -> bytes:
+        if self.backend == "null":
+            return data
+        if consult and self.pipeline is not None:
+            cached = self.pipeline.take(self, nonce, len(data))
+            if cached is not None:
+                return _xor_bytes(data, cached)
         if self.backend == "pure":
             return pure_keystream_xor(self._enc_key, nonce, data)
         keystream = self._keystream(nonce, len(data))
-        if keystream is None:
-            return data
+        assert keystream is not None
         return _xor_bytes(data, keystream)
 
     # -- authentication -------------------------------------------------------
@@ -187,16 +238,17 @@ class CipherSuite:
         An explicit ``nonce`` may be supplied for testing; production callers
         must leave it None so every write gets a unique nonce.
         """
+        explicit = nonce is not None
         if nonce is None:
             nonce = self._rng.token(NONCE_SIZE)
         elif len(nonce) != NONCE_SIZE:
             raise CryptoError(f"nonce must be {NONCE_SIZE} bytes")
         if self._fine:
             with self.tracer.fine_span("crypto.encrypt", nbytes=len(plaintext)):
-                ciphertext = self._keystream_xor(nonce, plaintext)
+                ciphertext = self._keystream_xor(nonce, plaintext, consult=explicit)
                 tag = self._tag(nonce + ciphertext)
         else:
-            ciphertext = self._keystream_xor(nonce, plaintext)
+            ciphertext = self._keystream_xor(nonce, plaintext, consult=explicit)
             tag = self._tag(nonce + ciphertext)
         return nonce + ciphertext + tag
 
@@ -221,8 +273,8 @@ class CipherSuite:
             raise AuthenticationError("page frame failed MAC verification")
         if self._fine:
             with self.tracer.fine_span("crypto.keystream", nbytes=len(ciphertext)):
-                return self._keystream_xor(nonce, ciphertext)
-        return self._keystream_xor(nonce, ciphertext)
+                return self._keystream_xor(nonce, ciphertext, consult=True)
+        return self._keystream_xor(nonce, ciphertext, consult=True)
 
     # -- batch pipeline -------------------------------------------------------
 
@@ -238,6 +290,7 @@ class CipherSuite:
         equivalent sequence of :meth:`encrypt_page` calls on the same RNG
         state — the batch only saves Python overhead, never changes bytes.
         """
+        explicit = nonces is not None
         if nonces is None:
             nonces = [self._rng.token(NONCE_SIZE) for _ in plaintexts]
         else:
@@ -250,13 +303,16 @@ class CipherSuite:
             with self.tracer.fine_span(
                 "crypto.encrypt_batch", nbytes=sum(len(p) for p in plaintexts)
             ):
-                return self._encrypt_batch(plaintexts, nonces)
-        return self._encrypt_batch(plaintexts, nonces)
+                return self._encrypt_batch(plaintexts, nonces, consult=explicit)
+        return self._encrypt_batch(plaintexts, nonces, consult=explicit)
 
     def _encrypt_batch(
-        self, plaintexts: Sequence[bytes], nonces: Sequence[bytes]
+        self,
+        plaintexts: Sequence[bytes],
+        nonces: Sequence[bytes],
+        consult: bool = False,
     ) -> List[bytes]:
-        ciphertexts = self._transform_batch(nonces, plaintexts)
+        ciphertexts = self._transform_batch(nonces, plaintexts, consult=consult)
         return [
             nonce + ciphertext + self._tag(nonce + ciphertext)
             for nonce, ciphertext in zip(nonces, ciphertexts)
@@ -301,22 +357,47 @@ class CipherSuite:
                 f"frame(s) {failed} of batch of {len(frames)} failed MAC "
                 "verification"
             )
-        return self._transform_batch(nonces, ciphertexts)
+        return self._transform_batch(nonces, ciphertexts, consult=True)
 
     def _transform_batch(
-        self, nonces: Sequence[bytes], payloads: Sequence[bytes]
+        self,
+        nonces: Sequence[bytes],
+        payloads: Sequence[bytes],
+        consult: bool = False,
     ) -> List[bytes]:
         """XOR each payload with its frame keystream, batch-wide.
 
         The per-frame keystreams are concatenated and applied with one
         big-int XOR over the whole batch, then sliced back per frame.
+        With ``consult`` the attached prefetch pipeline is asked for each
+        frame's keystream first; only misses are computed inline.  On the
+        aes backend all missing frames' counter blocks go through one
+        fused :func:`~repro.crypto.modes.ctr_keystream_batch` kernel
+        entry, which is what lets the vectorised lane engage even when
+        each frame is only a handful of blocks.
         """
         if self.backend == "null" or not payloads:
             return list(payloads)
-        streams = [
-            self._keystream(nonce, len(payload))
-            for nonce, payload in zip(nonces, payloads)
-        ]
+        streams: List[Optional[bytes]] = [None] * len(payloads)
+        if consult and self.pipeline is not None:
+            for index, (nonce, payload) in enumerate(zip(nonces, payloads)):
+                streams[index] = self.pipeline.take(self, nonce, len(payload))
+        missing = [index for index, s in enumerate(streams) if s is None]
+        if missing:
+            if self.backend == "aes":
+                assert self._aes is not None
+                fresh = ctr_keystream_batch(
+                    self._aes,
+                    [nonces[index] for index in missing],
+                    [len(payloads[index]) for index in missing],
+                )
+                for index, keystream in zip(missing, fresh):
+                    streams[index] = keystream
+            else:
+                for index in missing:
+                    streams[index] = self._keystream(
+                        nonces[index], len(payloads[index])
+                    )
         mixed = _xor_bytes(b"".join(payloads), b"".join(streams))
         out: List[bytes] = []
         offset = 0

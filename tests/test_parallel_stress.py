@@ -24,7 +24,8 @@ OPS_PER_THREAD = 12
 RECORDS = make_records(NUM_RECORDS, 16)
 
 
-def _make_db(parallel: bool, metrics: MetricsRegistry) -> ShardedPirDatabase:
+def _make_db(parallel: bool, metrics: MetricsRegistry,
+             **options) -> ShardedPirDatabase:
     return ShardedPirDatabase.create(
         RECORDS,
         NUM_SHARDS,
@@ -35,6 +36,7 @@ def _make_db(parallel: bool, metrics: MetricsRegistry) -> ShardedPirDatabase:
         seed=99,
         parallel=parallel,
         metrics=metrics,
+        **options,
     )
 
 
@@ -113,6 +115,43 @@ class TestShardExecutorStress:
             if name.endswith("parallel_dispatches"):
                 continue
             assert parallel_snapshot.get(name) == value, name
+
+
+class TestPipelineParallelEquality:
+    def test_serial_vs_parallel_bytes_with_pipeline(self):
+        """Keystream prefetch must not perturb the parallel-equality contract.
+
+        The same deterministic workload runs four ways — {serial, parallel}
+        × {pipeline off, background pipeline} — and every variant must
+        produce identical per-shard disk frames and virtual clocks: the
+        prefetcher only trades wall time, never bytes or ticks.
+        """
+
+        def run(parallel: bool, pipeline):
+            with _make_db(parallel, MetricsRegistry(), cipher_backend="aes",
+                          keystream_pipeline=pipeline) as db:
+                results = []
+                for i in range(NUM_RECORDS // 2):
+                    results.append(db.query((i * 5) % NUM_RECORDS))
+                    if i % 6 == 0:
+                        db.update(i, f"v-{i}".encode())
+                db.consistency_check()
+                frames = [
+                    [shard.disk.peek(loc)
+                     for loc in range(shard.disk.num_locations)]
+                    for shard in db.shards
+                ]
+                clocks = [shard.clock.now for shard in db.shards]
+                return results, frames, clocks
+
+        baseline = run(parallel=False, pipeline=None)
+        for parallel in (False, True):
+            for pipeline in (None, "background"):
+                if not parallel and pipeline is None:
+                    continue
+                assert run(parallel, pipeline) == baseline, (
+                    parallel, pipeline
+                )
 
 
 class TestBatchCryptoStress:
