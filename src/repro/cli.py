@@ -9,6 +9,10 @@ Commands
 ``demo``      build a small database and run an end-to-end exercise
 ``metrics``   run a traced workload; per-phase totals, registry contents
               and the Eq. 8 conformance ratios (``--out`` exports JSONL)
+``serve``     serve a seeded database over TCP (asyncio stack, admission
+              control, graceful drain on SIGINT or ``--duration``)
+``loadgen``   drive a running ``serve`` instance with concurrent async
+              clients; report sustained qps and shed rate
 """
 
 from __future__ import annotations
@@ -274,6 +278,116 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .net import AdmissionController, PirServer, ServerThread, TokenBucket
+    from .obs import MetricsRegistry
+    from .service.frontend import SESSION_RANDOM, QueryFrontend
+
+    registry = MetricsRegistry()
+    db = PirDatabase.create(
+        make_records(args.pages, args.page_size),
+        cache_capacity=args.cache,
+        target_c=args.c,
+        page_capacity=args.page_size,
+        reserve_fraction=0.1,
+        seed=args.seed,
+        metrics=registry,
+    )
+    frontend = QueryFrontend(
+        db,
+        metrics=registry,
+        session_id_mode=SESSION_RANDOM,
+        session_ttl=args.session_ttl,
+        time_source=_time.monotonic,
+    )
+    bucket = (
+        TokenBucket(args.rate, args.burst if args.burst > 0 else args.rate)
+        if args.rate > 0 else None
+    )
+    admission = AdmissionController(
+        max_sessions=args.max_sessions,
+        max_queue_depth=args.queue_depth,
+        bucket=bucket,
+        metrics=registry,
+    )
+    server = PirServer(
+        frontend,
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        reap_interval=args.session_ttl,
+        metrics=registry,
+    )
+    handle = ServerThread(server).start()
+    print(f"serving {args.pages} pages on {handle.host}:{handle.port} "
+          f"(c={args.c}, workers={args.workers})", flush=True)
+    try:
+        if args.duration > 0:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+    finally:
+        handle.drain()
+        db.close()
+    snapshot = registry.snapshot()
+    net_counters = sorted(
+        (name, value) for name, value in snapshot["counters"].items()
+        if name.startswith("net.") or name.startswith("frontend.")
+    )
+    if net_counters:
+        print(_format_table(["counter", "value"], net_counters))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from .errors import DegradedServiceError
+    from .net.client import AsyncNetworkClient
+
+    async def run_client(index: int, stats: dict) -> None:
+        client = await AsyncNetworkClient.connect(
+            args.host, args.port, rng_seed=args.seed + index
+        )
+        rng = SecureRandom(args.seed + 1000 + index)
+        try:
+            for _ in range(args.requests):
+                try:
+                    await client.query(rng.randrange(args.pages))
+                    stats["ok"] += 1
+                except DegradedServiceError:
+                    stats["shed"] += 1
+        finally:
+            await client.close()
+
+    async def run() -> dict:
+        stats = {"ok": 0, "shed": 0}
+        started = _time.monotonic()
+        await asyncio.gather(
+            *(run_client(index, stats) for index in range(args.clients))
+        )
+        stats["wall_s"] = _time.monotonic() - started
+        return stats
+
+    stats = asyncio.run(run())
+    total = stats["ok"] + stats["shed"]
+    qps = stats["ok"] / stats["wall_s"] if stats["wall_s"] > 0 else 0.0
+    shed_rate = stats["shed"] / total if total else 0.0
+    print(f"{args.clients} clients x {args.requests} requests: "
+          f"{stats['ok']} served, {stats['shed']} shed "
+          f"({shed_rate:.1%}) in {stats['wall_s']:.2f}s — "
+          f"{qps:.1f} qps sustained")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -366,6 +480,52 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="include individual span rows in --out JSONL")
     metrics.add_argument("--out", default="", help="JSONL output path")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a seeded database over TCP with admission control",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--pages", type=int, default=64)
+    serve.add_argument("--cache", type=int, default=8)
+    serve.add_argument("--c", type=float, default=2.0)
+    serve.add_argument("--page-size", type=int, default=64, dest="page_size")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="engine worker threads (>1 needs sharding)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       dest="queue_depth",
+                       help="bounded request queue; beyond it requests "
+                            "are shed with a retryable refusal")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       dest="max_sessions")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="token-bucket requests/second (0 = unlimited)")
+    serve.add_argument("--burst", type=float, default=0.0,
+                       help="token-bucket burst capacity (default: --rate)")
+    serve.add_argument("--session-ttl", type=float, default=300.0,
+                       dest="session_ttl",
+                       help="idle seconds before a session is reaped")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for this many seconds then drain "
+                            "(0 = until Ctrl-C)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running serve instance with concurrent clients",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--requests", type=int, default=50,
+                         help="queries per client")
+    loadgen.add_argument("--pages", type=int, default=64,
+                         help="page-id range to query (match the server)")
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     report = sub.add_parser(
         "report", help="write a full markdown reproduction report"

@@ -1,0 +1,313 @@
+"""Network clients for the PIR serving stack.
+
+:class:`NetworkClient` is the blocking mirror of
+:class:`~repro.service.frontend.ServiceClient`: same typed operation
+surface (via :class:`~repro.service.frontend.ClientOperationsMixin`),
+same retry discipline keyed on :class:`~repro.errors
+.TransientChannelError` and retryable refusals — but over a real TCP
+socket, with real ``time.sleep`` backoff instead of virtual-clock
+advances.
+
+Duplicate safety: each logical call seals its request **once** and
+retransmits the *same* sealed bytes under the *same* request id on every
+retry.  The frontend's reply cache answers a byte-identical duplicate
+without re-executing, so a retransmission after a lost reply cannot
+double-apply a mutation.  Replies carrying an older request id (the late
+answer to a transmission we gave up on) are discarded, keeping the
+stream synchronised.
+
+:class:`AsyncNetworkClient` is the coroutine variant used by the load
+generator — same framing, handshake and request-id discipline, one
+outstanding request per connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from .framing import (
+    Bye,
+    Hello,
+    NetRefused,
+    Reply,
+    Request,
+    Welcome,
+    decode_net_message,
+    encode_net_message,
+    read_frame_async,
+    read_frame_sock,
+    write_frame_async,
+    write_frame_sock,
+)
+from ..crypto.rng import SecureRandom
+from ..crypto.suite import CipherSuite
+from ..errors import (
+    DegradedServiceError,
+    ProtocolError,
+    TransientChannelError,
+)
+from ..faults.retry import RetryPolicy
+from ..service import protocol
+from ..service.frontend import (
+    SESSION_BACKEND,
+    ClientOperationsMixin,
+    session_master_key,
+)
+from ..service.health import error_for_refusal
+from ..sim.metrics import CounterSet, LatencySeries
+
+__all__ = ["NetworkClient", "AsyncNetworkClient"]
+
+#: Never sleep longer than this between retries, whatever the server's
+#: retry-after hint says — a buggy hint must not hang a client for hours.
+MAX_BACKOFF_S = 5.0
+
+
+def _client_suite(session_id: int, seed: Optional[int] = None) -> CipherSuite:
+    """The client's copy of the session suite (see ``session_master_key``).
+
+    Nonces only need uniqueness — they travel inside each frame — so the
+    client draws them from its own RNG; the two ends' streams are
+    independent by construction (different seed derivations).
+    """
+    rng = SecureRandom(seed).spawn(f"net-client-nonces-{session_id}")
+    return CipherSuite(session_master_key(session_id),
+                       backend=SESSION_BACKEND, rng=rng)
+
+
+def _check_handshake_reply(message) -> int:
+    if isinstance(message, NetRefused):
+        raise error_for_refusal(
+            message.refusal.code,
+            f"handshake refused: {message.refusal.reason}",
+            message.refusal.retry_after,
+        )
+    if not isinstance(message, Welcome):
+        raise ProtocolError(
+            f"handshake expected WELCOME, got {type(message).__name__}"
+        )
+    return message.session_id
+
+
+def _reply_sealed(message, request_id: int) -> Optional[bytes]:
+    """Sealed reply bytes if ``message`` answers ``request_id``.
+
+    Returns None for a stale reply (an answer to an earlier transmission
+    we already gave up on — discard and keep reading); raises for
+    refusals and stream desynchronisation.
+    """
+    if isinstance(message, (Reply, NetRefused)):
+        if message.request_id < request_id:
+            return None
+        if message.request_id > request_id:
+            raise ProtocolError(
+                f"reply for request {message.request_id} while "
+                f"{request_id} is outstanding"
+            )
+        if isinstance(message, NetRefused):
+            raise error_for_refusal(
+                message.refusal.code,
+                f"request refused: {message.refusal.reason}",
+                message.refusal.retry_after,
+            )
+        return message.sealed
+    raise ProtocolError(f"unexpected {type(message).__name__} frame")
+
+
+class NetworkClient(ClientOperationsMixin):
+    """Blocking TCP client with the :class:`ServiceClient` surface.
+
+    With a :class:`~repro.faults.retry.RetryPolicy`, transient channel
+    faults (timeouts — the connection survives) and retryable refusals
+    (admission sheds, degraded service) are retried with exponential
+    backoff, honouring the server's retry-after hint as a floor.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        rng_seed: Optional[int] = None,
+    ):
+        self.retry = retry
+        self._retry_rng = SecureRandom(rng_seed).spawn("net-client-retry")
+        self.counters = CounterSet()
+        self.latencies = LatencySeries()
+        self._next_request_id = 1
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise TransientChannelError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            write_frame_sock(self._sock, encode_net_message(Hello()))
+            reply = decode_net_message(read_frame_sock(self._sock))
+            self.session_id = _check_handshake_reply(reply)
+        except BaseException:
+            self._sock.close()
+            raise
+        self._suite = _client_suite(self.session_id, rng_seed)
+
+    # -- transport -------------------------------------------------------------
+
+    def _transact(self, request_id: int, sealed: bytes) -> bytes:
+        """One transmission: send the sealed request, read its sealed reply.
+
+        Exposed for tests that need to retransmit the exact same bytes
+        (duplicate-suppression coverage); normal callers go through the
+        operation methods.
+        """
+        write_frame_sock(self._sock,
+                         encode_net_message(Request(request_id, sealed)))
+        while True:
+            message = decode_net_message(read_frame_sock(self._sock))
+            sealed_reply = _reply_sealed(message, request_id)
+            if sealed_reply is not None:
+                return sealed_reply
+
+    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+        sealed = self._suite.encrypt_page(
+            protocol.encode_client_message(message)
+        )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        attempt = 0
+        while True:
+            started = time.monotonic()
+            try:
+                sealed_reply = self._transact(request_id, sealed)
+                self.latencies.record(time.monotonic() - started)
+                reply = protocol.decode_client_message(
+                    self._suite.decrypt_page(sealed_reply)
+                )
+                if isinstance(reply, protocol.Refused):
+                    raise error_for_refusal(
+                        reply.code,
+                        f"request refused: {reply.reason}",
+                        reply.retry_after,
+                    )
+                return reply
+            except (TransientChannelError, DegradedServiceError) as exc:
+                if (self.retry is None
+                        or attempt + 1 >= self.retry.max_attempts):
+                    raise
+                hint = max(getattr(exc, "retry_after", 0.0), 0.0)
+                delay = min(
+                    max(self.retry.delay_for(attempt, self._retry_rng), hint),
+                    MAX_BACKOFF_S,
+                )
+                time.sleep(delay)
+                self.counters.increment("retries")
+                attempt += 1
+
+    def close(self) -> None:
+        """Orderly goodbye; safe to call twice or on a broken socket."""
+        if self._sock is None:
+            return
+        try:
+            write_frame_sock(self._sock, encode_net_message(Bye()))
+        except TransientChannelError:
+            pass
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class AsyncNetworkClient:
+    """Coroutine TCP client for load generation — one request in flight.
+
+    No built-in retry: the load generator decides what to do with a
+    :class:`~repro.errors.DegradedServiceError` (count the shed, back
+    off, or give up) because that *is* the measurement.
+    """
+
+    def __init__(self, reader, writer, session_id: int,
+                 rng_seed: Optional[int] = None):
+        self._reader = reader
+        self._writer = writer
+        self.session_id = session_id
+        self._suite = _client_suite(session_id, rng_seed)
+        self._next_request_id = 1
+        self.counters = CounterSet()
+        self.latencies = LatencySeries()
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      rng_seed: Optional[int] = None) -> "AsyncNetworkClient":
+        import asyncio
+
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise TransientChannelError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        try:
+            await write_frame_async(writer, encode_net_message(Hello()))
+            reply = decode_net_message(await read_frame_async(reader))
+            session_id = _check_handshake_reply(reply)
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, session_id, rng_seed)
+
+    async def call(
+        self, message: protocol.ClientMessage
+    ) -> protocol.ClientMessage:
+        """One sealed round trip; raises the refusal's error class."""
+        sealed = self._suite.encrypt_page(
+            protocol.encode_client_message(message)
+        )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        started = time.monotonic()
+        await write_frame_async(
+            self._writer, encode_net_message(Request(request_id, sealed))
+        )
+        while True:
+            reply = decode_net_message(await read_frame_async(self._reader))
+            sealed_reply = _reply_sealed(reply, request_id)
+            if sealed_reply is not None:
+                break
+        self.latencies.record(time.monotonic() - started)
+        decoded = protocol.decode_client_message(
+            self._suite.decrypt_page(sealed_reply)
+        )
+        if isinstance(decoded, protocol.Refused):
+            raise error_for_refusal(
+                decoded.code,
+                f"request refused: {decoded.reason}",
+                decoded.retry_after,
+            )
+        return decoded
+
+    async def query(self, page_id: int) -> bytes:
+        reply = await self.call(protocol.Query(page_id))
+        if not isinstance(reply, protocol.Result):
+            raise ProtocolError(f"expected Result, got {type(reply).__name__}")
+        return reply.payload
+
+    async def close(self) -> None:
+        try:
+            await write_frame_async(self._writer, encode_net_message(Bye()))
+        except (TransientChannelError, ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass

@@ -1,0 +1,267 @@
+"""Length-prefixed framing and the network envelope protocol.
+
+Two layers live here, both below the sealed
+:mod:`repro.service.protocol` messages:
+
+* **Framing** — every transmission on the TCP stream is
+  ``u32 length || body``.  The length prefix is validated against
+  :data:`MAX_FRAME_BYTES` *before* any body bytes are read or allocated,
+  so a garbage or hostile prefix (``0xFFFFFFFF`` from a port scanner, a
+  desynchronised peer) costs four bytes of buffering, not 4 GiB.  Both
+  sync-socket helpers (used by the blocking :class:`~repro.net.client
+  .NetworkClient`) and asyncio helpers (used by the server and the async
+  load-generator client) share the same checks.
+
+* **Envelope messages** — a one-byte type tag plus body, carried inside a
+  frame.  The envelope maps connections onto frontend sessions and carries
+  admission-control refusals that must be readable *before* a session
+  suite exists:
+
+  ========  =========  ===============================================
+  tag       message    body
+  ========  =========  ===============================================
+  0x01      HELLO      magic ``RPIR``, u8 protocol version
+  0x02      WELCOME    u64 session id (the handshake's shared secret)
+  0x03      REQUEST    u32 request id, sealed service-protocol bytes
+  0x04      REPLY      u32 request id, sealed service-protocol bytes
+  0x05      REFUSED    u32 request id, plaintext encoded
+                       :class:`repro.service.protocol.Refused`
+  0x06      BYE        (empty) — orderly session close
+  ========  =========  ===============================================
+
+  Request ids are per-connection client-chosen sequence numbers echoed in
+  the matching REPLY/REFUSED, so a client that timed out and retransmitted
+  can discard the late reply to an earlier transmission instead of
+  desynchronising the stream.  Envelope REFUSED is plaintext because it
+  carries no secrets (reason/code/retry-after) and must be expressible
+  when no session exists yet (handshake shed) or when the worker cannot
+  seal (unknown/reaped session).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import ProtocolError, TransientChannelError
+from ..service import protocol
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "NET_VERSION",
+    "NET_MAGIC",
+    "Hello",
+    "Welcome",
+    "Request",
+    "Reply",
+    "NetRefused",
+    "Bye",
+    "encode_net_message",
+    "decode_net_message",
+    "encode_frame",
+    "read_frame_async",
+    "write_frame_async",
+    "read_frame_sock",
+    "write_frame_sock",
+]
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+#: Hard cap on one framed transmission.  Large enough for any sensible
+#: sealed batch (a full-size BATCH of page-sized ops), small enough that a
+#: hostile length prefix cannot make the server allocate unbounded memory.
+#: Checked on both send and receive, before the body is read.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+NET_MAGIC = b"RPIR"
+NET_VERSION = 1
+
+_T_HELLO = 0x01
+_T_WELCOME = 0x02
+_T_REQUEST = 0x03
+_T_REPLY = 0x04
+_T_REFUSED = 0x05
+_T_BYE = 0x06
+
+
+@dataclass(frozen=True)
+class Hello:
+    version: int = NET_VERSION
+
+
+@dataclass(frozen=True)
+class Welcome:
+    session_id: int
+
+
+@dataclass(frozen=True)
+class Request:
+    request_id: int
+    sealed: bytes
+
+
+@dataclass(frozen=True)
+class Reply:
+    request_id: int
+    sealed: bytes
+
+
+@dataclass(frozen=True)
+class NetRefused:
+    """An envelope-level refusal (admission shed, drain, dead session).
+
+    ``request_id`` echoes the refused REQUEST (0 for handshake-stage
+    refusals); ``refusal`` reuses the service protocol's machine-readable
+    :class:`~repro.service.protocol.Refused` shape, so clients surface it
+    through the same :func:`~repro.service.health.error_for_refusal` path
+    as a sealed refusal.
+    """
+
+    request_id: int
+    refusal: protocol.Refused
+
+
+@dataclass(frozen=True)
+class Bye:
+    pass
+
+
+NetMessage = Union[Hello, Welcome, Request, Reply, NetRefused, Bye]
+
+
+def encode_net_message(message: NetMessage) -> bytes:
+    """Serialise one envelope message (the body of a frame)."""
+    if isinstance(message, Hello):
+        return bytes([_T_HELLO]) + NET_MAGIC + bytes([message.version])
+    if isinstance(message, Welcome):
+        return bytes([_T_WELCOME]) + _U64.pack(message.session_id)
+    if isinstance(message, Request):
+        return (bytes([_T_REQUEST]) + _U32.pack(message.request_id)
+                + message.sealed)
+    if isinstance(message, Reply):
+        return (bytes([_T_REPLY]) + _U32.pack(message.request_id)
+                + message.sealed)
+    if isinstance(message, NetRefused):
+        return (bytes([_T_REFUSED]) + _U32.pack(message.request_id)
+                + protocol.encode_client_message(message.refusal))
+    if isinstance(message, Bye):
+        return bytes([_T_BYE])
+    raise ProtocolError(f"cannot encode {type(message).__name__}")
+
+
+def decode_net_message(body: bytes) -> NetMessage:
+    """Parse a frame body; raises :class:`ProtocolError` on malformed input."""
+    if not body:
+        raise ProtocolError("empty network message")
+    tag = body[0]
+    try:
+        if tag == _T_HELLO:
+            if len(body) != 6 or body[1:5] != NET_MAGIC:
+                raise ProtocolError("malformed HELLO")
+            return Hello(body[5])
+        if tag == _T_WELCOME:
+            if len(body) != 9:
+                raise ProtocolError("bad WELCOME length")
+            return Welcome(_U64.unpack_from(body, 1)[0])
+        if tag == _T_REQUEST:
+            return Request(_U32.unpack_from(body, 1)[0], body[5:])
+        if tag == _T_REPLY:
+            return Reply(_U32.unpack_from(body, 1)[0], body[5:])
+        if tag == _T_REFUSED:
+            refusal = protocol.decode_client_message(body[5:])
+            if not isinstance(refusal, protocol.Refused):
+                raise ProtocolError("REFUSED envelope without Refused body")
+            return NetRefused(_U32.unpack_from(body, 1)[0], refusal)
+        if tag == _T_BYE:
+            if len(body) != 1:
+                raise ProtocolError("bad BYE length")
+            return Bye()
+    except struct.error as exc:
+        raise ProtocolError(f"truncated network message: {exc}") from exc
+    raise ProtocolError(f"unknown network message tag 0x{tag:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def _check_frame_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its length; refuses oversized bodies."""
+    return _U32.pack(_check_frame_length(len(body))) + body
+
+
+async def read_frame_async(reader) -> bytes:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    The length prefix is validated before the body is awaited, so an
+    oversized prefix is rejected without buffering the claimed payload.
+    Raises :class:`TransientChannelError` when the peer closes mid-frame.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise TransientChannelError("connection closed") from exc
+        raise TransientChannelError("connection closed mid-frame") from exc
+    length = _check_frame_length(_U32.unpack(prefix)[0])
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransientChannelError("connection closed mid-frame") from exc
+
+
+async def write_frame_async(writer, body: bytes) -> None:
+    """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
+    writer.write(encode_frame(body))
+    await writer.drain()
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise TransientChannelError("socket receive timed out") from exc
+        except OSError as exc:
+            raise TransientChannelError(f"socket receive failed: {exc}") from exc
+        if not chunk:
+            raise TransientChannelError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(sock: socket.socket) -> bytes:
+    """Blocking read of one frame from a connected socket.
+
+    Mirrors :func:`read_frame_async`: the length prefix is validated
+    against :data:`MAX_FRAME_BYTES` before any body byte is read.
+    """
+    length = _check_frame_length(_U32.unpack(_recv_exactly(sock, 4))[0])
+    return _recv_exactly(sock, length)
+
+
+def write_frame_sock(sock: socket.socket, body: bytes) -> None:
+    """Blocking write of one frame to a connected socket."""
+    try:
+        sock.sendall(encode_frame(body))
+    except socket.timeout as exc:
+        raise TransientChannelError("socket send timed out") from exc
+    except OSError as exc:
+        raise TransientChannelError(f"socket send failed: {exc}") from exc

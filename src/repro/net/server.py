@@ -1,0 +1,475 @@
+"""Asyncio TCP server bridging real sockets to the synchronous engine.
+
+Architecture (DESIGN.md §12)::
+
+    client sockets ──▶ asyncio event loop ──▶ bounded queue ──▶ worker
+       (framing,        (handshake, admission,    (queue.Queue)   threads
+        envelope)        drain, reaping)                          (frontend
+                                                                   .serve)
+
+The event loop owns everything network-shaped: accepting connections,
+the HELLO/WELCOME handshake that binds a connection to a
+:class:`~repro.service.frontend.QueryFrontend` session, admission
+control, and graceful drain.  The engine stays synchronous and is only
+ever entered from worker threads, which take sealed requests off a
+bounded queue, run ``frontend.serve`` and resolve the awaiting
+connection's future via ``loop.call_soon_threadsafe``.
+
+Each connection serves one request at a time (the handler awaits the
+reply before reading the next frame), so a session's stateful cipher
+suite is never used by two threads at once.  ``workers=1`` (the default)
+keeps the whole engine single-threaded as its contract requires;
+``workers > 1`` is only accepted for :class:`~repro.core.sharded
+.ShardedPirDatabase` backends, whose routing layer is built for
+concurrent callers.
+
+Graceful drain: :meth:`PirServer.drain` stops accepting, answers new
+requests on live connections with a retryable refusal, waits for every
+in-flight request to finish *and its reply to be written*, then shuts
+down workers and closes sessions — no admitted request is lost, and
+because workers finish what they started, none is double-applied.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from typing import Optional, Set
+
+from .admission import SHED_CODE, AdmissionController
+from .framing import (
+    Bye,
+    Hello,
+    NET_VERSION,
+    NetRefused,
+    Reply,
+    Request,
+    Welcome,
+    decode_net_message,
+    encode_net_message,
+    read_frame_async,
+    write_frame_async,
+)
+from ..core.sharded import ShardedPirDatabase
+from ..errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    TransientChannelError,
+)
+from ..obs.tracer import NULL_TRACER
+from ..service import protocol
+from ..service.frontend import SESSION_SEQUENTIAL, QueryFrontend
+from ..service.health import classify
+from ..sim.metrics import CounterSet
+
+__all__ = ["PirServer", "ServerThread"]
+
+_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                    0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+class PirServer:
+    """Serves a :class:`QueryFrontend` over TCP (see module docstring).
+
+    Construct, then ``await start()`` on a running event loop (or use
+    :class:`ServerThread` from synchronous code).  ``queue_depth`` bounds
+    the worker queue; requests beyond it — and beyond whatever gates the
+    optional :class:`~repro.net.admission.AdmissionController` adds — are
+    shed with a retryable refusal, never silently dropped.
+    """
+
+    def __init__(
+        self,
+        frontend: QueryFrontend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: Optional[AdmissionController] = None,
+        workers: int = 1,
+        queue_depth: int = 64,
+        reap_interval: Optional[float] = None,
+        allow_sequential_sessions: bool = False,
+        metrics=None,
+    ):
+        if workers < 1:
+            raise ConfigurationError("need at least one worker thread")
+        if queue_depth < 1:
+            raise ConfigurationError("queue_depth must be positive")
+        if reap_interval is not None and reap_interval <= 0:
+            raise ConfigurationError("reap_interval must be positive")
+        if (frontend.session_id_mode == SESSION_SEQUENTIAL
+                and not allow_sequential_sessions):
+            raise ConfigurationError(
+                "refusing to serve sequential session ids over the network "
+                "(they are guessable and the id is the session secret); "
+                "use session_id_mode=SESSION_RANDOM or pass "
+                "allow_sequential_sessions=True"
+            )
+        if workers > 1 and not isinstance(frontend.database,
+                                          ShardedPirDatabase):
+            raise ConfigurationError(
+                "workers > 1 requires a ShardedPirDatabase backend; the "
+                "plain engine is single-threaded by contract"
+            )
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self.admission = admission
+        self.workers = workers
+        self.reap_interval = reap_interval
+        self.counters = CounterSet(registry=metrics, prefix="net.")
+        self._sessions_gauge = (
+            metrics.gauge("net.sessions.active") if metrics is not None
+            else None
+        )
+        self._queue_gauge = (
+            metrics.gauge("net.queue.depth") if metrics is not None else None
+        )
+        self._latency = (
+            metrics.histogram("net.request.seconds",
+                              buckets=_LATENCY_BUCKETS)
+            if metrics is not None else None
+        )
+        # The tracer is not thread-safe; with a single worker every span
+        # (net.request wrapping frontend.serve and the engine's own spans)
+        # is emitted from that one thread, so tracing composes.  With
+        # multiple workers net spans are suppressed.
+        self._span_tracer = frontend.tracer if workers == 1 else NULL_TRACER
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._threads: list = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._reap_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._inflight = 0
+        self._idle_event: Optional[asyncio.Event] = None
+        # Test hook: called on the worker thread just before dispatching a
+        # request to the frontend (drain-during-in-flight tests block here).
+        self._serve_hook = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the worker threads."""
+        if self._server is not None:
+            raise ConfigurationError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"pir-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.reap_interval is not None:
+            self._reap_task = self._loop.create_task(self._reap_loop())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close up.
+
+        Idempotent.  After drain every session is closed and the worker
+        threads have exited; live client connections are dropped (their
+        next request would only be refused anyway).
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._reap_task is not None:
+            self._reap_task.cancel()
+            try:
+                await self._reap_task
+            except asyncio.CancelledError:
+                pass
+            self._reap_task = None
+        if self._inflight > 0:
+            await self._idle_event.wait()
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for session_id in self.frontend.session_ids:
+            self.frontend.close_session(session_id)
+        self._publish_sessions()
+        self.counters.increment("drains")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            self.frontend.reap_idle_sessions()
+            self._publish_sessions()
+
+    def _publish_sessions(self) -> None:
+        if self._sessions_gauge is not None:
+            self._sessions_gauge.set(self.frontend.session_count)
+
+    def _publish_queue_depth(self) -> None:
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(self._queue.qsize())
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.counters.increment("connections.accepted")
+        session_id: Optional[int] = None
+        try:
+            session_id = await self._handshake(reader, writer)
+            if session_id is None:
+                return
+            while True:
+                body = await read_frame_async(reader)
+                message = decode_net_message(body)
+                if isinstance(message, Bye):
+                    break
+                if not isinstance(message, Request):
+                    await self._send(
+                        writer,
+                        NetRefused(0, protocol.Refused(
+                            f"unexpected {type(message).__name__} frame",
+                            "protocol", -1.0,
+                        )),
+                    )
+                    break
+                self.counters.increment("requests")
+                self.counters.increment("bytes.in", len(body) + 4)
+                started = time.monotonic()
+                # In-flight covers admission through reply-written, so
+                # drain cannot cut off a reply that is still in transit.
+                assert self._idle_event is not None
+                self._inflight += 1
+                self._idle_event.clear()
+                try:
+                    reply = await self._admit_and_dispatch(session_id,
+                                                           message)
+                    await self._send(writer, reply)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle_event.set()
+                if self._latency is not None:
+                    self._latency.observe(time.monotonic() - started)
+                if isinstance(reply, Reply):
+                    self.counters.increment("replies")
+        except TransientChannelError:
+            pass  # peer closed or broke the connection; nothing to answer
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                NetRefused(0, protocol.Refused(str(exc), "protocol", -1.0)),
+                best_effort=True,
+            )
+        except asyncio.CancelledError:
+            pass  # drain is tearing the connection down
+        finally:
+            if session_id is not None:
+                self.frontend.close_session(session_id)
+                self._publish_sessions()
+            self.counters.increment("connections.closed")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _handshake(self, reader, writer) -> Optional[int]:
+        """HELLO/WELCOME exchange; returns the session id or None if refused."""
+        message = decode_net_message(await read_frame_async(reader))
+        if not isinstance(message, Hello) or message.version != NET_VERSION:
+            await self._send(
+                writer,
+                NetRefused(0, protocol.Refused(
+                    "handshake expected HELLO "
+                    f"v{NET_VERSION}", "protocol", -1.0,
+                )),
+            )
+            return None
+        if self._draining:
+            await self._send(writer, NetRefused(0, self._drain_refusal()))
+            return None
+        if self.admission is not None:
+            refusal = self.admission.admit_session(self.frontend.session_count)
+            if refusal is not None:
+                await self._send(writer, NetRefused(0, refusal))
+                return None
+        session_id = self.frontend.open_session()
+        self._publish_sessions()
+        await self._send(writer, Welcome(session_id))
+        return session_id
+
+    def _drain_refusal(self) -> protocol.Refused:
+        self.counters.increment("shed")
+        self.counters.increment("shed.drain")
+        return protocol.Refused("server is draining", SHED_CODE, 0.05)
+
+    async def _admit_and_dispatch(self, session_id: int, request: Request):
+        """Admission gates, then the queue/worker round trip."""
+        if self._draining:
+            return NetRefused(request.request_id, self._drain_refusal())
+        if self.admission is not None:
+            refusal = self.admission.admit_request(self._queue.qsize())
+            if refusal is not None:
+                return NetRefused(request.request_id, refusal)
+        assert self._loop is not None
+        future = self._loop.create_future()
+        try:
+            self._queue.put_nowait((session_id, request, future, self._loop))
+        except queue.Full:
+            self.counters.increment("shed")
+            self.counters.increment("shed.queue")
+            return NetRefused(request.request_id, protocol.Refused(
+                "request queue is full", SHED_CODE, 0.05,
+            ))
+        self._publish_queue_depth()
+        return await future
+
+    async def _send(self, writer, message, best_effort: bool = False) -> None:
+        body = encode_net_message(message)
+        try:
+            await write_frame_async(writer, body)
+        except (TransientChannelError, ConnectionError, OSError):
+            if not best_effort:
+                raise TransientChannelError("peer went away mid-reply")
+            return
+        self.counters.increment("bytes.out", len(body) + 4)
+
+    # -- worker threads --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            session_id, request, future, loop = item
+            self._publish_queue_depth()
+            hook = self._serve_hook
+            if hook is not None:
+                hook()
+            try:
+                with self._span_tracer.span("net.request",
+                                            nbytes=len(request.sealed)):
+                    sealed_reply = self.frontend.serve(session_id,
+                                                       request.sealed)
+                result = Reply(request.request_id, sealed_reply)
+            except ReproError as exc:
+                # serve() seals most refusals itself; reaching here means
+                # the session is gone (reaped/closed) or similarly
+                # unservable, so answer with a plaintext envelope refusal.
+                refusal = classify(exc)
+                retry_after = (self.frontend.health.retry_after
+                               if refusal.retryable else -1.0)
+                result = NetRefused(request.request_id, protocol.Refused(
+                    f"{type(exc).__name__}: {exc}", refusal.code, retry_after,
+                ))
+            except BaseException as exc:  # never let a worker die silently
+                result = NetRefused(request.request_id, protocol.Refused(
+                    f"internal error: {exc}", "internal", -1.0,
+                ))
+            loop.call_soon_threadsafe(self._resolve, future, result)
+
+    @staticmethod
+    def _resolve(future: "asyncio.Future", result) -> None:
+        if not future.cancelled():
+            future.set_result(result)
+
+
+class ServerThread:
+    """Runs a :class:`PirServer` event loop on a background thread.
+
+    Lets synchronous code (tests, benchmarks, the CLI) stand up a real
+    TCP server in-process::
+
+        with ServerThread(PirServer(frontend)) as handle:
+            client = NetworkClient(handle.host, handle.port)
+
+    Startup errors (bad config, port in use) re-raise from :meth:`start`
+    on the calling thread.  ``drain()``/``__exit__`` run the server's
+    graceful drain on the loop, then stop and join the thread.
+    """
+
+    def __init__(self, server: PirServer):
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise ConfigurationError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="pir-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Gracefully drain the server and stop the loop thread."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop
+            )
+            future.result(timeout=timeout)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()

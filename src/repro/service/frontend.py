@@ -19,8 +19,9 @@ until :meth:`QueryFrontend.recover` has repaired the store.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from . import protocol
 from .health import (
@@ -43,7 +44,41 @@ from ..sim.clock import VirtualClock
 from ..sim.metrics import CounterSet, LatencySeries
 from ..twoparty.channel import SimulatedChannel
 
-__all__ = ["QueryFrontend", "ServiceClient", "SealedReplyCache"]
+__all__ = [
+    "QueryFrontend",
+    "ServiceClient",
+    "SealedReplyCache",
+    "ClientOperationsMixin",
+    "SESSION_SEQUENTIAL",
+    "SESSION_RANDOM",
+    "SESSION_BACKEND",
+    "session_master_key",
+]
+
+#: How :meth:`QueryFrontend.open_session` assigns session ids.
+#: ``sequential`` is the legacy in-process behaviour (ids 1, 2, 3, ... —
+#: predictable, fine when the caller holding the frontend object *is* the
+#: trust boundary); ``random`` draws unguessable 64-bit tokens and is
+#: required for network-facing deployments, where a guessed session id
+#: lets an attacker derive the session key (see :func:`session_master_key`).
+SESSION_SEQUENTIAL = "sequential"
+SESSION_RANDOM = "random"
+_SESSION_MODES = (SESSION_SEQUENTIAL, SESSION_RANDOM)
+
+#: Cipher backend used for per-session suites on both ends of the link.
+SESSION_BACKEND = "blake2"
+
+
+def session_master_key(session_id: int) -> bytes:
+    """Key material both sides derive the session suite from.
+
+    Stands in for the key agreement of the SSL handshake: the server hands
+    the client its session id over the (conceptually authenticated)
+    handshake, and both ends expand it into identical encrypt/MAC keys.
+    With ``SESSION_RANDOM`` ids the id *is* the shared secret, which is why
+    network-facing sessions must never use guessable sequential ids.
+    """
+    return b"client-session:" + session_id.to_bytes(8, "big")
 
 
 class SealedReplyCache:
@@ -54,6 +89,9 @@ class SealedReplyCache:
     the original), so the cache holds the last ``capacity`` replies across
     all sessions and evicts the least recently used beyond that — the old
     unbounded per-session dict grew forever on long sessions.
+
+    Thread-safe: the network server's worker threads and its event-loop
+    thread (session reaping) touch the cache concurrently.
     """
 
     def __init__(self, capacity: int = 256):
@@ -61,29 +99,34 @@ class SealedReplyCache:
             raise ProtocolError("reply cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, session_id: int, sealed_request: bytes) -> Optional[bytes]:
         key = (session_id, sealed_request)
-        reply = self._entries.get(key)
-        if reply is not None:
-            self._entries.move_to_end(key)
-        return reply
+        with self._lock:
+            reply = self._entries.get(key)
+            if reply is not None:
+                self._entries.move_to_end(key)
+            return reply
 
     def put(self, session_id: int, sealed_request: bytes,
             sealed_reply: bytes) -> None:
         key = (session_id, sealed_request)
-        self._entries[key] = sealed_reply
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = sealed_reply
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def drop_session(self, session_id: int) -> None:
-        stale = [key for key in self._entries if key[0] == session_id]
-        for key in stale:
-            del self._entries[key]
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == session_id]
+            for key in stale:
+                del self._entries[key]
 
 
 class QueryFrontend:
@@ -95,9 +138,39 @@ class QueryFrontend:
         health: Optional[HealthMonitor] = None,
         metrics=None,
         reply_cache_size: int = 256,
+        session_id_mode: str = SESSION_SEQUENTIAL,
+        session_ttl: Optional[float] = None,
+        time_source: Optional[Callable[[], float]] = None,
     ):
+        """``session_id_mode`` selects sequential (legacy, in-process) or
+        unguessable random session ids — network-facing frontends must use
+        :data:`SESSION_RANDOM`.  ``session_ttl`` enables idle-session
+        reaping: sessions unused for more than ``session_ttl`` seconds of
+        ``time_source`` time (default: the database's virtual clock; the
+        network server passes ``time.monotonic``) are eligible for
+        :meth:`reap_idle_sessions`, which drops their key material and
+        cached replies.
+        """
+        if session_id_mode not in _SESSION_MODES:
+            raise ProtocolError(
+                f"unknown session_id_mode {session_id_mode!r}; "
+                f"expected one of {_SESSION_MODES}"
+            )
+        if session_ttl is not None and session_ttl <= 0:
+            raise ProtocolError("session_ttl must be positive (or None)")
         self.database = database
+        self.session_id_mode = session_id_mode
+        self.session_ttl = session_ttl
+        self._time_source = (
+            time_source if time_source is not None
+            else (lambda: database.clock.now)
+        )
         self._sessions: Dict[int, CipherSuite] = {}
+        self._last_used: Dict[int, float] = {}
+        # Guards the session tables: the network server opens/closes/reaps
+        # sessions on its event-loop thread while worker threads serve.
+        self._session_lock = threading.Lock()
+        self._session_rng = database.cop.rng.spawn("session-ids")
         # Recently served (sealed request -> sealed reply) pairs for
         # at-least-once duplicate suppression (see serve()); bounded LRU
         # so long-lived sessions cannot grow it without limit.
@@ -126,25 +199,83 @@ class QueryFrontend:
         Stands in for the SSL handshake: a per-session key pair is derived
         inside the boundary and (conceptually) shared with the client via
         the handshake.  :meth:`session_suite` hands the client its copy.
+
+        In :data:`SESSION_RANDOM` mode the id is an unguessable 64-bit
+        token (re-drawn on the astronomically unlikely collision); in
+        :data:`SESSION_SEQUENTIAL` mode ids count up from 1 as before.
         """
-        session_id = self._next_session
-        self._next_session += 1
-        self._sessions[session_id] = CipherSuite(
-            b"client-session:" + session_id.to_bytes(8, "big"),
-            backend="blake2",
-            rng=self.database.cop.rng.spawn(f"session-{session_id}"),
-        )
+        with self._session_lock:
+            if self.session_id_mode == SESSION_RANDOM:
+                session_id = 0
+                while session_id == 0 or session_id in self._sessions:
+                    session_id = int.from_bytes(
+                        self._session_rng.token(8), "big"
+                    )
+            else:
+                session_id = self._next_session
+                self._next_session += 1
+            self._sessions[session_id] = CipherSuite(
+                session_master_key(session_id),
+                backend=SESSION_BACKEND,
+                rng=self.database.cop.rng.spawn(f"session-{session_id}"),
+            )
+            self._last_used[session_id] = self._time_source()
         self.counters.increment("sessions")
         return session_id
 
     def session_suite(self, session_id: int) -> CipherSuite:
-        if session_id not in self._sessions:
+        with self._session_lock:
+            suite = self._sessions.get(session_id)
+        if suite is None:
             raise ProtocolError(f"unknown session {session_id}")
-        return self._sessions[session_id]
+        return suite
 
     def close_session(self, session_id: int) -> None:
-        self._sessions.pop(session_id, None)
+        with self._session_lock:
+            self._sessions.pop(session_id, None)
+            self._last_used.pop(session_id, None)
         self._reply_cache.drop_session(session_id)
+
+    @property
+    def session_count(self) -> int:
+        """Number of currently open sessions."""
+        with self._session_lock:
+            return len(self._sessions)
+
+    @property
+    def session_ids(self) -> List[int]:
+        """Snapshot of the open session ids (for shutdown sweeps)."""
+        with self._session_lock:
+            return list(self._sessions)
+
+    def reap_idle_sessions(self) -> int:
+        """Drop sessions idle for longer than ``session_ttl``.
+
+        Abandoned connections otherwise accumulate key material and
+        reply-cache entries forever: the suite of a session that will never
+        speak again is pure liability.  Returns the number of sessions
+        reaped (0 when no TTL is configured) and counts them under
+        ``sessions.reaped``.  A reaped session's later requests refuse with
+        an ``unknown session`` protocol error, exactly like an explicit
+        :meth:`close_session`.
+        """
+        if self.session_ttl is None:
+            return 0
+        now = self._time_source()
+        with self._session_lock:
+            stale = [
+                session_id
+                for session_id, last in self._last_used.items()
+                if now - last > self.session_ttl
+            ]
+            for session_id in stale:
+                self._sessions.pop(session_id, None)
+                self._last_used.pop(session_id, None)
+        for session_id in stale:
+            self._reply_cache.drop_session(session_id)
+        if stale:
+            self.counters.increment("sessions.reaped", len(stale))
+        return len(stale)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -178,6 +309,9 @@ class QueryFrontend:
         """
         with self.tracer.span("frontend.serve"):
             suite = self.session_suite(session_id)
+            with self._session_lock:
+                if session_id in self._last_used:
+                    self._last_used[session_id] = self._time_source()
             cached = self._reply_cache.get(session_id, sealed_request)
             if cached is not None:
                 self.counters.increment("requests.duplicate")
@@ -271,78 +405,21 @@ class QueryFrontend:
         return protocol.BatchReply(replies)
 
 
-class ServiceClient:
-    """A client of the three-party service, talking over its own channel.
+class ClientOperationsMixin:
+    """The operation surface shared by every client of the service.
 
-    With a :class:`~repro.faults.retry.RetryPolicy`, the client retries
-    transient channel faults (lost/timed-out messages) and retryable
-    refusals, honouring the server's retry-after hint as a floor under its
-    own exponential backoff.  Backoff time advances the shared virtual
-    clock and jitter comes from a spawned seeded RNG, so retried runs stay
-    deterministic.  ``channel_wrapper`` interposes on the outgoing channel
-    — e.g. ``lambda ch: FlakyChannel(ch, injector)`` for fault drills.
+    Concrete clients (:class:`ServiceClient` over the in-process simulated
+    channel, :class:`repro.net.client.NetworkClient` over a real TCP
+    socket) provide ``_call(message) -> reply`` — one sealed round trip
+    including whatever retry discipline the transport supports — plus a
+    ``counters`` :class:`~repro.sim.metrics.CounterSet`; the mixin turns it
+    into the typed query/update/insert/delete/batch API.
     """
 
-    def __init__(
-        self,
-        frontend: QueryFrontend,
-        rtt: float = 0.02,
-        bandwidth: float = 10e6,
-        clock: Optional[VirtualClock] = None,
-        retry: Optional[RetryPolicy] = None,
-        channel_wrapper=None,
-    ):
-        self.frontend = frontend
-        self.session_id = frontend.open_session()
-        self._suite = frontend.session_suite(self.session_id)
-        self.channel = SimulatedChannel(
-            clock if clock is not None else frontend.database.clock,
-            lambda blob: frontend.serve(self.session_id, blob),
-            rtt=rtt,
-            bandwidth=bandwidth,
-        )
-        if channel_wrapper is not None:
-            self.channel = channel_wrapper(self.channel)
-        self.retry = retry
-        self._retry_rng = frontend.database.cop.rng.spawn(
-            f"client-retry-{self.session_id}"
-        )
-        self.counters = CounterSet()
-        self.latencies = LatencySeries()
-
-    def _call_once(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
-        sealed = self._suite.encrypt_page(protocol.encode_client_message(message))
-        started = self.channel.clock.now
-        sealed_reply = self.channel.call(sealed)
-        self.latencies.record(self.channel.clock.now - started)
-        reply = protocol.decode_client_message(self._suite.decrypt_page(sealed_reply))
-        if isinstance(reply, protocol.Refused):
-            # Surface the server's error class, not a generic client error:
-            # a not-found refusal raises PageNotFoundError, a retryable one
-            # DegradedServiceError (which the retry loop keys on), etc.
-            raise error_for_refusal(
-                reply.code,
-                f"request refused: {reply.reason}",
-                reply.retry_after,
-            )
-        return reply
-
-    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
-        if self.retry is None:
-            return self._call_once(message)
-        attempt = 0
-        while True:
-            try:
-                return self._call_once(message)
-            except (TransientChannelError, DegradedServiceError) as exc:
-                if attempt + 1 >= self.retry.max_attempts:
-                    raise
-                hint = max(getattr(exc, "retry_after", 0.0), 0.0)
-                delay = max(self.retry.delay_for(attempt, self._retry_rng),
-                            hint)
-                self.channel.clock.advance(delay)
-                self.counters.increment("retries")
-                attempt += 1
+    def _call(
+        self, message: protocol.ClientMessage
+    ) -> protocol.ClientMessage:  # pragma: no cover - interface
+        raise NotImplementedError
 
     def query(self, page_id: int) -> bytes:
         reply = self._call(protocol.Query(page_id))
@@ -416,6 +493,80 @@ class ServiceClient:
                 )
             payloads.append(reply.payload)
         return payloads
+
+
+class ServiceClient(ClientOperationsMixin):
+    """A client of the three-party service, talking over its own channel.
+
+    With a :class:`~repro.faults.retry.RetryPolicy`, the client retries
+    transient channel faults (lost/timed-out messages) and retryable
+    refusals, honouring the server's retry-after hint as a floor under its
+    own exponential backoff.  Backoff time advances the shared virtual
+    clock and jitter comes from a spawned seeded RNG, so retried runs stay
+    deterministic.  ``channel_wrapper`` interposes on the outgoing channel
+    — e.g. ``lambda ch: FlakyChannel(ch, injector)`` for fault drills.
+    """
+
+    def __init__(
+        self,
+        frontend: QueryFrontend,
+        rtt: float = 0.02,
+        bandwidth: float = 10e6,
+        clock: Optional[VirtualClock] = None,
+        retry: Optional[RetryPolicy] = None,
+        channel_wrapper=None,
+    ):
+        self.frontend = frontend
+        self.session_id = frontend.open_session()
+        self._suite = frontend.session_suite(self.session_id)
+        self.channel = SimulatedChannel(
+            clock if clock is not None else frontend.database.clock,
+            lambda blob: frontend.serve(self.session_id, blob),
+            rtt=rtt,
+            bandwidth=bandwidth,
+        )
+        if channel_wrapper is not None:
+            self.channel = channel_wrapper(self.channel)
+        self.retry = retry
+        self._retry_rng = frontend.database.cop.rng.spawn(
+            f"client-retry-{self.session_id}"
+        )
+        self.counters = CounterSet()
+        self.latencies = LatencySeries()
+
+    def _call_once(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+        sealed = self._suite.encrypt_page(protocol.encode_client_message(message))
+        started = self.channel.clock.now
+        sealed_reply = self.channel.call(sealed)
+        self.latencies.record(self.channel.clock.now - started)
+        reply = protocol.decode_client_message(self._suite.decrypt_page(sealed_reply))
+        if isinstance(reply, protocol.Refused):
+            # Surface the server's error class, not a generic client error:
+            # a not-found refusal raises PageNotFoundError, a retryable one
+            # DegradedServiceError (which the retry loop keys on), etc.
+            raise error_for_refusal(
+                reply.code,
+                f"request refused: {reply.reason}",
+                reply.retry_after,
+            )
+        return reply
+
+    def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
+        if self.retry is None:
+            return self._call_once(message)
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(message)
+            except (TransientChannelError, DegradedServiceError) as exc:
+                if attempt + 1 >= self.retry.max_attempts:
+                    raise
+                hint = max(getattr(exc, "retry_after", 0.0), 0.0)
+                delay = max(self.retry.delay_for(attempt, self._retry_rng),
+                            hint)
+                self.channel.clock.advance(delay)
+                self.counters.increment("retries")
+                attempt += 1
 
     def close(self) -> None:
         self.frontend.close_session(self.session_id)

@@ -56,6 +56,7 @@ __all__ = [
     "BatchReply",
     "Refused",
     "MAX_BATCH_OPS",
+    "MAX_PAYLOAD_BYTES",
     "encode_client_message",
     "decode_client_message",
 ]
@@ -78,6 +79,23 @@ _OP_REFUSED = 0x2F
 #: monopolising the engine (and bounds decode memory) while staying far
 #: above any sensible amortisation sweet spot.
 MAX_BATCH_OPS = 1024
+
+#: Upper bound on any single length-prefixed field (payload, reason, code,
+#: batch item).  The decoders check every u32 length against this cap
+#: *before* trusting it, so a crafted prefix can neither trigger a huge
+#: slice nor mask a structurally invalid message; it also keeps legal
+#: messages inside what the network transport will carry
+#: (:data:`repro.net.framing.MAX_FRAME_BYTES`).
+MAX_PAYLOAD_BYTES = 4 * 1024 * 1024
+
+
+def _check_length(length: int, what: str) -> int:
+    if length > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"{what} length {length} exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    return length
 
 
 @dataclass(frozen=True)
@@ -176,7 +194,7 @@ def _encode_items(opcode: int, items, allowed, kind: str) -> bytes:
                 f"{kind} cannot carry {type(item).__name__}"
             )
         encoded = encode_client_message(item)
-        parts.append(_U32.pack(len(encoded)))
+        parts.append(_U32.pack(_check_length(len(encoded), f"{kind} item")))
         parts.append(encoded)
     return b"".join(parts)
 
@@ -192,7 +210,8 @@ def _decode_items(buffer: bytes, allowed, kind: str):
     items = []
     offset = 5
     for _ in range(count):
-        length = _U32.unpack_from(buffer, offset)[0]
+        length = _check_length(_U32.unpack_from(buffer, offset)[0],
+                               f"{kind} item")
         offset += 4
         if offset + length > len(buffer):
             raise ProtocolError(f"bad {kind} item length")
@@ -212,9 +231,12 @@ def encode_client_message(message: ClientMessage) -> bytes:
         return bytes([_OP_QUERY]) + _U64.pack(message.page_id)
     if isinstance(message, Update):
         return (bytes([_OP_UPDATE]) + _U64.pack(message.page_id)
-                + _U32.pack(len(message.payload)) + message.payload)
+                + _U32.pack(_check_length(len(message.payload), "payload"))
+                + message.payload)
     if isinstance(message, Insert):
-        return bytes([_OP_INSERT]) + _U32.pack(len(message.payload)) + message.payload
+        return (bytes([_OP_INSERT])
+                + _U32.pack(_check_length(len(message.payload), "payload"))
+                + message.payload)
     if isinstance(message, Delete):
         return bytes([_OP_DELETE]) + _U64.pack(message.page_id)
     if isinstance(message, Batch):
@@ -225,7 +247,8 @@ def encode_client_message(message: ClientMessage) -> bytes:
         )
     if isinstance(message, Result):
         return (bytes([_OP_RESULT]) + _U64.pack(message.page_id)
-                + _U32.pack(len(message.payload)) + message.payload)
+                + _U32.pack(_check_length(len(message.payload), "payload"))
+                + message.payload)
     if isinstance(message, Ok):
         return bytes([_OP_OK])
     if isinstance(message, Refused):
@@ -239,7 +262,7 @@ def encode_client_message(message: ClientMessage) -> bytes:
 
 
 def _take_payload(buffer: bytes, offset: int) -> bytes:
-    length = _U32.unpack_from(buffer, offset)[0]
+    length = _check_length(_U32.unpack_from(buffer, offset)[0], "payload")
     start = offset + 4
     if start + length != len(buffer):
         raise ProtocolError("payload length does not match message size")
@@ -288,7 +311,7 @@ def _decode_client_message(buffer: bytes) -> ClientMessage:
 
 
 def _decode_refused(buffer: bytes) -> Refused:
-    length = _U32.unpack_from(buffer, 1)[0]
+    length = _check_length(_U32.unpack_from(buffer, 1)[0], "REFUSED reason")
     offset = 5 + length
     if offset > len(buffer):
         raise ProtocolError("bad REFUSED length")
@@ -297,7 +320,8 @@ def _decode_refused(buffer: bytes) -> Refused:
     reason = buffer[5:offset].decode("utf-8", errors="replace")
     if offset == len(buffer):
         return Refused(reason)  # legacy form: reason only
-    code_length = _U32.unpack_from(buffer, offset)[0]
+    code_length = _check_length(_U32.unpack_from(buffer, offset)[0],
+                                "REFUSED code")
     offset += 4
     if offset + code_length + _F64.size != len(buffer):
         raise ProtocolError("bad REFUSED length")

@@ -1,0 +1,142 @@
+"""Session-id modes and idle-session reaping (service.frontend)."""
+
+import pytest
+
+from tests.helpers import make_db
+from repro.errors import ProtocolError
+from repro.service import protocol
+from repro.service.frontend import (
+    SESSION_RANDOM,
+    SESSION_SEQUENTIAL,
+    QueryFrontend,
+    ServiceClient,
+)
+
+
+class FakeTime:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestSessionIdModes:
+    def test_sequential_is_default_and_counts_up(self):
+        db = make_db()
+        frontend = QueryFrontend(db)
+        assert frontend.session_id_mode == SESSION_SEQUENTIAL
+        assert [frontend.open_session() for _ in range(3)] == [1, 2, 3]
+        db.close()
+
+    def test_random_ids_are_64_bit_and_distinct(self):
+        db = make_db()
+        frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+        ids = [frontend.open_session() for _ in range(32)]
+        assert len(set(ids)) == 32
+        assert all(0 < session_id < 2**64 for session_id in ids)
+        # Unguessable shape: not clustered the way a counter would be.
+        # With 64-bit uniform draws, consecutive ids land in the same
+        # 2^32-wide bucket with probability ~2^-32 per pair.
+        deltas = [abs(a - b) for a, b in zip(ids, ids[1:])]
+        assert all(delta > 2**20 for delta in deltas)
+        db.close()
+
+    def test_random_ids_depend_on_seed(self):
+        db_a, db_b = make_db(seed=1), make_db(seed=2)
+        ids_a = [QueryFrontend(db_a, session_id_mode=SESSION_RANDOM)
+                 .open_session() for _ in range(1)]
+        ids_b = [QueryFrontend(db_b, session_id_mode=SESSION_RANDOM)
+                 .open_session() for _ in range(1)]
+        assert ids_a != ids_b
+        db_a.close()
+        db_b.close()
+
+    def test_unknown_mode_rejected(self):
+        db = make_db()
+        with pytest.raises(ProtocolError, match="session_id_mode"):
+            QueryFrontend(db, session_id_mode="guessable")
+        db.close()
+
+    def test_service_client_works_in_random_mode(self):
+        db = make_db()
+        frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+        client = ServiceClient(frontend)
+        assert client.query(3) == db.query(3)
+        client.close()
+        db.close()
+
+
+class TestIdleSessionReaping:
+    def _frontend(self, ttl=10.0):
+        db = make_db()
+        clock = FakeTime()
+        frontend = QueryFrontend(
+            db, session_id_mode=SESSION_RANDOM,
+            session_ttl=ttl, time_source=clock,
+        )
+        return db, clock, frontend
+
+    def test_no_ttl_means_no_reaping(self):
+        db = make_db()
+        frontend = QueryFrontend(db)
+        frontend.open_session()
+        assert frontend.reap_idle_sessions() == 0
+        assert frontend.session_count == 1
+        db.close()
+
+    def test_idle_sessions_reaped_after_ttl(self):
+        db, clock, frontend = self._frontend(ttl=10.0)
+        frontend.open_session()
+        frontend.open_session()
+        clock.advance(10.5)
+        assert frontend.reap_idle_sessions() == 2
+        assert frontend.session_count == 0
+        assert frontend.counters.get("sessions.reaped") == 2
+        db.close()
+
+    def test_activity_refreshes_the_clock(self):
+        db, clock, frontend = self._frontend(ttl=10.0)
+        client = ServiceClient(frontend)
+        idle = frontend.open_session()
+        clock.advance(8.0)
+        client.query(1)  # refreshes the client's session, not `idle`
+        clock.advance(4.0)
+        assert frontend.reap_idle_sessions() == 1
+        assert frontend.session_count == 1
+        with pytest.raises(ProtocolError, match="unknown session"):
+            frontend.session_suite(idle)
+        client.query(2)  # survivor still works
+        db.close()
+
+    def test_reaped_session_requests_refused(self):
+        db, clock, frontend = self._frontend(ttl=5.0)
+        client = ServiceClient(frontend)
+        clock.advance(6.0)
+        assert frontend.reap_idle_sessions() == 1
+        with pytest.raises(ProtocolError, match="unknown session"):
+            client.query(0)
+        db.close()
+
+    def test_reap_drops_reply_cache_entries(self):
+        db, clock, frontend = self._frontend(ttl=5.0)
+        session_id = frontend.open_session()
+        suite = frontend.session_suite(session_id)
+        sealed = suite.encrypt_page(
+            protocol.encode_client_message(protocol.Query(1))
+        )
+        frontend.serve(session_id, sealed)
+        assert len(frontend._reply_cache) == 1
+        clock.advance(6.0)
+        assert frontend.reap_idle_sessions() == 1
+        assert len(frontend._reply_cache) == 0
+        db.close()
+
+    def test_bad_ttl_rejected(self):
+        db = make_db()
+        with pytest.raises(ProtocolError, match="session_ttl"):
+            QueryFrontend(db, session_ttl=0.0)
+        db.close()

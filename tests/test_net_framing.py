@@ -1,0 +1,244 @@
+"""Frame codec and envelope-message tests (repro.net.framing)."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError, TransientChannelError
+from repro.net.framing import (
+    Bye,
+    Hello,
+    MAX_FRAME_BYTES,
+    NetRefused,
+    Reply,
+    Request,
+    Welcome,
+    decode_net_message,
+    encode_frame,
+    encode_net_message,
+    read_frame_async,
+    read_frame_sock,
+    write_frame_sock,
+)
+from repro.service import protocol
+
+
+class TestEnvelopeCodec:
+    @pytest.mark.parametrize("message", [
+        Hello(),
+        Hello(7),
+        Welcome(0xDEADBEEF01020304),
+        Request(1, b"sealed request bytes"),
+        Reply(2**32 - 1, b""),
+        NetRefused(9, protocol.Refused("busy", "unavailable", 0.25)),
+        NetRefused(0, protocol.Refused("legacy")),
+        Bye(),
+    ])
+    def test_roundtrip(self, message):
+        assert decode_net_message(encode_net_message(message)) == message
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_net_message(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            decode_net_message(b"\x7f")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="HELLO"):
+            decode_net_message(b"\x01XXXX\x01")
+
+    def test_truncated_welcome_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_net_message(b"\x02\x00\x01")
+
+    def test_refused_envelope_requires_refused_body(self):
+        body = (b"\x05" + struct.pack(">I", 3)
+                + protocol.encode_client_message(protocol.Ok()))
+        with pytest.raises(ProtocolError, match="Refused"):
+            decode_net_message(body)
+
+    def test_garbage_bytes_never_crash(self):
+        for seed in range(40):
+            blob = bytes((seed * 31 + i * 7) % 256 for i in range(seed))
+            try:
+                decode_net_message(blob)
+            except ProtocolError:
+                pass
+
+
+class TestFraming:
+    def test_encode_frame_prefixes_length(self):
+        frame = encode_frame(b"abc")
+        assert frame == struct.pack(">I", 3) + b"abc"
+
+    def test_encode_rejects_oversized_body(self):
+        huge = bytearray(MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(bytes(huge))
+
+    def test_sync_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame_sock(left, b"hello frame")
+            assert read_frame_sock(right) == b"hello frame"
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_prefix_rejected_before_reading_body(self):
+        """A hostile length prefix must fail after 4 bytes, not try to
+        buffer the claimed payload (which was never sent)."""
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(5.0)
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                read_frame_sock(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_mid_frame_is_transient(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 100) + b"partial")
+            left.close()
+            with pytest.raises(TransientChannelError):
+                read_frame_sock(right)
+        finally:
+            right.close()
+
+    def test_recv_timeout_is_transient(self):
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(0.05)
+            with pytest.raises(TransientChannelError, match="timed out"):
+                read_frame_sock(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_async_oversized_prefix_rejected_before_body(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame_async(reader)
+
+        asyncio.run(run())
+
+    def test_async_roundtrip(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(b"payload"))
+            assert await read_frame_async(reader) == b"payload"
+
+        asyncio.run(run())
+
+    def test_async_clean_close_is_transient(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            with pytest.raises(TransientChannelError):
+                await read_frame_async(reader)
+
+        asyncio.run(run())
+
+    def test_transport_cap_admits_max_protocol_payload(self):
+        """A maximal legal service payload must fit inside one frame."""
+        assert protocol.MAX_PAYLOAD_BYTES < MAX_FRAME_BYTES
+
+
+class TestProtocolLengthGuards:
+    """The u32 decode paths must not trust lengths beyond the cap."""
+
+    def test_update_forged_length_rejected(self):
+        forged = (b"\x11" + struct.pack(">Q", 1)
+                  + struct.pack(">I", protocol.MAX_PAYLOAD_BYTES + 1)
+                  + b"tiny")
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.decode_client_message(forged)
+
+    def test_insert_forged_length_rejected(self):
+        forged = (b"\x12" + struct.pack(">I", 0xFFFFFFFF) + b"x")
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.decode_client_message(forged)
+
+    def test_refused_forged_reason_length_rejected(self):
+        forged = b"\x2f" + struct.pack(">I", 0xFFFFFFF0) + b"nope"
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.decode_client_message(forged)
+
+    def test_batch_item_forged_length_rejected(self):
+        forged = (b"\x14" + struct.pack(">I", 1)
+                  + struct.pack(">I", protocol.MAX_PAYLOAD_BYTES + 1)
+                  + b"\x10" + struct.pack(">Q", 0))
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.decode_client_message(forged)
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.encode_client_message(
+                protocol.Insert(bytes(protocol.MAX_PAYLOAD_BYTES + 1))
+            )
+
+
+class TestServerRejectsGarbage:
+    """A raw socket poking the real server must get a clean refusal."""
+
+    def _serve(self):
+        from tests.helpers import make_db
+        from repro.net import PirServer, ServerThread
+        from repro.service.frontend import SESSION_RANDOM, QueryFrontend
+
+        db = make_db(num_records=16)
+        frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+        return db, ServerThread(PirServer(frontend))
+
+    def test_oversized_prefix_closes_connection(self):
+        db, handle = self._serve()
+        try:
+            with handle:
+                sock = socket.create_connection(
+                    (handle.host, handle.port), timeout=5.0
+                )
+                try:
+                    sock.sendall(struct.pack(">I", 0xFFFFFFFF))
+                    # The server answers with a protocol refusal (best
+                    # effort) and closes; either way the connection ends
+                    # promptly without the server buffering 4 GiB.
+                    sock.settimeout(5.0)
+                    try:
+                        message = decode_net_message(read_frame_sock(sock))
+                        assert isinstance(message, NetRefused)
+                        assert message.refusal.code == "protocol"
+                    except TransientChannelError:
+                        pass
+                finally:
+                    sock.close()
+        finally:
+            db.close()
+
+    def test_garbage_handshake_refused(self):
+        db, handle = self._serve()
+        try:
+            with handle:
+                sock = socket.create_connection(
+                    (handle.host, handle.port), timeout=5.0
+                )
+                try:
+                    sock.settimeout(5.0)
+                    write_frame_sock(sock, b"\x7f not a hello")
+                    message = decode_net_message(read_frame_sock(sock))
+                    assert isinstance(message, NetRefused)
+                    assert message.refusal.code == "protocol"
+                except TransientChannelError:
+                    pass
+                finally:
+                    sock.close()
+        finally:
+            db.close()
