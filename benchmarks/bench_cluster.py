@@ -1,0 +1,373 @@
+"""Cluster tier benchmark — routed serving, failover chaos, reconvergence.
+
+Exercises ``repro.cluster`` end to end on localhost:
+
+* **cluster.routed** — a fleet of blocking clients drives a pinned query
+  stream through the :class:`~repro.cluster.router.ClusterRouter` into
+  N in-process backends.  Counts and reply bytes are deterministic and
+  gated exactly; sustained QPS is reported informationally (the GIL
+  serialises in-process backends, so wall-clock scaling with N is *not*
+  a claim this lane makes).
+* **cluster.chaos** — the acceptance gate for the fault-tolerant tier:
+  mid-traffic, the backend holding the most pinned sessions is
+  **killed** (event loop slammed, no drain).  Every client must still
+  complete every request — router failover + RESUME adoption +
+  retransmission through the shared reply cache — with zero acknowledged
+  requests lost and nothing double-applied (``sum(engine requests) ==
+  replies delivered``: a retransmission the dead backend already applied
+  is answered from cache, never re-executed).  The killed backend then
+  restarts and the run asserts membership reconverges to full strength.
+
+Both phases fail loudly on any lost, duplicated, or wrong-byte reply.
+
+Besides the pytest checks, this file is a script::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick --out run.jsonl
+
+emitting the perf-gate JSONL layout diffed by ``compare_bench.py``
+against ``benchmarks/results/perf_baseline_cluster.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import sys
+import tempfile
+import threading
+import time
+from os import path
+from typing import List, Optional
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode from a checkout without PYTHONPATH
+    sys.path.insert(0, path.join(path.dirname(__file__), "..", "src"))
+
+from repro.baselines import make_records
+from repro.cluster import ClusterRouter, RouterThread, build_cluster
+from repro.faults.retry import RetryPolicy
+from repro.net import NetworkClient
+
+#: Pinned workload shape — change it and the committed baseline together.
+DEFAULT_SEED = 1177
+DEFAULT_QUERIES = 160
+QUICK_QUERIES = 64
+_BENCH_RECORDS = 64
+_BENCH_PAGE_SIZE = 64
+_BENCH_CACHE = 8
+_CLIENTS = 4
+_BACKENDS = 2
+#: Fraction of the chaos workload completed before the kill lands.
+_KILL_AFTER_FRACTION = 0.25
+
+
+@contextlib.contextmanager
+def _cluster(seed: int, backends: int = _BACKENDS, router_kw=None):
+    """N seeded backends behind a router, all on loopback."""
+    records = make_records(_BENCH_RECORDS, _BENCH_PAGE_SIZE)
+    with tempfile.TemporaryDirectory() as snap_dir:
+        handles = build_cluster(
+            records, backends, snap_dir,
+            cache_capacity=_BENCH_CACHE, seed=seed,
+            target_c=2.0, page_capacity=_BENCH_PAGE_SIZE,
+            cipher_backend="blake2", trace_enabled=False,
+        )
+        try:
+            for handle in handles:
+                handle.start()
+            kw = dict(probe_interval=0.05, probe_timeout=1.0,
+                      eject_after=2, readmit_after=2,
+                      connect_timeout=1.0, backend_timeout=5.0)
+            kw.update(router_kw or {})
+            router = ClusterRouter([h.spec for h in handles], **kw)
+            with RouterThread(router) as thread:
+                yield handles, router, thread
+        finally:
+            for handle in handles:
+                handle.kill()
+            for handle in handles:
+                handle.db.close()
+
+
+class _Fleet:
+    """Blocking clients on threads; collects per-reply correctness."""
+
+    def __init__(self, host: str, port: int, clients: int, per_client: int,
+                 expected: List[bytes]):
+        self.host = host
+        self.port = port
+        self.per_client = per_client
+        self.expected = expected
+        self.ok = 0
+        self.bytes = 0
+        self.errors: List[BaseException] = []
+        self._lock = threading.Lock()
+        self._progress_callbacks: List = []
+        self._threads = [
+            threading.Thread(target=self._drive, args=(index,), daemon=True)
+            for index in range(clients)
+        ]
+
+    def on_progress(self, threshold: int, callback) -> None:
+        """Run ``callback`` once, when total completions cross ``threshold``."""
+        self._progress_callbacks.append([threshold, callback])
+
+    def _drive(self, index: int) -> None:
+        try:
+            client = NetworkClient(
+                self.host, self.port, timeout=10.0, read_timeout=10.0,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.05,
+                                  max_delay=0.5),
+                rng_seed=DEFAULT_SEED + index,
+            )
+            try:
+                for step in range(self.per_client):
+                    page_id = (index * self.per_client + step) % len(
+                        self.expected
+                    )
+                    payload = client.query(page_id)
+                    assert payload == self.expected[page_id], (
+                        f"reply bytes diverged on page {page_id}"
+                    )
+                    with self._lock:
+                        self.ok += 1
+                        self.bytes += len(payload)
+                        fired = [
+                            entry for entry in self._progress_callbacks
+                            if self.ok >= entry[0]
+                        ]
+                        for entry in fired:
+                            self._progress_callbacks.remove(entry)
+                    for _, callback in fired:
+                        callback()
+            finally:
+                client.close()
+        except BaseException as exc:  # surfaced by join()
+            with self._lock:
+                self.errors.append(exc)
+
+    def run(self) -> float:
+        start = time.perf_counter()
+        for thread in self._threads:
+            thread.start()
+        for thread in self._threads:
+            thread.join(timeout=120.0)
+        wall = time.perf_counter() - start
+        if self.errors:
+            raise AssertionError(
+                f"{len(self.errors)} client(s) failed; first: "
+                f"{self.errors[0]!r}"
+            ) from self.errors[0]
+        return wall
+
+
+def _wait_until(predicate, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+def run_routed(queries: int, seed: int, backends: int = _BACKENDS):
+    """Routed fleet, no faults; returns (count, bytes, wall)."""
+    expected = make_records(_BENCH_RECORDS, _BENCH_PAGE_SIZE)
+    per_client = queries // _CLIENTS
+    with _cluster(seed, backends=backends) as (handles, router, thread):
+        fleet = _Fleet(thread.host, thread.port, _CLIENTS, per_client,
+                       expected)
+        wall = fleet.run()
+        served = sum(h.db.engine.request_count for h in handles)
+        total = per_client * _CLIENTS
+        assert fleet.ok == total, f"{fleet.ok}/{total} requests completed"
+        assert served == total, (
+            f"engines served {served} requests for {total} queries "
+            "(lost or double-applied)"
+        )
+        assert router.counters.get("sessions.routed") == _CLIENTS
+        # Orderly BYEs released every pin.
+        assert _wait_until(lambda: sum(
+            state.pinned for state in router.membership.members) == 0), (
+            "sessions stayed pinned after close"
+        )
+    return total, fleet.bytes, wall
+
+
+def run_chaos(queries: int, seed: int):
+    """Kill-one-backend-under-load; returns (count, bytes, wall, stats).
+
+    The in-run gates ARE the acceptance criteria: zero acknowledged
+    requests lost, exactly-once application, membership reconvergence.
+    """
+    expected = make_records(_BENCH_RECORDS, _BENCH_PAGE_SIZE)
+    per_client = queries // _CLIENTS
+    total = per_client * _CLIENTS
+    with _cluster(seed, router_kw={"backend_timeout": 2.0}) as (
+            handles, router, thread):
+        fleet = _Fleet(thread.host, thread.port, _CLIENTS, per_client,
+                       expected)
+        killed = {}
+
+        def kill_busiest():
+            by_address = {h.spec.address: h for h in handles}
+            state = max(router.membership.members,
+                        key=lambda member: member.pinned)
+            victim = by_address[state.address]
+            victim.kill()
+            killed["handle"] = victim
+            killed["address"] = state.address
+
+        fleet.on_progress(max(1, int(total * _KILL_AFTER_FRACTION)),
+                          kill_busiest)
+        wall = fleet.run()
+
+        # Chaos gate 1: nothing acknowledged was lost — every client
+        # completed every request despite the mid-traffic kill.
+        assert killed, "the kill trigger never fired"
+        assert fleet.ok == total, (
+            f"{fleet.ok}/{total} requests completed through the kill"
+        )
+        # Chaos gate 2: exactly-once.  Killed engines survive in-process,
+        # so the sum counts every application that ever happened; a
+        # retransmission the dead backend had already applied was served
+        # from the shared reply cache (duplicate), never re-executed.
+        served = sum(h.db.engine.request_count for h in handles)
+        duplicates = sum(
+            h.frontend.counters.get("requests.duplicate") for h in handles
+        )
+        assert served == total, (
+            f"engines served {served} requests for {total} delivered "
+            f"replies ({duplicates} duplicates absorbed) — lost or "
+            "double-applied"
+        )
+        # Chaos gate 3: the cluster reconverges to full strength.
+        assert _wait_until(
+            lambda: not router.membership.member(killed["address"]).up), (
+            "dead member never ejected"
+        )
+        killed["handle"].restart()
+        assert _wait_until(lambda: router.membership.at_full_strength), (
+            "membership never reconverged after the restart"
+        )
+        stats = {
+            "failovers": router.counters.get("failovers"),
+            "retransmits": router.counters.get("retransmits"),
+            "duplicates": duplicates,
+        }
+    return total, fleet.bytes, wall, stats
+
+
+# ---------------------------------------------------------------------------
+# Pytest checks (run explicitly via the CI cluster lane)
+# ---------------------------------------------------------------------------
+
+
+def test_routed_exact_and_clean():
+    count, nbytes, _wall = run_routed(16, DEFAULT_SEED)
+    assert count == 16
+    assert nbytes == 16 * _BENCH_PAGE_SIZE
+
+
+def test_chaos_kill_under_load_exactly_once():
+    count, nbytes, _wall, stats = run_chaos(32, DEFAULT_SEED)
+    assert count == 32
+    assert nbytes == 32 * _BENCH_PAGE_SIZE
+    # The kill landed mid-traffic: at least one session had to move.
+    assert stats["failovers"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Script mode: structured JSONL for the CI perf gate
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        from bench_engine import calibration_seconds  # script mode
+    except ImportError:
+        from benchmarks.bench_engine import calibration_seconds
+    from repro.obs import write_jsonl
+
+    parser = argparse.ArgumentParser(
+        description="cluster tier benchmark (JSONL for the CI perf gate)"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run {QUICK_QUERIES} queries instead of "
+                             f"{DEFAULT_QUERIES}")
+    parser.add_argument("--queries", type=int, default=0,
+                        help="explicit query count (overrides --quick); "
+                             f"must be a multiple of {_CLIENTS}")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--out", default="",
+                        help="JSONL output path (default stdout)")
+    args = parser.parse_args(argv)
+
+    queries = args.queries or (QUICK_QUERIES if args.quick else DEFAULT_QUERIES)
+    if queries % _CLIENTS:
+        print(f"error: --queries must be a multiple of {_CLIENTS}",
+              file=sys.stderr)
+        return 2
+    calibration = calibration_seconds()
+
+    solo_count, _solo_bytes, solo_wall = run_routed(queries, args.seed,
+                                                    backends=1)
+    routed_count, routed_bytes, routed_wall = run_routed(queries, args.seed)
+    chaos_count, chaos_bytes, chaos_wall, chaos_stats = run_chaos(
+        queries, args.seed
+    )
+
+    rows = [{
+        "kind": "meta",
+        "queries": queries,
+        "seed": args.seed,
+        "pages": _BENCH_RECORDS,
+        "block_size": None,  # filled below
+        "page_size": _BENCH_PAGE_SIZE,
+        "clients": _CLIENTS,
+        "backends": _BACKENDS,
+        "calibration_s": calibration,
+        # Informational (not gated): in-process backends share the GIL,
+        # so routed QPS measures router overhead, not horizontal scale.
+        "qps_1_backend": solo_count / solo_wall if solo_wall > 0 else 0.0,
+        "qps_n_backends": (routed_count / routed_wall
+                           if routed_wall > 0 else 0.0),
+        "chaos_failovers": chaos_stats["failovers"],
+        "chaos_retransmits": chaos_stats["retransmits"],
+        "chaos_duplicates": chaos_stats["duplicates"],
+    }]
+    rows.append({
+        "kind": "phase", "name": "cluster.routed",
+        "count": routed_count, "bytes": routed_bytes,
+        "virtual_s": 0.0, "wall_s": routed_wall,
+    })
+    rows.append({
+        "kind": "phase", "name": "cluster.chaos",
+        "count": chaos_count, "bytes": chaos_bytes,
+        "virtual_s": 0.0, "wall_s": chaos_wall,
+    })
+
+    from repro.core.params import SystemParameters
+
+    rows[0]["block_size"] = SystemParameters.solve(
+        _BENCH_RECORDS, _BENCH_CACHE, 2.0,
+        page_capacity=_BENCH_PAGE_SIZE,
+    ).block_size
+
+    if args.out:
+        written = write_jsonl(args.out, rows)
+        print(f"wrote {written} rows ({queries} queries through "
+              f"{_BACKENDS} backends, {chaos_stats['failovers']} "
+              f"failover(s) and {chaos_stats['duplicates']} duplicate(s) "
+              f"absorbed under chaos) to {args.out}")
+    else:
+        import json
+
+        for row in rows:
+            print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,16 @@ Commands
               control, graceful drain on SIGINT or ``--duration``)
 ``loadgen``   drive a running ``serve`` instance with concurrent async
               clients; report sustained qps and shed rate
+``cluster``   fault-tolerant tier: ``serve-backend`` runs one cluster
+              member (session adoption + persistent reply cache),
+              ``serve-router`` fronts N members with health-gated
+              routing and failover
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -388,6 +393,123 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_serve_backend(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .net import AdmissionController, PirServer, ServerThread
+    from .obs import MetricsRegistry
+    from .service.frontend import SESSION_RANDOM, QueryFrontend
+
+    registry = MetricsRegistry()
+    db = PirDatabase.create(
+        make_records(args.pages, args.page_size),
+        cache_capacity=args.cache,
+        target_c=args.c,
+        page_capacity=args.page_size,
+        reserve_fraction=0.1,
+        seed=args.seed,
+        metrics=registry,
+    )
+    # Members share --seed so their data is identical, which would make
+    # their session-id streams identical too — fatal behind the router
+    # (ids must be unique cluster-wide).  Salt each process uniquely
+    # unless the operator pinned a salt explicitly.
+    session_salt = args.session_salt or os.urandom(8).hex()
+    frontend = QueryFrontend(
+        db,
+        metrics=registry,
+        session_id_mode=SESSION_RANDOM,
+        session_ttl=args.session_ttl,
+        time_source=_time.monotonic,
+        reply_cache_path=args.reply_cache or None,
+        session_salt=session_salt,
+    )
+    admission = AdmissionController(
+        max_sessions=args.max_sessions,
+        max_queue_depth=args.queue_depth,
+        metrics=registry,
+    )
+    server = PirServer(
+        frontend,
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        queue_depth=args.queue_depth,
+        reap_interval=args.session_ttl,
+        adopt_sessions=True,
+        metrics=registry,
+    )
+    handle = ServerThread(server).start()
+    print(f"cluster backend: {args.pages} pages on "
+          f"{handle.host}:{handle.port} (seed={args.seed}, "
+          f"session adoption on)", flush=True)
+    try:
+        if args.duration > 0:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+    finally:
+        handle.drain()
+        db.close()
+    snapshot = registry.snapshot()
+    rows = sorted(
+        (name, value) for name, value in snapshot["counters"].items()
+        if name.startswith(("net.", "frontend."))
+    )
+    if rows:
+        print(_format_table(["counter", "value"], rows))
+    return 0
+
+
+def _cmd_cluster_serve_router(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .cluster import BackendSpec, ClusterRouter, RouterThread
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    specs = [BackendSpec.parse(text) for text in args.backend]
+    router = ClusterRouter(
+        specs,
+        host=args.host,
+        port=args.port,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        eject_after=args.eject_after,
+        readmit_after=args.readmit_after,
+        metrics=registry,
+    )
+    handle = RouterThread(router).start()
+    print(f"cluster router on {handle.host}:{handle.port} fronting "
+          f"{len(specs)} backend(s): "
+          + ", ".join(spec.address for spec in specs), flush=True)
+    try:
+        if args.duration > 0:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping...", flush=True)
+    finally:
+        handle.stop()
+    snapshot = registry.snapshot()
+    rows = sorted(
+        (name, value) for name, value in snapshot["counters"].items()
+        if name.startswith("cluster.")
+    )
+    rows.extend(sorted(
+        (name, value) for name, value in snapshot["gauges"].items()
+        if name.startswith("cluster.")
+    ))
+    if rows:
+        print(_format_table(["metric", "value"], rows))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -526,6 +648,68 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="page-id range to query (match the server)")
     loadgen.add_argument("--seed", type=int, default=1)
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    cluster = sub.add_parser(
+        "cluster", help="fault-tolerant tier: routed backends with failover"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    backend = cluster_sub.add_parser(
+        "serve-backend",
+        help="one cluster member: serve with session adoption enabled",
+    )
+    backend.add_argument("--host", default="127.0.0.1")
+    backend.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks a free one)")
+    backend.add_argument("--pages", type=int, default=64)
+    backend.add_argument("--cache", type=int, default=8)
+    backend.add_argument("--c", type=float, default=2.0)
+    backend.add_argument("--page-size", type=int, default=64,
+                         dest="page_size")
+    backend.add_argument("--seed", type=int, default=1,
+                         help="same seed on every member = identical data")
+    backend.add_argument("--session-salt", default="", dest="session_salt",
+                         help="diversifies session ids across same-seed "
+                              "members (default: fresh random salt per "
+                              "process — ids must be unique cluster-wide)")
+    backend.add_argument("--queue-depth", type=int, default=64,
+                         dest="queue_depth")
+    backend.add_argument("--max-sessions", type=int, default=256,
+                         dest="max_sessions")
+    backend.add_argument("--session-ttl", type=float, default=300.0,
+                         dest="session_ttl")
+    backend.add_argument("--reply-cache", default="", dest="reply_cache",
+                         help="persistent reply-cache path (survives "
+                              "crash-restart; keeps retransmissions "
+                              "exactly-once)")
+    backend.add_argument("--duration", type=float, default=0.0,
+                         help="serve this many seconds then drain "
+                              "(0 = until Ctrl-C)")
+    backend.set_defaults(handler=_cmd_cluster_serve_backend)
+
+    router = cluster_sub.add_parser(
+        "serve-router",
+        help="front N backends with health-gated routing and failover",
+    )
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one)")
+    router.add_argument("--backend", action="append", required=True,
+                        help="host:port of a member (repeatable)")
+    router.add_argument("--probe-interval", type=float, default=0.2,
+                        dest="probe_interval")
+    router.add_argument("--probe-timeout", type=float, default=2.0,
+                        dest="probe_timeout")
+    router.add_argument("--eject-after", type=int, default=3,
+                        dest="eject_after",
+                        help="consecutive probe failures before ejection")
+    router.add_argument("--readmit-after", type=int, default=2,
+                        dest="readmit_after",
+                        help="consecutive probe successes before readmission")
+    router.add_argument("--duration", type=float, default=0.0,
+                        help="route this many seconds then stop "
+                             "(0 = until Ctrl-C)")
+    router.set_defaults(handler=_cmd_cluster_serve_router)
 
     report = sub.add_parser(
         "report", help="write a full markdown reproduction report"

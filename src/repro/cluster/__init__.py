@@ -1,0 +1,27 @@
+"""Fault-tolerant cluster tier: router, membership, backends.
+
+The serving stack's answer to machine failure (DESIGN.md §13): a
+stateless :class:`~repro.cluster.router.ClusterRouter` speaks the
+:mod:`repro.net.framing` envelope to clients and pins each session to
+one of N backend :class:`~repro.net.server.PirServer` processes.
+Health-gated membership (PING/PONG probing with hysteresis) routes
+around dead or draining members; failover re-establishes a session on a
+replica via RESUME and retransmits the in-flight sealed request, with
+shared reply-cache visibility keeping delivery exactly-once.  The router
+never opens sealed bytes — it sits outside the tamper boundary and
+learns nothing the host platform does not already see.
+"""
+
+from .backend import BackendHandle, build_cluster
+from .membership import BackendSpec, ClusterMembership, MemberState
+from .router import ClusterRouter, RouterThread
+
+__all__ = [
+    "BackendHandle",
+    "BackendSpec",
+    "ClusterMembership",
+    "ClusterRouter",
+    "MemberState",
+    "RouterThread",
+    "build_cluster",
+]

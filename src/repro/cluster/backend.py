@@ -1,0 +1,174 @@
+"""Cluster backends: replica bootstrap, restart, and test harness.
+
+A cluster backend is an ordinary :class:`~repro.net.server.PirServer`
+configured for membership in a routed tier:
+
+* ``adopt_sessions=True`` — a failed-over RESUME for a session it has
+  never seen installs the session suite (derivable from the id) instead
+  of refusing;
+* its :class:`~repro.service.frontend.QueryFrontend` shares reply-cache
+  visibility with its peers, so a retransmission the *old* backend
+  already applied and acknowledged is answered from cache, not
+  re-executed — the exactly-once half of failover;
+* its database is either the primary or a read replica bootstrapped via
+  :func:`~repro.core.snapshot.bootstrap_replica` (one snapshot, N
+  restores, independent serving lineages).
+
+:class:`BackendHandle` adds the two lifecycle verbs the chaos drills
+need — ``kill()`` (abrupt, mid-anything) and ``restart()`` (fresh server
+process-equivalent on the same port and engine) — and
+:func:`build_cluster` stands up a primary plus replicas in-process for
+tests and benchmarks.  A production deployment runs one
+``python -m repro cluster serve-backend`` per machine instead.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .membership import BackendSpec
+from ..core.database import PirDatabase
+from ..core.snapshot import bootstrap_replica, load_snapshot
+from ..errors import ConfigurationError
+from ..net.admission import AdmissionController
+from ..net.server import PirServer, ServerThread
+from ..service.frontend import SESSION_RANDOM, QueryFrontend, SealedReplyCache
+
+__all__ = ["BackendHandle", "build_cluster"]
+
+
+class BackendHandle:
+    """One in-process cluster backend: engine + frontend + server thread.
+
+    The engine and frontend survive :meth:`kill`; :meth:`restart` wraps
+    them in a fresh :class:`PirServer` bound to the *same* port, which is
+    how the chaos tests model a crashed process coming back on its
+    advertised address.
+    """
+
+    def __init__(self, db: PirDatabase, frontend: QueryFrontend,
+                 host: str = "127.0.0.1", port: int = 0,
+                 admission: Optional[AdmissionController] = None,
+                 metrics=None):
+        self.db = db
+        self.frontend = frontend
+        self.admission = admission
+        self.metrics = metrics
+        self.server = PirServer(
+            frontend, host=host, port=port, admission=admission,
+            adopt_sessions=True, metrics=metrics,
+        )
+        self.thread: Optional[ServerThread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def spec(self) -> BackendSpec:
+        return BackendSpec(self.server.host, self.server.port)
+
+    def start(self) -> "BackendHandle":
+        if self.thread is not None:
+            raise ConfigurationError("backend already started")
+        self.thread = ServerThread(self.server).start()
+        return self
+
+    def kill(self) -> None:
+        """Crash the serving process-equivalent; engine state survives."""
+        if self.thread is not None:
+            self.thread.kill()
+            self.thread = None
+
+    def drain(self) -> None:
+        """Graceful stop (the rolling-restart path)."""
+        if self.thread is not None:
+            self.thread.drain()
+            self.thread = None
+
+    def restart(self) -> "BackendHandle":
+        """Come back on the same port after a kill or drain.
+
+        A fresh :class:`PirServer` (a drained one has shut its workers
+        down for good); the frontend — sessions, reply cache — carries
+        over, exactly as a restarted process reloads its persistent
+        state.
+        """
+        if self.thread is not None:
+            raise ConfigurationError("backend still running; kill it first")
+        self.server = PirServer(
+            self.frontend, host=self.server.host, port=self.server.port,
+            admission=self.admission, adopt_sessions=True,
+            metrics=self.metrics,
+        )
+        self.thread = ServerThread(self.server).start()
+        return self
+
+    def stop(self) -> None:
+        self.kill()
+
+    def __enter__(self) -> "BackendHandle":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.kill()
+
+
+def build_cluster(
+    records: Sequence[bytes],
+    replicas: int,
+    snapshot_dir: str,
+    cache_capacity: int = 8,
+    seed: int = 1,
+    host: str = "127.0.0.1",
+    metrics=None,
+    reply_cache: Optional[SealedReplyCache] = None,
+    session_ttl: Optional[float] = None,
+    **create_kw,
+) -> List[BackendHandle]:
+    """Stand up a primary plus ``replicas - 1`` read replicas, unstarted.
+
+    One database is created from ``records``; the rest are bootstrapped
+    from its snapshot (written under ``snapshot_dir``), so all members
+    answer queries identically.  Every frontend shares one
+    :class:`SealedReplyCache` — in-process stand-in for the shared cache
+    a real deployment would host — giving the cluster exactly-once
+    semantics across failover (DESIGN.md §13).
+
+    Callers start the handles (``handle.start()``), build a
+    :class:`~repro.cluster.router.ClusterRouter` over
+    ``[h.spec for h in handles]``, and own the snapshot directory's
+    lifetime.
+    """
+    if replicas < 1:
+        raise ConfigurationError("a cluster needs at least one backend")
+    primary = PirDatabase.create(
+        records, cache_capacity=cache_capacity, seed=seed, **create_kw
+    )
+    databases = [primary]
+    if replicas > 1:
+        directory = os.path.join(snapshot_dir, "bootstrap")
+        databases.append(bootstrap_replica(primary, directory, seed=seed + 1))
+        for index in range(2, replicas):
+            databases.append(load_snapshot(directory, seed=seed + index))
+    shared_cache = (reply_cache if reply_cache is not None
+                    else SealedReplyCache())
+    handles = []
+    for index, db in enumerate(databases):
+        # Distinct salt per member: session ids come from the database's
+        # seeded RNG tree, and ids must be unique cluster-wide (the id is
+        # the key-agreement input; see QueryFrontend).  The replica seeds
+        # above already differ, but the salt keeps that guarantee even if
+        # a caller bootstraps members with identical seeds.
+        frontend = QueryFrontend(
+            db, metrics=metrics, session_id_mode=SESSION_RANDOM,
+            session_ttl=session_ttl, reply_cache=shared_cache,
+            session_salt=f"member-{index}",
+        )
+        handles.append(BackendHandle(db, frontend, host=host, metrics=metrics))
+    return handles

@@ -41,7 +41,7 @@ from ..storage.merkle import AuthenticatedDisk
 from ..storage.page import Page
 from ..storage.trace import AccessTrace
 
-__all__ = ["save_snapshot", "load_snapshot"]
+__all__ = ["save_snapshot", "load_snapshot", "bootstrap_replica"]
 
 _MANIFEST = "manifest.json"
 _FRAMES = "frames.bin"
@@ -295,3 +295,28 @@ def load_snapshot(
     db = PirDatabase(params, cop, disk, engine)
     _decode_trusted_state(trusted, db)
     return db
+
+
+def bootstrap_replica(
+    db: PirDatabase,
+    directory: str,
+    master_key: bytes = b"repro-master-key",
+    **load_kw,
+) -> PirDatabase:
+    """Clone ``db`` into an independent read replica via a snapshot.
+
+    The cluster failover path (DESIGN.md §13): snapshot the primary into
+    ``directory``, restore a fresh instance from it, and serve clients
+    from the copy when the primary dies.  From the moment of the split
+    each instance is its own serving lineage — relocation randomness is
+    memoryless, so the replica answering a session's queries is
+    indistinguishable (to the host and to the client) from the primary
+    having answered them, and no RNG state needs to transfer.
+
+    ``load_kw`` forwards to :func:`load_snapshot` (``seed``, ``journal``,
+    ``read_retry``, ...).  The snapshot directory stays on disk — a later
+    member can re-bootstrap from it, though a *fresher* snapshot should
+    be preferred once the replica has served mutations.
+    """
+    save_snapshot(db, directory)
+    return load_snapshot(directory, master_key=master_key, **load_kw)

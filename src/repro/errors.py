@@ -18,6 +18,7 @@ Hierarchy::
     ├── CapacityError             fixed-capacity structure is full
     ├── ProtocolError             two-party / client protocol violation
     │   └── TransientChannelError message lost or timed out; retryable
+    │       └── NetTimeoutError   socket deadline expired (connect or read)
     ├── RecoveryError             crash recovery cannot restore consistency
     ├── DegradedServiceError      service refusing work in a degraded state
     └── IndexError_               paged index structure inconsistency
@@ -96,6 +97,18 @@ class TransientChannelError(ProtocolError):
     request may be retried safely because every retrieval request is
     self-contained (the engine's round-robin pointer only advances once
     the request commits).
+    """
+
+
+class NetTimeoutError(TransientChannelError):
+    """A network socket deadline expired (connect or read).
+
+    Distinguishes "the peer is slow or gone" from the other transient
+    channel failures (reset, closed mid-frame), so callers can configure
+    connect and read deadlines separately and react differently — a
+    connect timeout usually means the host is down (try another member),
+    a read timeout usually means the request is lost in flight (reconnect
+    and retransmit the identical sealed bytes so the reply cache dedupes).
     """
 
 

@@ -22,18 +22,25 @@ from .injector import (
     SITE_DISK_READ,
     SITE_DISK_WRITE,
     SITE_JOURNAL_WRITE,
+    SITE_NET_C2S,
+    SITE_NET_S2C,
     FaultDecision,
     FaultInjector,
     FaultPlan,
     SimulatedCrash,
     corrupt_reads,
     crash_after_writes,
+    delay_frames,
     delay_messages,
     drop_messages,
+    drop_replies,
     duplicate_messages,
+    partial_writes,
+    reset_connections,
     transient_reads,
     transient_writes,
 )
+from .netchaos import ChaosProxy, ChaosProxyThread
 from .retry import RetryPolicy, retry_call
 from .wrappers import FaultyDiskStore, FaultyJournal, FlakyChannel
 
@@ -45,12 +52,16 @@ __all__ = [
     "FaultyDiskStore",
     "FaultyJournal",
     "FlakyChannel",
+    "ChaosProxy",
+    "ChaosProxyThread",
     "RetryPolicy",
     "retry_call",
     "SITE_DISK_READ",
     "SITE_DISK_WRITE",
     "SITE_JOURNAL_WRITE",
     "SITE_CHANNEL",
+    "SITE_NET_C2S",
+    "SITE_NET_S2C",
     "transient_reads",
     "transient_writes",
     "corrupt_reads",
@@ -58,4 +69,8 @@ __all__ = [
     "drop_messages",
     "delay_messages",
     "duplicate_messages",
+    "reset_connections",
+    "partial_writes",
+    "drop_replies",
+    "delay_frames",
 ]

@@ -10,7 +10,9 @@ sequence, byte for byte, which is what lets the crash-sweep and retry tests
 assert exact traces.
 
 Sites are string labels (``disk.read``, ``disk.write``, ``journal.write``,
-``channel``); plans match one site each.  Fault kinds:
+``channel``, and the network chaos streams ``net.c2s`` / ``net.s2c`` used
+by :class:`repro.faults.netchaos.ChaosProxy`); plans match one site each.
+Fault kinds:
 
 ``transient``
     Raise :class:`~repro.errors.TransientStorageError` (disk/journal sites)
@@ -27,6 +29,10 @@ Sites are string labels (``disk.read``, ``disk.write``, ``journal.write``,
 ``drop`` / ``delay`` / ``duplicate``
     Channel-only: lose the message (timeout), add latency, or deliver the
     request twice.
+``reset`` / ``partial``
+    Transport-only (``net.*`` sites): abort the TCP connection outright,
+    or deliver a *prefix* of the frame and then abort — the two ways a
+    real network tears a stream, exercised by the chaos proxy.
 """
 
 from __future__ import annotations
@@ -46,6 +52,8 @@ __all__ = [
     "SITE_DISK_WRITE",
     "SITE_JOURNAL_WRITE",
     "SITE_CHANNEL",
+    "SITE_NET_C2S",
+    "SITE_NET_S2C",
     "transient_reads",
     "transient_writes",
     "corrupt_reads",
@@ -53,15 +61,24 @@ __all__ = [
     "drop_messages",
     "delay_messages",
     "duplicate_messages",
+    "reset_connections",
+    "partial_writes",
+    "drop_replies",
+    "delay_frames",
 ]
 
 SITE_DISK_READ = "disk.read"
 SITE_DISK_WRITE = "disk.write"
 SITE_JOURNAL_WRITE = "journal.write"
 SITE_CHANNEL = "channel"
+#: Chaos-proxy streams: frames travelling client→server and server→client.
+SITE_NET_C2S = "net.c2s"
+SITE_NET_S2C = "net.s2c"
 
-_SITES = (SITE_DISK_READ, SITE_DISK_WRITE, SITE_JOURNAL_WRITE, SITE_CHANNEL)
-_KINDS = ("transient", "corrupt", "crash", "drop", "delay", "duplicate")
+_SITES = (SITE_DISK_READ, SITE_DISK_WRITE, SITE_JOURNAL_WRITE, SITE_CHANNEL,
+          SITE_NET_C2S, SITE_NET_S2C)
+_KINDS = ("transient", "corrupt", "crash", "drop", "delay", "duplicate",
+          "reset", "partial")
 
 
 class SimulatedCrash(Exception):
@@ -180,6 +197,33 @@ def duplicate_messages(probability: float = 1.0, times: Optional[int] = 1,
                        after: int = 0) -> FaultPlan:
     """Channel delivers the request twice (at-least-once delivery)."""
     return FaultPlan(SITE_CHANNEL, "duplicate", probability, times, after)
+
+
+def reset_connections(site: str = SITE_NET_C2S, probability: float = 1.0,
+                      times: Optional[int] = 1, after: int = 0) -> FaultPlan:
+    """Proxy aborts the TCP connection when the matching frame passes."""
+    return FaultPlan(site, "reset", probability, times, after)
+
+
+def partial_writes(site: str = SITE_NET_S2C, probability: float = 1.0,
+                   times: Optional[int] = 1, after: int = 0) -> FaultPlan:
+    """Proxy forwards a strict prefix of the frame, then aborts — the
+    receiver sees a torn frame, never a clean close."""
+    return FaultPlan(site, "partial", probability, times, after)
+
+
+def drop_replies(probability: float = 1.0, times: Optional[int] = 1,
+                 after: int = 0) -> FaultPlan:
+    """Proxy swallows a server→client frame; the client must time out
+    and retransmit."""
+    return FaultPlan(SITE_NET_S2C, "drop", probability, times, after)
+
+
+def delay_frames(delay: float, site: str = SITE_NET_C2S,
+                 probability: float = 1.0, times: Optional[int] = None,
+                 after: int = 0) -> FaultPlan:
+    """Proxy holds the frame for ``delay`` real seconds before forwarding."""
+    return FaultPlan(site, "delay", probability, times, after, delay=delay)
 
 
 class FaultInjector:

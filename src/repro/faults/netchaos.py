@@ -1,0 +1,276 @@
+"""Network chaos: a fault-injecting TCP proxy for the serving stack.
+
+:class:`ChaosProxy` sits between a client and a :class:`~repro.net.server
+.PirServer` (or the cluster router) and misbehaves *deterministically*:
+every frame passing through either direction is submitted to a
+:class:`~repro.faults.injector.FaultInjector` at the transport sites
+``net.c2s`` (client→server) and ``net.s2c`` (server→client), and the
+injector's seeded decision stream picks which frames are dropped,
+delayed, duplicated, torn mid-frame, or answered with a connection
+reset.  The same seed and workload therefore produce the same chaos
+schedule, which is what lets the failover tests assert exact outcomes
+("the third reply is lost, the client retransmits, the duplicate is
+served from the reply cache") instead of fishing for flakes.
+
+The proxy is frame-granular on purpose: it re-parses the length-prefixed
+framing (:mod:`repro.net.framing`) so a fault hits a *whole* protocol
+unit, the way a lost TCP segment loses a request, not half a byte of
+one.  ``fragment_bytes`` additionally re-chunks every forwarded frame
+into tiny writes, exercising the receivers' fragmented-delivery handling
+(a frame's length prefix split across reads, byte-at-a-time bodies).
+
+Faults are injected at the *proxy*, not inside the server, so the full
+production path is exercised: real sockets, real resets, the client's
+reconnect-and-resume, the server's session retention.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Set
+
+from .injector import SITE_NET_C2S, SITE_NET_S2C, FaultInjector
+from ..errors import ConfigurationError, TransientChannelError
+from ..sim.metrics import CounterSet
+
+__all__ = ["ChaosProxy", "ChaosProxyThread"]
+
+
+def _framing():
+    # Imported lazily: repro.net pulls in the service/core stack, and
+    # repro.faults is itself imported by repro.core.engine — a module-
+    # level import here would close that cycle during package init.
+    from ..net import framing
+    return framing
+
+
+class ChaosProxy:
+    """Fault-injecting TCP proxy; construct, then ``await start()``.
+
+    Listens on ``host:port`` (port 0 = ephemeral), dials
+    ``upstream_host:upstream_port`` once per accepted connection, and
+    pumps frames both ways through the injector.  Counters:
+    ``chaos.forwarded``, ``chaos.dropped``, ``chaos.delayed``,
+    ``chaos.duplicated``, ``chaos.resets``, ``chaos.partials``.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        injector: FaultInjector,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fragment_bytes: Optional[int] = None,
+        metrics=None,
+    ):
+        if fragment_bytes is not None and fragment_bytes < 1:
+            raise ConfigurationError("fragment_bytes must be positive")
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.injector = injector
+        self.host = host
+        self.port = port
+        self.fragment_bytes = fragment_bytes
+        self.counters = CounterSet(registry=metrics, prefix="chaos.")
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ConfigurationError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def _handle_connection(self, client_reader, client_writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            try:
+                upstream_reader, upstream_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port
+                )
+            except OSError:
+                client_writer.close()
+                return
+            self.counters.increment("connections")
+            pumps = [
+                asyncio.ensure_future(self._pump(
+                    client_reader, upstream_writer, SITE_NET_C2S,
+                    peer_writer=client_writer,
+                )),
+                asyncio.ensure_future(self._pump(
+                    upstream_reader, client_writer, SITE_NET_S2C,
+                    peer_writer=upstream_writer,
+                )),
+            ]
+            try:
+                # Either direction ending (peer closed, reset injected)
+                # ends the whole connection: half-open proxied streams
+                # only hide hangs.
+                await asyncio.wait(pumps,
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                for pump in pumps:
+                    pump.cancel()
+                await asyncio.gather(*pumps, return_exceptions=True)
+                for writer in (client_writer, upstream_writer):
+                    try:
+                        writer.close()
+                    except Exception:
+                        pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+
+    async def _pump(self, reader, writer, site: str, peer_writer) -> None:
+        """Forward frames reader→writer, consulting the injector per frame."""
+        framing = _framing()
+        while True:
+            try:
+                body = await framing.read_frame_async(reader)
+            except TransientChannelError:
+                return
+            decision = self.injector.check(site)
+            try:
+                if decision is None:
+                    await self._forward(writer, body)
+                elif decision.kind == "drop":
+                    self.counters.increment("dropped")
+                elif decision.kind == "delay":
+                    self.counters.increment("delayed")
+                    await asyncio.sleep(decision.delay)
+                    await self._forward(writer, body)
+                elif decision.kind == "duplicate":
+                    self.counters.increment("duplicated")
+                    await self._forward(writer, body)
+                    await self._forward(writer, body)
+                elif decision.kind == "reset":
+                    self.counters.increment("resets")
+                    self._abort(writer)
+                    self._abort(peer_writer)
+                    return
+                elif decision.kind == "partial":
+                    # A strict prefix, then a hard abort: the receiver
+                    # sees a torn frame, never a clean close.
+                    self.counters.increment("partials")
+                    frame = framing.encode_frame(body)
+                    writer.write(frame[:max(1, len(frame) // 2)])
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    self._abort(writer)
+                    self._abort(peer_writer)
+                    return
+                else:
+                    # Kinds meant for other sites (transient, corrupt,
+                    # crash) have no transport meaning; forward intact.
+                    await self._forward(writer, body)
+            except (ConnectionError, OSError):
+                return
+
+    async def _forward(self, writer, body: bytes) -> None:
+        frame = _framing().encode_frame(body)
+        step = self.fragment_bytes or len(frame)
+        for offset in range(0, len(frame), step):
+            writer.write(frame[offset:offset + step])
+            await writer.drain()
+        self.counters.increment("forwarded")
+
+    @staticmethod
+    def _abort(writer) -> None:
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+
+
+class ChaosProxyThread:
+    """Runs a :class:`ChaosProxy` event loop on a background thread.
+
+    The synchronous mirror of :class:`~repro.net.server.ServerThread`, so
+    blocking tests can interpose chaos between a real client and server::
+
+        with ChaosProxyThread(ChaosProxy(server_host, server_port,
+                                         injector)) as chaos:
+            client = NetworkClient(chaos.host, chaos.port)
+    """
+
+    def __init__(self, proxy: ChaosProxy):
+        self.proxy = proxy
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.proxy.host
+
+    @property
+    def port(self) -> int:
+        return self.proxy.port
+
+    def start(self) -> "ChaosProxyThread":
+        if self._thread is not None:
+            raise ConfigurationError("proxy thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.proxy.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.proxy.stop(), self._loop
+            )
+            future.result(timeout=timeout)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ChaosProxyThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

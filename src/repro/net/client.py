@@ -16,6 +16,17 @@ double-apply a mutation.  Replies carrying an older request id (the late
 answer to a transmission we gave up on) are discarded, keeping the
 stream synchronised.
 
+Reconnect-and-resume: a connection reset or read timeout mid-request no
+longer surfaces as a hard error.  The client tears the socket down,
+re-dials, presents its session id in a RESUME frame (the server — or a
+cluster backend adopting the session after failover — re-attaches the
+suite and reply cache), and retransmits the identical sealed bytes.  A
+read timeout can leave half a frame in the old receive buffer, which is
+why the *only* safe reaction to any transport error is a fresh
+connection — never another read on the same socket.  Connect and read
+deadlines are configured separately and both surface as the typed
+:class:`~repro.errors.NetTimeoutError`.
+
 :class:`AsyncNetworkClient` is the coroutine variant used by the load
 generator — same framing, handshake and request-id discipline, one
 outstanding request per connection.
@@ -33,6 +44,7 @@ from .framing import (
     NetRefused,
     Reply,
     Request,
+    Resume,
     Welcome,
     decode_net_message,
     encode_net_message,
@@ -45,6 +57,7 @@ from ..crypto.rng import SecureRandom
 from ..crypto.suite import CipherSuite
 from ..errors import (
     DegradedServiceError,
+    NetTimeoutError,
     ProtocolError,
     TransientChannelError,
 )
@@ -132,20 +145,27 @@ class NetworkClient(ClientOperationsMixin):
         timeout: float = 10.0,
         retry: Optional[RetryPolicy] = None,
         rng_seed: Optional[int] = None,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
     ):
+        """``timeout`` is the back-compat deadline for both phases;
+        ``connect_timeout``/``read_timeout`` override it separately — a
+        connect timeout means "host is down" (a router should try another
+        member), a read timeout means "request lost in flight" (reconnect
+        and retransmit).
+        """
+        self.host = host
+        self.port = port
+        self.connect_timeout = (connect_timeout if connect_timeout is not None
+                                else timeout)
+        self.read_timeout = (read_timeout if read_timeout is not None
+                             else timeout)
         self.retry = retry
         self._retry_rng = SecureRandom(rng_seed).spawn("net-client-retry")
         self.counters = CounterSet()
         self.latencies = LatencySeries()
         self._next_request_id = 1
-        try:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout)
-        except OSError as exc:
-            raise TransientChannelError(
-                f"cannot connect to {host}:{port}: {exc}"
-            ) from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock: Optional[socket.socket] = self._dial()
         try:
             write_frame_sock(self._sock, encode_net_message(Hello()))
             reply = decode_net_message(read_frame_sock(self._sock))
@@ -157,20 +177,85 @@ class NetworkClient(ClientOperationsMixin):
 
     # -- transport -------------------------------------------------------------
 
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except socket.timeout as exc:
+            raise NetTimeoutError(
+                f"connect to {self.host}:{self.port} timed out"
+            ) from exc
+        except OSError as exc:
+            raise TransientChannelError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        sock.settimeout(self.read_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _reconnect(self) -> None:
+        """Re-dial and RESUME the session on the fresh connection."""
+        self._teardown()
+        sock = self._dial()
+        try:
+            write_frame_sock(sock,
+                             encode_net_message(Resume(self.session_id)))
+            reply = decode_net_message(read_frame_sock(sock))
+            resumed = _check_handshake_reply(reply)
+            if resumed != self.session_id:
+                raise ProtocolError(
+                    f"resumed session {resumed} != {self.session_id}"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        self.counters.increment("reconnects")
+
     def _transact(self, request_id: int, sealed: bytes) -> bytes:
         """One transmission: send the sealed request, read its sealed reply.
 
-        Exposed for tests that need to retransmit the exact same bytes
-        (duplicate-suppression coverage); normal callers go through the
-        operation methods.
+        On a transport error (reset, peer gone, read deadline) the broken
+        socket is torn down and — once per transaction, even without a
+        retry policy — the client reconnects, resumes its session and
+        retransmits the identical bytes; the server's reply cache turns
+        the duplicate into the original reply.  Exposed for tests that
+        need to retransmit the exact same bytes; normal callers go through
+        the operation methods.
         """
-        write_frame_sock(self._sock,
-                         encode_net_message(Request(request_id, sealed)))
+        resumed = False
         while True:
-            message = decode_net_message(read_frame_sock(self._sock))
-            sealed_reply = _reply_sealed(message, request_id)
-            if sealed_reply is not None:
-                return sealed_reply
+            try:
+                if self._sock is None:
+                    self._reconnect()
+                write_frame_sock(
+                    self._sock, encode_net_message(Request(request_id, sealed))
+                )
+                while True:
+                    message = decode_net_message(read_frame_sock(self._sock))
+                    sealed_reply = _reply_sealed(message, request_id)
+                    if sealed_reply is not None:
+                        return sealed_reply
+            except TransientChannelError:
+                # A timed-out read may leave half a frame buffered on the
+                # old socket; the only safe continuation is a fresh
+                # connection.  Resume once, then let the error propagate
+                # to the retry policy (which re-enters with _sock=None).
+                self._teardown()
+                if resumed:
+                    raise
+                resumed = True
+                self._reconnect()
+                self.counters.increment("retransmits")
 
     def _call(self, message: protocol.ClientMessage) -> protocol.ClientMessage:
         sealed = self._suite.encrypt_page(
@@ -230,16 +315,22 @@ class NetworkClient(ClientOperationsMixin):
 class AsyncNetworkClient:
     """Coroutine TCP client for load generation — one request in flight.
 
-    No built-in retry: the load generator decides what to do with a
-    :class:`~repro.errors.DegradedServiceError` (count the shed, back
-    off, or give up) because that *is* the measurement.
+    No built-in *refusal* retry: the load generator decides what to do
+    with a :class:`~repro.errors.DegradedServiceError` (count the shed,
+    back off, or give up) because that *is* the measurement.  Transport
+    failures, though, reconnect-and-resume exactly like the blocking
+    client — a chaos drill measures the service through faults, not the
+    fault itself.
     """
 
     def __init__(self, reader, writer, session_id: int,
-                 rng_seed: Optional[int] = None):
+                 rng_seed: Optional[int] = None,
+                 host: Optional[str] = None, port: Optional[int] = None):
         self._reader = reader
         self._writer = writer
         self.session_id = session_id
+        self.host = host
+        self.port = port
         self._suite = _client_suite(session_id, rng_seed)
         self._next_request_id = 1
         self.counters = CounterSet()
@@ -263,7 +354,39 @@ class AsyncNetworkClient:
         except BaseException:
             writer.close()
             raise
-        return cls(reader, writer, session_id, rng_seed)
+        return cls(reader, writer, session_id, rng_seed, host=host, port=port)
+
+    async def _reconnect(self) -> None:
+        """Re-dial and RESUME the session (needs host/port from connect())."""
+        import asyncio
+
+        if self.host is None or self.port is None:
+            raise TransientChannelError(
+                "connection lost and no dial address to resume with"
+            )
+        self._writer.close()
+        try:
+            reader, writer = await asyncio.open_connection(self.host,
+                                                           self.port)
+        except OSError as exc:
+            raise TransientChannelError(
+                f"cannot reconnect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            await write_frame_async(
+                writer, encode_net_message(Resume(self.session_id))
+            )
+            reply = decode_net_message(await read_frame_async(reader))
+            resumed = _check_handshake_reply(reply)
+            if resumed != self.session_id:
+                raise ProtocolError(
+                    f"resumed session {resumed} != {self.session_id}"
+                )
+        except BaseException:
+            writer.close()
+            raise
+        self._reader, self._writer = reader, writer
+        self.counters.increment("reconnects")
 
     async def call(
         self, message: protocol.ClientMessage
@@ -275,14 +398,31 @@ class AsyncNetworkClient:
         request_id = self._next_request_id
         self._next_request_id += 1
         started = time.monotonic()
-        await write_frame_async(
-            self._writer, encode_net_message(Request(request_id, sealed))
-        )
+        resumed = False
         while True:
-            reply = decode_net_message(await read_frame_async(self._reader))
-            sealed_reply = _reply_sealed(reply, request_id)
-            if sealed_reply is not None:
+            try:
+                await write_frame_async(
+                    self._writer,
+                    encode_net_message(Request(request_id, sealed)),
+                )
+                while True:
+                    reply = decode_net_message(
+                        await read_frame_async(self._reader)
+                    )
+                    sealed_reply = _reply_sealed(reply, request_id)
+                    if sealed_reply is not None:
+                        break
                 break
+            except (TransientChannelError, ConnectionError, OSError) as exc:
+                if resumed:
+                    if isinstance(exc, TransientChannelError):
+                        raise
+                    raise TransientChannelError(
+                        f"connection lost: {exc}"
+                    ) from exc
+                resumed = True
+                await self._reconnect()
+                self.counters.increment("retransmits")
         self.latencies.record(time.monotonic() - started)
         decoded = protocol.decode_client_message(
             self._suite.decrypt_page(sealed_reply)

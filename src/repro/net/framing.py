@@ -27,6 +27,9 @@ Two layers live here, both below the sealed
   0x05      REFUSED    u32 request id, plaintext encoded
                        :class:`repro.service.protocol.Refused`
   0x06      BYE        (empty) — orderly session close
+  0x07      PING       (empty) — health probe; no session required
+  0x08      PONG       u8 flags (bit 0 = draining), u32 open sessions
+  0x09      RESUME     u64 session id — re-attach after reconnect
   ========  =========  ===============================================
 
   Request ids are per-connection client-chosen sequence numbers echoed in
@@ -36,6 +39,21 @@ Two layers live here, both below the sealed
   carries no secrets (reason/code/retry-after) and must be expressible
   when no session exists yet (handshake shed) or when the worker cannot
   seal (unknown/reaped session).
+
+  PING/PONG carry the health-gated cluster membership (DESIGN.md §13): the
+  router probes each backend on an interval and a backend answers without
+  touching the engine, so a wedged worker pool still shows up as a probe
+  timeout rather than a false "healthy".  PONG is plaintext for the same
+  reason REFUSED is: it exists before any session does, and it carries
+  nothing the connection pattern itself does not already reveal.
+
+  RESUME replaces HELLO on a re-dialled connection: the client presents
+  the session id from its original WELCOME and the server re-attaches the
+  connection to that session's suite and reply cache, so a retransmitted
+  sealed request dedupes instead of double-applying.  Cluster backends
+  additionally *adopt* unknown resumed ids (the suite is a pure function
+  of the id — see :func:`repro.service.frontend.session_master_key`),
+  which is what lets the router fail a session over to a replica.
 """
 
 from __future__ import annotations
@@ -45,7 +63,7 @@ import struct
 from dataclasses import dataclass
 from typing import Union
 
-from ..errors import ProtocolError, TransientChannelError
+from ..errors import NetTimeoutError, ProtocolError, TransientChannelError
 from ..service import protocol
 
 __all__ = [
@@ -58,6 +76,9 @@ __all__ = [
     "Reply",
     "NetRefused",
     "Bye",
+    "Ping",
+    "Pong",
+    "Resume",
     "encode_net_message",
     "decode_net_message",
     "encode_frame",
@@ -85,6 +106,11 @@ _T_REQUEST = 0x03
 _T_REPLY = 0x04
 _T_REFUSED = 0x05
 _T_BYE = 0x06
+_T_PING = 0x07
+_T_PONG = 0x08
+_T_RESUME = 0x09
+
+_PONG_DRAINING = 0x01
 
 
 @dataclass(frozen=True)
@@ -129,7 +155,35 @@ class Bye:
     pass
 
 
-NetMessage = Union[Hello, Welcome, Request, Reply, NetRefused, Bye]
+@dataclass(frozen=True)
+class Ping:
+    """Health probe.  Answered with :class:`Pong` outside any session."""
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Health probe answer.
+
+    ``draining`` lets the router stop pinning *new* sessions to a member
+    that is being rolled while its in-flight work finishes; ``sessions``
+    is the member's open-session count, the router's least-loaded routing
+    signal.
+    """
+
+    draining: bool
+    sessions: int
+
+
+@dataclass(frozen=True)
+class Resume:
+    """Re-attach a re-dialled connection to an existing session."""
+
+    session_id: int
+
+
+NetMessage = Union[
+    Hello, Welcome, Request, Reply, NetRefused, Bye, Ping, Pong, Resume,
+]
 
 
 def encode_net_message(message: NetMessage) -> bytes:
@@ -149,6 +203,13 @@ def encode_net_message(message: NetMessage) -> bytes:
                 + protocol.encode_client_message(message.refusal))
     if isinstance(message, Bye):
         return bytes([_T_BYE])
+    if isinstance(message, Ping):
+        return bytes([_T_PING])
+    if isinstance(message, Pong):
+        flags = _PONG_DRAINING if message.draining else 0
+        return bytes([_T_PONG, flags]) + _U32.pack(message.sessions)
+    if isinstance(message, Resume):
+        return bytes([_T_RESUME]) + _U64.pack(message.session_id)
     raise ProtocolError(f"cannot encode {type(message).__name__}")
 
 
@@ -179,6 +240,19 @@ def decode_net_message(body: bytes) -> NetMessage:
             if len(body) != 1:
                 raise ProtocolError("bad BYE length")
             return Bye()
+        if tag == _T_PING:
+            if len(body) != 1:
+                raise ProtocolError("bad PING length")
+            return Ping()
+        if tag == _T_PONG:
+            if len(body) != 6:
+                raise ProtocolError("bad PONG length")
+            return Pong(bool(body[1] & _PONG_DRAINING),
+                        _U32.unpack_from(body, 2)[0])
+        if tag == _T_RESUME:
+            if len(body) != 9:
+                raise ProtocolError("bad RESUME length")
+            return Resume(_U64.unpack_from(body, 1)[0])
     except struct.error as exc:
         raise ProtocolError(f"truncated network message: {exc}") from exc
     raise ProtocolError(f"unknown network message tag 0x{tag:02x}")
@@ -237,7 +311,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
         try:
             chunk = sock.recv(remaining)
         except socket.timeout as exc:
-            raise TransientChannelError("socket receive timed out") from exc
+            raise NetTimeoutError("socket read deadline expired") from exc
         except OSError as exc:
             raise TransientChannelError(f"socket receive failed: {exc}") from exc
         if not chunk:
@@ -262,6 +336,6 @@ def write_frame_sock(sock: socket.socket, body: bytes) -> None:
     try:
         sock.sendall(encode_frame(body))
     except socket.timeout as exc:
-        raise TransientChannelError("socket send timed out") from exc
+        raise NetTimeoutError("socket send deadline expired") from exc
     except OSError as exc:
         raise TransientChannelError(f"socket send failed: {exc}") from exc

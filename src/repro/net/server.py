@@ -44,8 +44,11 @@ from .framing import (
     Hello,
     NET_VERSION,
     NetRefused,
+    Ping,
+    Pong,
     Reply,
     Request,
+    Resume,
     Welcome,
     decode_net_message,
     encode_net_message,
@@ -91,6 +94,7 @@ class PirServer:
         queue_depth: int = 64,
         reap_interval: Optional[float] = None,
         allow_sequential_sessions: bool = False,
+        adopt_sessions: bool = False,
         metrics=None,
     ):
         if workers < 1:
@@ -117,6 +121,10 @@ class PirServer:
         self.host = host
         self.port = port
         self.admission = admission
+        # Cluster backends adopt unknown RESUMEd session ids (failover);
+        # public-facing servers must leave this off — see
+        # QueryFrontend.adopt_session for the trust argument.
+        self.adopt_sessions = adopt_sessions
         self.workers = workers
         self.reap_interval = reap_interval
         self.counters = CounterSet(registry=metrics, prefix="net.")
@@ -204,8 +212,13 @@ class PirServer:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
-        for session_id in self.frontend.session_ids:
-            self.frontend.close_session(session_id)
+        if not self.adopt_sessions:
+            # A cluster backend leaves its sessions alone: they fail over
+            # to peers, and close_session would purge their entries from
+            # the *shared* reply cache — exactly the dedupe state a peer
+            # needs to answer the failover retransmissions.
+            for session_id in self.frontend.session_ids:
+                self.frontend.close_session(session_id)
         self._publish_sessions()
         self.counters.increment("drains")
 
@@ -234,14 +247,20 @@ class PirServer:
         self._conn_tasks.add(task)
         self.counters.increment("connections.accepted")
         session_id: Optional[int] = None
+        orderly = False
         try:
-            session_id = await self._handshake(reader, writer)
+            first = decode_net_message(await read_frame_async(reader))
+            if isinstance(first, Ping):
+                await self._probe_loop(reader, writer, first)
+                return
+            session_id = await self._handshake(first, writer)
             if session_id is None:
                 return
             while True:
                 body = await read_frame_async(reader)
                 message = decode_net_message(body)
                 if isinstance(message, Bye):
+                    orderly = True
                     break
                 if not isinstance(message, Request):
                     await self._send(
@@ -263,6 +282,11 @@ class PirServer:
                 try:
                     reply = await self._admit_and_dispatch(session_id,
                                                            message)
+                    # Count before the bytes go out: once the reply is on
+                    # the wire the client (same GIL) can observe a metrics
+                    # snapshot before this coroutine runs another line.
+                    if isinstance(reply, Reply):
+                        self.counters.increment("replies")
                     await self._send(writer, reply)
                 finally:
                     self._inflight -= 1
@@ -270,8 +294,6 @@ class PirServer:
                         self._idle_event.set()
                 if self._latency is not None:
                     self._latency.observe(time.monotonic() - started)
-                if isinstance(reply, Reply):
-                    self.counters.increment("replies")
         except TransientChannelError:
             pass  # peer closed or broke the connection; nothing to answer
         except ProtocolError as exc:
@@ -283,7 +305,11 @@ class PirServer:
         except asyncio.CancelledError:
             pass  # drain is tearing the connection down
         finally:
-            if session_id is not None:
+            # Only an orderly BYE closes the session.  An abrupt disconnect
+            # keeps the suite and reply cache alive so the client can
+            # re-dial, RESUME, and retransmit — drain and TTL reaping bound
+            # how long an abandoned session lingers.
+            if session_id is not None and orderly:
                 self.frontend.close_session(session_id)
                 self._publish_sessions()
             self.counters.increment("connections.closed")
@@ -294,9 +320,34 @@ class PirServer:
                 pass
             self._conn_tasks.discard(task)
 
-    async def _handshake(self, reader, writer) -> Optional[int]:
-        """HELLO/WELCOME exchange; returns the session id or None if refused."""
-        message = decode_net_message(await read_frame_async(reader))
+    async def _probe_loop(self, reader, writer, first) -> None:
+        """Answer PINGs until the prober hangs up.
+
+        Health probes are sessionless and answered even while draining —
+        the PONG's ``draining`` flag is how a router learns to route
+        around a member being rolled.  ``sessions`` is its load signal.
+        """
+        message = first
+        while True:
+            if not isinstance(message, Ping):
+                raise ProtocolError(
+                    f"probe connection sent {type(message).__name__}"
+                )
+            self.counters.increment("probes")
+            await self._send(
+                writer, Pong(self._draining, self.frontend.session_count)
+            )
+            message = decode_net_message(await read_frame_async(reader))
+
+    async def _handshake(self, message, writer) -> Optional[int]:
+        """HELLO/WELCOME exchange; returns the session id or None if refused.
+
+        ``message`` is the already-decoded first frame: HELLO opens a new
+        session, RESUME re-attaches (or, on cluster backends, adopts) an
+        existing one.
+        """
+        if isinstance(message, Resume):
+            return await self._resume(message, writer)
         if not isinstance(message, Hello) or message.version != NET_VERSION:
             await self._send(
                 writer,
@@ -315,6 +366,41 @@ class PirServer:
                 await self._send(writer, NetRefused(0, refusal))
                 return None
         session_id = self.frontend.open_session()
+        self._publish_sessions()
+        await self._send(writer, Welcome(session_id))
+        return session_id
+
+    async def _resume(self, message: Resume, writer) -> Optional[int]:
+        """Re-attach a connection to a session after a reconnect.
+
+        A known session resumes on any server (same process the client
+        first spoke to).  An *unknown* session is adopted only when
+        ``adopt_sessions`` is set — the cluster-backend posture, where the
+        router vouches for ids — and counts against the admission session
+        cap like a fresh handshake.
+        """
+        if self._draining:
+            await self._send(writer, NetRefused(0, self._drain_refusal()))
+            return None
+        session_id = message.session_id
+        known = session_id in self.frontend.session_ids
+        if not known:
+            if not self.adopt_sessions:
+                await self._send(writer, NetRefused(0, protocol.Refused(
+                    f"unknown session {session_id}", "protocol", -1.0,
+                )))
+                return None
+            if self.admission is not None:
+                refusal = self.admission.admit_session(
+                    self.frontend.session_count
+                )
+                if refusal is not None:
+                    await self._send(writer, NetRefused(0, refusal))
+                    return None
+            self.frontend.adopt_session(session_id)
+            self.counters.increment("sessions.adopted")
+        else:
+            self.counters.increment("sessions.resumed")
         self._publish_sessions()
         await self._send(writer, Welcome(session_id))
         return session_id
@@ -347,13 +433,15 @@ class PirServer:
 
     async def _send(self, writer, message, best_effort: bool = False) -> None:
         body = encode_net_message(message)
+        # Counted before the write for the same snapshot-race reason as
+        # the replies counter; a failed write overcounts by one frame,
+        # which the connection teardown path makes moot.
+        self.counters.increment("bytes.out", len(body) + 4)
         try:
             await write_frame_async(writer, body)
         except (TransientChannelError, ConnectionError, OSError):
             if not best_effort:
                 raise TransientChannelError("peer went away mid-reply")
-            return
-        self.counters.increment("bytes.out", len(body) + 4)
 
     # -- worker threads --------------------------------------------------------
 
@@ -387,7 +475,12 @@ class PirServer:
                 result = NetRefused(request.request_id, protocol.Refused(
                     f"internal error: {exc}", "internal", -1.0,
                 ))
-            loop.call_soon_threadsafe(self._resolve, future, result)
+            try:
+                loop.call_soon_threadsafe(self._resolve, future, result)
+            except RuntimeError:
+                # The loop was closed under us (ServerThread.kill in a
+                # crash test); the connection is gone, nobody awaits this.
+                return
 
     @staticmethod
     def _resolve(future: "asyncio.Future", result) -> None:
@@ -466,6 +559,49 @@ class ServerThread:
             future.result(timeout=timeout)
             self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Abrupt shutdown: drop the listener and every connection NOW.
+
+        The crash path, for chaos tests and failover drills — the inverse
+        of :meth:`drain`.  No refusals are sent, in-flight requests are
+        abandoned mid-write, clients see resets.  The engine object
+        survives (same process), so a test can restart a fresh
+        ``PirServer`` on the same frontend and port to model a process
+        that crashed and came back.
+        """
+        if self._thread is None or self._loop is None:
+            return
+        loop = self._loop
+        server = self.server
+
+        def _slam() -> None:
+            if server._server is not None:
+                server._server.close()
+                server._server = None
+            for task in list(server._conn_tasks):
+                task.cancel()
+            if server._reap_task is not None:
+                server._reap_task.cancel()
+                server._reap_task = None
+            # Let the cancellations run their finallys (writer.close)
+            # before the loop stops; call_soon queues behind them.
+            loop.call_soon(loop.stop)
+
+        if self._thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(_slam)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+        # Workers block on the queue, not the loop; release them so the
+        # process does not leak threads between restart cycles.
+        for _ in server._threads:
+            server._queue.put(None)
+        for thread in server._threads:
+            thread.join(timeout=timeout)
+        server._threads = []
         self._thread = None
 
     def __enter__(self) -> "ServerThread":

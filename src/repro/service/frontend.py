@@ -19,6 +19,7 @@ until :meth:`QueryFrontend.recover` has repaired the store.
 
 from __future__ import annotations
 
+import struct
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence
@@ -81,6 +82,12 @@ def session_master_key(session_id: int) -> bytes:
     return b"client-session:" + session_id.to_bytes(8, "big")
 
 
+#: On-disk record header of a persistent reply-cache entry:
+#: u64 session id, u32 sealed-request length, u32 sealed-reply length,
+#: followed by the two byte strings.
+_CACHE_RECORD = struct.Struct(">QII")
+
+
 class SealedReplyCache:
     """Bounded LRU of ``(session, sealed request) -> sealed reply``.
 
@@ -90,16 +97,55 @@ class SealedReplyCache:
     all sessions and evicts the least recently used beyond that — the old
     unbounded per-session dict grew forever on long sessions.
 
+    With ``path`` the cache is additionally *persistent*: every ``put``
+    appends the entry to the file before the caller acknowledges the
+    request, and a restarted process reloads the tail of the log on
+    construction.  This closes the crash window the in-memory cache
+    leaves open — a mutation whose intent journal rolls *forward* on
+    restart has been applied, so a client retransmission of the
+    acknowledged sealed bytes must dedupe, not re-execute.  Entries are
+    sealed ciphertext on both sides, so the file leaks nothing beyond
+    traffic volume.  A torn final record (crash mid-append) is discarded
+    on load, exactly like a torn journal record.  The log is append-only
+    and never compacted; the in-memory LRU bound applies after reload.
+
     Thread-safe: the network server's worker threads and its event-loop
     thread (session reaping) touch the cache concurrently.
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, path=None):
         if capacity <= 0:
             raise ProtocolError("reply cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
         self._lock = threading.Lock()
+        self._path = str(path) if path is not None else None
+        self._file = None
+        if self._path is not None:
+            self._load()
+            self._file = open(self._path, "ab")
+
+    def _load(self) -> None:
+        try:
+            with open(self._path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return
+        offset = 0
+        while offset + _CACHE_RECORD.size <= len(raw):
+            session_id, req_len, reply_len = _CACHE_RECORD.unpack_from(
+                raw, offset
+            )
+            body_end = offset + _CACHE_RECORD.size + req_len + reply_len
+            if body_end > len(raw):
+                break  # torn tail from a crash mid-append
+            request = raw[offset + _CACHE_RECORD.size:
+                          offset + _CACHE_RECORD.size + req_len]
+            reply = raw[offset + _CACHE_RECORD.size + req_len:body_end]
+            self._entries[(session_id, request)] = reply
+            offset = body_end
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         with self._lock:
@@ -117,6 +163,13 @@ class SealedReplyCache:
             sealed_reply: bytes) -> None:
         key = (session_id, sealed_request)
         with self._lock:
+            if self._file is not None:
+                self._file.write(
+                    _CACHE_RECORD.pack(session_id, len(sealed_request),
+                                       len(sealed_reply))
+                    + sealed_request + sealed_reply
+                )
+                self._file.flush()
             self._entries[key] = sealed_reply
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -127,6 +180,12 @@ class SealedReplyCache:
             stale = [key for key in self._entries if key[0] == session_id]
             for key in stale:
                 del self._entries[key]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 class QueryFrontend:
@@ -141,6 +200,9 @@ class QueryFrontend:
         session_id_mode: str = SESSION_SEQUENTIAL,
         session_ttl: Optional[float] = None,
         time_source: Optional[Callable[[], float]] = None,
+        reply_cache: Optional[SealedReplyCache] = None,
+        reply_cache_path=None,
+        session_salt: Optional[str] = None,
     ):
         """``session_id_mode`` selects sequential (legacy, in-process) or
         unguessable random session ids — network-facing frontends must use
@@ -150,6 +212,22 @@ class QueryFrontend:
         network server passes ``time.monotonic``) are eligible for
         :meth:`reap_idle_sessions`, which drops their key material and
         cached replies.
+
+        ``reply_cache`` shares a caller-owned :class:`SealedReplyCache`
+        across frontends (cluster replicas dedupe each other's
+        retransmissions); ``reply_cache_path`` makes the frontend's own
+        cache persistent so acknowledged replies survive a crash-restart.
+
+        ``session_salt`` diversifies the :data:`SESSION_RANDOM` id
+        stream.  Session ids derive from the database's seeded RNG tree,
+        so two frontends over same-seed databases — exactly how cluster
+        members are deployed, since a shared seed is what makes their
+        data identical — would otherwise issue the *same* id sequence.
+        Colliding ids are fatal behind a router: the id doubles as the
+        key-agreement input, so two clients would share a suite, and
+        either one's BYE would tear down the other's session.  Give every
+        cluster member a distinct salt (``cluster serve-backend``
+        generates one per process by default).
         """
         if session_id_mode not in _SESSION_MODES:
             raise ProtocolError(
@@ -170,11 +248,18 @@ class QueryFrontend:
         # Guards the session tables: the network server opens/closes/reaps
         # sessions on its event-loop thread while worker threads serve.
         self._session_lock = threading.Lock()
-        self._session_rng = database.cop.rng.spawn("session-ids")
+        self._session_rng = database.cop.rng.spawn(
+            "session-ids" if session_salt is None
+            else f"session-ids-{session_salt}"
+        )
         # Recently served (sealed request -> sealed reply) pairs for
         # at-least-once duplicate suppression (see serve()); bounded LRU
         # so long-lived sessions cannot grow it without limit.
-        self._reply_cache = SealedReplyCache(reply_cache_size)
+        if reply_cache is not None:
+            self._reply_cache = reply_cache
+        else:
+            self._reply_cache = SealedReplyCache(reply_cache_size,
+                                                 path=reply_cache_path)
         self._next_session = 1
         self.counters = CounterSet(registry=metrics, prefix="frontend.")
         self._batch_sizes = (
@@ -222,6 +307,36 @@ class QueryFrontend:
             self._last_used[session_id] = self._time_source()
         self.counters.increment("sessions")
         return session_id
+
+    def adopt_session(self, session_id: int) -> bool:
+        """Install the suite for a session opened by *another* frontend.
+
+        Failover support: the session suite is a pure function of the id
+        (:func:`session_master_key`), so a replica can reconstruct a dead
+        primary's session from the id the client presents in its RESUME —
+        no state transfer required.  Returns ``True`` when the session was
+        created here, ``False`` when it already existed (idempotent).
+
+        Only meaningful behind a trust boundary that vouches for the id —
+        the cluster router, which learned it from the backend's WELCOME.
+        A public-facing server must never adopt: presenting an id would
+        then *be* authentication bypass.  Hence the opt-in
+        ``adopt_sessions`` flag on :class:`~repro.net.server.PirServer`.
+        """
+        if session_id == 0:
+            raise ProtocolError("cannot adopt session id 0")
+        with self._session_lock:
+            if session_id in self._sessions:
+                self._last_used[session_id] = self._time_source()
+                return False
+            self._sessions[session_id] = CipherSuite(
+                session_master_key(session_id),
+                backend=SESSION_BACKEND,
+                rng=self.database.cop.rng.spawn(f"session-{session_id}"),
+            )
+            self._last_used[session_id] = self._time_source()
+        self.counters.increment("sessions.adopted")
+        return True
 
     def session_suite(self, session_id: int) -> CipherSuite:
         with self._session_lock:

@@ -1,0 +1,487 @@
+"""Cluster tier tests: membership policy, routed serving, failover drills.
+
+The integration classes stand up a real router over real backend
+servers (loopback TCP end to end) and drive them through the failure
+modes DESIGN.md §13 promises to survive: backend death mid-session,
+lost backend replies, rolling restarts, and full-cluster outage.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import pytest
+
+from tests.helpers import make_db
+from repro.baselines import make_records
+from repro.cluster import (
+    BackendHandle,
+    BackendSpec,
+    ClusterMembership,
+    ClusterRouter,
+    RouterThread,
+    build_cluster,
+)
+from repro.errors import (
+    ConfigurationError,
+    DegradedServiceError,
+    TransientChannelError,
+)
+from repro.faults import ChaosProxy, ChaosProxyThread, FaultInjector, \
+    drop_replies
+from repro.net import NetworkClient
+from repro.obs import MetricsRegistry
+from repro.service.frontend import SESSION_RANDOM, QueryFrontend
+
+RECORDS = make_records(40, 16)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# Membership policy (pure, no sockets)
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSpec:
+    def test_parse(self):
+        spec = BackendSpec.parse("10.0.0.1:7000")
+        assert (spec.host, spec.port) == ("10.0.0.1", 7000)
+        assert spec.address == "10.0.0.1:7000"
+
+    @pytest.mark.parametrize("text", ["nohost", ":123", "host:", "host:abc"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ConfigurationError):
+            BackendSpec.parse(text)
+
+
+class TestMembershipPolicy:
+    def specs(self, n=3):
+        return [BackendSpec("127.0.0.1", 7000 + i) for i in range(n)]
+
+    def test_needs_backends_and_unique_addresses(self):
+        with pytest.raises(ConfigurationError):
+            ClusterMembership([])
+        with pytest.raises(ConfigurationError):
+            ClusterMembership(self.specs(2) + [self.specs(1)[0]])
+
+    def test_eject_needs_consecutive_failures(self):
+        membership = ClusterMembership(self.specs(), eject_after=3)
+        address = self.specs()[0].address
+        membership.record_probe_failure(address)
+        membership.record_probe_failure(address)
+        membership.record_probe_ok(address, False, 0)  # streak broken
+        membership.record_probe_failure(address)
+        membership.record_probe_failure(address)
+        assert membership.member(address).up
+        membership.record_probe_failure(address)
+        assert not membership.member(address).up
+        assert membership.up_count == 2
+
+    def test_readmit_needs_consecutive_successes(self):
+        membership = ClusterMembership(self.specs(), eject_after=1,
+                                       readmit_after=2)
+        address = self.specs()[0].address
+        membership.record_probe_failure(address)
+        assert not membership.member(address).up
+        membership.record_probe_ok(address, False, 0)
+        assert not membership.member(address).up  # one success is a flap
+        membership.record_probe_ok(address, False, 0)
+        assert membership.member(address).up
+        assert membership.at_full_strength
+
+    def test_mark_down_is_immediate(self):
+        membership = ClusterMembership(self.specs(), eject_after=5)
+        address = self.specs()[1].address
+        membership.mark_down(address)
+        assert not membership.member(address).up
+
+    def test_pick_prefers_least_loaded_and_skips_unroutable(self):
+        membership = ClusterMembership(self.specs())
+        a, b, c = [spec.address for spec in self.specs()]
+        membership.pin(a)
+        membership.pin(a)
+        membership.pin(b)
+        assert membership.pick().address == c
+        membership.mark_down(c)
+        assert membership.pick().address == b
+        membership.record_probe_ok(b, True, 1)  # draining: healthy, no picks
+        assert membership.pick().address == a
+        assert not membership.at_full_strength
+
+    def test_pick_honours_exclusions(self):
+        membership = ClusterMembership(self.specs(2))
+        a, b = [spec.address for spec in self.specs(2)]
+        assert membership.pick(exclude={a}).address == b
+        assert membership.pick(exclude={a, b}) is None
+
+    def test_gauges_track_strength(self):
+        registry = MetricsRegistry()
+        membership = ClusterMembership(self.specs(), metrics=registry)
+        membership.mark_down(self.specs()[0].address)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["cluster.members.total"] == 3
+        assert gauges["cluster.members.up"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Routed serving over real sockets
+# ---------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def cluster(tmp_path, n=2, registry=None, router_kw=None):
+    handles = build_cluster(RECORDS, n, str(tmp_path), metrics=registry,
+                            page_capacity=16, target_c=2.0)
+    try:
+        for handle in handles:
+            handle.start()
+        router = ClusterRouter(
+            [handle.spec for handle in handles],
+            probe_interval=0.05, probe_timeout=1.0, eject_after=2,
+            readmit_after=2, connect_timeout=1.0, backend_timeout=5.0,
+            metrics=registry, **(router_kw or {}),
+        )
+        with RouterThread(router) as thread:
+            yield handles, router, thread
+    finally:
+        for handle in handles:
+            handle.kill()
+        for handle in handles:
+            handle.db.close()
+
+
+class TestRoutedServing:
+    def test_sessions_balance_and_serve(self, tmp_path):
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            clients = [NetworkClient(thread.host, thread.port, timeout=5.0)
+                       for _ in range(4)]
+            try:
+                for index, client in enumerate(clients):
+                    assert client.query(index) == RECORDS[index]
+                per_member = [state.pinned
+                              for state in router.membership.members]
+                assert sorted(per_member) == [2, 2]
+            finally:
+                for client in clients:
+                    client.close()
+
+    def test_bye_unpins(self, tmp_path):
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                client.query(1)
+            assert wait_until(lambda: sum(
+                state.pinned for state in router.membership.members) == 0)
+
+    def test_router_answers_probes_itself(self, tmp_path):
+        import socket
+
+        from repro.net.framing import (
+            Ping,
+            Pong,
+            decode_net_message,
+            encode_net_message,
+            read_frame_sock,
+            write_frame_sock,
+        )
+
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            sock = socket.create_connection((thread.host, thread.port),
+                                            timeout=5.0)
+            try:
+                write_frame_sock(sock, encode_net_message(Ping()))
+                pong = decode_net_message(read_frame_sock(sock))
+                assert isinstance(pong, Pong)
+                assert pong.draining is False
+            finally:
+                sock.close()
+
+
+class TestHealthGating:
+    def test_dead_member_ejected_then_readmitted(self, tmp_path):
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            victim = handles[0]
+            address = victim.spec.address
+            victim.kill()
+            assert wait_until(
+                lambda: not router.membership.member(address).up)
+            assert router.membership.up_count == 1
+            victim.restart()
+            assert wait_until(lambda: router.membership.at_full_strength)
+
+    def test_new_sessions_avoid_ejected_member(self, tmp_path):
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            victim = handles[0]
+            victim.kill()
+            assert wait_until(
+                lambda: not router.membership.member(
+                    victim.spec.address).up)
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                assert client.query(2) == RECORDS[2]
+                assert (router._pins[client.session_id]
+                        == handles[1].spec.address)
+
+
+class TestFailover:
+    def test_mid_session_backend_death(self, tmp_path):
+        """Kill the pinned backend under an open session: the next query
+        fails over to the replica (which adopts the session) without the
+        client noticing."""
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                assert client.query(3) == RECORDS[3]
+                pinned = router._pins[client.session_id]
+                victim = next(h for h in handles
+                              if h.spec.address == pinned)
+                survivor = next(h for h in handles
+                                if h.spec.address != pinned)
+                victim.kill()
+                assert client.query(4) == RECORDS[4]
+                assert client.query(5) == RECORDS[5]
+                # The router, not the client, absorbed the failure.
+                assert client.counters.get("reconnects") == 0
+                assert router.counters.get("failovers") >= 1
+                assert (router._pins[client.session_id]
+                        == survivor.spec.address)
+                assert survivor.frontend.counters.get("sessions.adopted") == 1
+
+    def test_exactly_once_when_reply_lost_after_apply(self, tmp_path):
+        """The acknowledged-but-unreplied window: backend A applies an
+        update and caches the reply, but the reply never reaches the
+        router.  Failover retransmits to B, whose view of the shared
+        reply cache answers without re-applying."""
+        handles = build_cluster(RECORDS, 2, str(tmp_path),
+                                page_capacity=16, target_c=2.0)
+        try:
+            for handle in handles:
+                handle.start()
+            # Interpose a chaos proxy between the router and backend 0:
+            # the router believes the proxy IS the member.
+            proxy = ChaosProxy(handles[0].host, handles[0].port,
+                               FaultInjector(seed=13))
+            with ChaosProxyThread(proxy) as chaos:
+                specs = [BackendSpec(chaos.host, chaos.port),
+                         handles[1].spec]
+                router = ClusterRouter(
+                    specs, probe_interval=30.0, probe_timeout=1.0,
+                    connect_timeout=1.0, backend_timeout=1.0,
+                )
+                with RouterThread(router) as thread:
+                    # Equal load: the first session pins to the first
+                    # configured member — the proxied one.
+                    with NetworkClient(thread.host, thread.port,
+                                       timeout=5.0) as client:
+                        assert client.query(1) == RECORDS[1]
+                        assert (router._pins[client.session_id]
+                                == specs[0].address)
+                        engines = [h.db.engine for h in handles]
+                        before = sum(e.request_count for e in engines)
+                        # Arm the drop now, after the warmup frames are
+                        # through: the next server->client frame through
+                        # the proxy is the update's acknowledgement.
+                        proxy.injector = FaultInjector(seed=13, plans=[
+                            drop_replies(times=1),
+                        ])
+                        client.update(6, b"landed once")
+                        after = sum(e.request_count for e in engines)
+                        # One engine application despite the failover
+                        # retransmission...
+                        assert after == before + 1
+                        assert (handles[1].frontend.counters
+                                .get("requests.duplicate") == 1)
+                        assert router.counters.get("failovers") == 1
+                        assert router.counters.get("retransmits") == 1
+                        # ...and the write is durable on the replica that
+                        # applied it.  (Writes do NOT replicate between
+                        # backends — the shared reply cache guarantees
+                        # single application and a preserved ACK, not
+                        # cross-replica write visibility; DESIGN.md §13.)
+                        assert handles[0].db.query(6) == b"landed once"
+                        # The failed-over session keeps serving reads.
+                        assert client.query(1) == RECORDS[1]
+        finally:
+            for handle in handles:
+                handle.kill()
+            for handle in handles:
+                handle.db.close()
+
+    def test_whole_cluster_down_is_retryable_refusal(self, tmp_path):
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                client.query(1)
+                for handle in handles:
+                    handle.kill()
+                with pytest.raises(DegradedServiceError) as excinfo:
+                    client.query(2)
+                assert excinfo.value.retry_after > 0
+                # Recovery: both members return, service resumes on the
+                # same session.
+                for handle in handles:
+                    handle.restart()
+                assert wait_until(
+                    lambda: router.membership.at_full_strength)
+                assert client.query(2) == RECORDS[2]
+
+
+class TestRollingRestart:
+    def test_drain_one_at_a_time_zero_errors(self, tmp_path):
+        """Roll every backend while a session keeps querying: drained
+        members shed, the router migrates the session, and the client
+        never sees an error."""
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                assert client.query(0) == RECORDS[0]
+                for handle in handles:
+                    handle.drain()
+                    for page_id in range(1, 5):
+                        assert client.query(page_id) == RECORDS[page_id]
+                    handle.restart()
+                    assert wait_until(
+                        lambda: router.membership.at_full_strength)
+                # The whole roll was invisible: no client-side recovery.
+                assert client.counters.get("reconnects") == 0
+
+
+class TestClientReconnectThroughRouter:
+    def test_client_redial_resumes_via_router(self, tmp_path):
+        """A client that loses its connection *to the router* re-dials
+        and RESUMEs; the router routes the resume to the pinned member
+        (or adopts elsewhere)."""
+        with cluster(tmp_path, n=2) as (handles, router, thread):
+            client = NetworkClient(thread.host, thread.port, timeout=5.0)
+            try:
+                assert client.query(7) == RECORDS[7]
+                # Simulate a NAT reset between client and router.
+                client._teardown()
+                assert client.query(8) == RECORDS[8]
+                assert client.counters.get("reconnects") == 1
+                assert client.counters.get("retransmits") == 0
+            finally:
+                with contextlib.suppress(TransientChannelError):
+                    client.close()
+
+
+class TestSessionIdCollision:
+    """Session ids must be unique cluster-wide.
+
+    They derive from the database's seeded RNG tree, and cluster members
+    deliberately share a seed (identical data) — so unsalted frontends
+    issue the *same* id sequence.  The ``session_salt`` diversifies the
+    stream; the router's collision guard is the backstop when an
+    operator deploys without one.
+    """
+
+    def test_same_seed_frontends_collide_without_salt(self):
+        db_a, db_b = make_db(num_records=16), make_db(num_records=16)
+        try:
+            fe_a = QueryFrontend(db_a, session_id_mode=SESSION_RANDOM)
+            fe_b = QueryFrontend(db_b, session_id_mode=SESSION_RANDOM)
+            first_a = fe_a.open_session()
+            assert fe_b.open_session() == first_a  # the hazard, verbatim
+            salted = QueryFrontend(db_b, session_id_mode=SESSION_RANDOM,
+                                   session_salt="member-1")
+            assert salted.open_session() != first_a
+        finally:
+            db_a.close()
+            db_b.close()
+
+    def test_router_guard_sheds_colliding_welcome(self):
+        """Two unsalted same-seed members behind the router: the second
+        client's HELLO lands on the other member, which issues the same
+        id.  The router must shed it (never share an id — it is the key
+        input), close the duplicate, and serve the retried HELLO."""
+        dbs = [make_db(num_records=16), make_db(num_records=16)]
+        handles = [
+            BackendHandle(db, QueryFrontend(
+                db, session_id_mode=SESSION_RANDOM))
+            for db in dbs
+        ]
+        try:
+            for handle in handles:
+                handle.start()
+            router = ClusterRouter(
+                [handle.spec for handle in handles],
+                probe_interval=0.05, probe_timeout=1.0,
+                connect_timeout=1.0, backend_timeout=5.0,
+            )
+            with RouterThread(router) as thread:
+                first = NetworkClient(thread.host, thread.port, timeout=5.0)
+                assert first.query(1) is not None
+                with pytest.raises(DegradedServiceError):
+                    NetworkClient(thread.host, thread.port, timeout=5.0)
+                assert router.counters.get("session_collisions") == 1
+                # The duplicate session was torn down on its member, not
+                # leaked with a key another client is using.
+                assert wait_until(lambda: sum(
+                    handle.frontend.session_count for handle in handles
+                ) == 1)
+                # A retried HELLO draws that member's next id and serves.
+                second = NetworkClient(thread.host, thread.port, timeout=5.0)
+                assert second.session_id != first.session_id
+                assert second.query(2) is not None
+                first.close()
+                second.close()
+        finally:
+            for handle in handles:
+                handle.kill()
+            for db in dbs:
+                db.close()
+
+
+class TestBackendAdoption:
+    def test_plain_server_refuses_unknown_resume(self):
+        """Without adopt_sessions a RESUME for an unknown id must be
+        refused — adoption is a cluster-only trust posture."""
+        import socket
+
+        from repro.net import PirServer, ServerThread
+        from repro.net.framing import (
+            NetRefused,
+            Resume,
+            decode_net_message,
+            encode_net_message,
+            read_frame_sock,
+            write_frame_sock,
+        )
+
+        db = make_db(num_records=16)
+        try:
+            frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+            with ServerThread(PirServer(frontend)) as handle:
+                sock = socket.create_connection(
+                    (handle.host, handle.port), timeout=5.0)
+                try:
+                    write_frame_sock(
+                        sock, encode_net_message(Resume(0xDEAD)))
+                    answer = decode_net_message(read_frame_sock(sock))
+                    assert isinstance(answer, NetRefused)
+                    assert "unknown session" in answer.refusal.reason
+                finally:
+                    sock.close()
+            assert frontend.session_count == 0
+        finally:
+            db.close()
+
+    def test_adoption_rejects_session_zero(self):
+        db = make_db(num_records=16)
+        try:
+            frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+            from repro.errors import ProtocolError
+
+            with pytest.raises(ProtocolError):
+                frontend.adopt_session(0)
+        finally:
+            db.close()

@@ -1,0 +1,193 @@
+"""Whole-process crash and restart of a network-served database.
+
+The satellite drill for the cluster PR: a :class:`ServerThread` is
+*killed* (event loop slammed shut, no drain) mid-write-back over a
+:class:`~repro.storage.filedisk.FileDiskStore`-backed database, the
+process "restarts" — snapshot restored next to the surviving
+:class:`~repro.core.journal.FileJournal`, intent rolled forward — and
+the same :class:`~repro.net.client.NetworkClient` retransmits its
+acknowledged insert byte-for-byte.  The persistent reply cache answers
+the duplicate with the original sealed reply; the insert is applied
+exactly once across the crash.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from tests.helpers import make_db
+from repro.baselines import make_records
+from repro.core.journal import FileJournal
+from repro.core.snapshot import load_snapshot, save_snapshot
+from repro.errors import ReproError
+from repro.faults import (
+    SITE_DISK_WRITE,
+    FaultInjector,
+    FaultPlan,
+    FaultyDiskStore,
+)
+from repro.net import NetworkClient, PirServer, ServerThread
+from repro.service import protocol
+from repro.service.frontend import SESSION_RANDOM, QueryFrontend
+from repro.storage.disk import DiskStore
+from repro.storage.filedisk import FileDiskStore
+
+NUM_RECORDS = 30
+SEED = 77
+RECORDS = make_records(NUM_RECORDS, 16)
+
+
+def file_disk_factory(path):
+    def build(num_locations, frame_size, timing, clock, trace):
+        return FileDiskStore(path, num_locations, frame_size,
+                             timing=timing, clock=clock, trace=trace)
+
+    return build
+
+
+class TestCrashRestartOverNetwork:
+    def test_kill_mid_write_back_restart_exactly_once(self, tmp_path):
+        journal_path = str(tmp_path / "intent.jnl")
+        cache_path = str(tmp_path / "replies.cache")
+        snap_dir = str(tmp_path / "snap")
+
+        db = make_db(
+            num_records=NUM_RECORDS, cache_capacity=6, seed=SEED,
+            journal=FileJournal(journal_path),
+            disk_factory=file_disk_factory(str(tmp_path / "pages.bin")),
+        )
+        frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM,
+                                 reply_cache_path=cache_path)
+        thread = ServerThread(PirServer(frontend)).start()
+        port = thread.port
+        client = NetworkClient(thread.host, port,
+                               timeout=5.0, read_timeout=1.0)
+
+        # An insert, acknowledged over the wire.  Driven through
+        # _transact so the identical sealed bytes can be retransmitted
+        # after the restart — exactly what a real client's transparent
+        # retransmission sends.
+        sealed = client._suite.encrypt_page(
+            protocol.encode_client_message(protocol.Insert(b"ack me once"))
+        )
+        request_id = client._next_request_id
+        client._next_request_id += 1
+        first_reply = client._transact(request_id, sealed)
+        decoded = protocol.decode_client_message(
+            client._suite.decrypt_page(first_reply)
+        )
+        assert isinstance(decoded, protocol.Result)
+        new_id = decoded.page_id
+        # Persist-before-ack: the reply hit the cache file before the
+        # client saw it.
+        assert os.path.getsize(cache_path) > 0
+
+        # The snapshot the "operator" took before the outage.
+        save_snapshot(db, snap_dir)
+
+        # Power failure mid-write-back on the next request: the intent
+        # record is durable in the file journal, half the frames are
+        # not, and the server process is killed without ceremony.
+        k = db.params.block_size
+        injector = FaultInjector(0, [FaultPlan(SITE_DISK_WRITE, "crash",
+                                               after=k // 2)])
+        db.engine.disk = FaultyDiskStore(db.disk, injector)
+        with pytest.raises(ReproError):
+            client.update(5, b"torn update")
+        thread.kill()
+        assert db.engine.journal_pending
+
+        # -- restart: same port, same journal, same reply-cache file ----
+        restored = load_snapshot(snap_dir, seed=SEED + 1,
+                                 journal=FileJournal(journal_path))
+        assert restored.engine.journal_pending
+        report = restored.recover()
+        # The intent was sealed before any frame was written, so the
+        # torn update rolls *forward*...
+        assert report.action == "replayed"
+        assert restored.query(5) == b"torn update"
+        # ...and the pre-crash acknowledged insert is intact.
+        assert restored.query(new_id) == b"ack me once"
+
+        frontend2 = QueryFrontend(restored, session_id_mode=SESSION_RANDOM,
+                                  reply_cache_path=cache_path)
+        server2 = PirServer(frontend2, port=port, adopt_sessions=True)
+        with ServerThread(server2):
+            applied_before = restored.engine.request_count
+            # The client never learned about the restart: its socket is
+            # dead, so _transact reconnects, RESUMEs (the new process
+            # adopts the session — the suite derives from the id), and
+            # retransmits the identical bytes.
+            second_reply = client._transact(request_id, sealed)
+            assert second_reply == first_reply  # the original sealed ACK
+            assert restored.engine.request_count == applied_before
+            assert frontend2.counters.get("requests.duplicate") == 1
+            assert frontend2.counters.get("sessions.adopted") == 1
+            assert client.counters.get("reconnects") == 1
+            assert client.counters.get("retransmits") == 1
+            # Normal service continues on the resumed session.
+            assert client.query(new_id) == b"ack me once"
+            assert client.query(3) == RECORDS[3]
+            client.close()
+        restored.consistency_check()
+
+    def test_unacked_request_at_crash_may_be_reissued(self, tmp_path):
+        """A request whose journal write never happened simply never
+        happened: after restart the client re-issues it as a *new*
+        request and it applies cleanly (no duplicate, no loss)."""
+        journal_path = str(tmp_path / "intent.jnl")
+        snap_dir = str(tmp_path / "snap")
+
+        db = make_db(num_records=NUM_RECORDS, cache_capacity=6, seed=SEED,
+                     journal=FileJournal(journal_path))
+        frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+        thread = ServerThread(PirServer(frontend)).start()
+        port = thread.port
+        client = NetworkClient(thread.host, port,
+                               timeout=5.0, read_timeout=1.0)
+        assert client.query(1) == RECORDS[1]
+        save_snapshot(db, snap_dir)
+
+        thread.kill()  # dies before the update is ever sent
+
+        restored = load_snapshot(snap_dir, seed=SEED + 2,
+                                 journal=FileJournal(journal_path))
+        assert restored.recover().action == "clean"
+        frontend2 = QueryFrontend(restored, session_id_mode=SESSION_RANDOM)
+        server2 = PirServer(frontend2, port=port, adopt_sessions=True)
+        with ServerThread(server2):
+            client.update(2, b"after restart")
+            assert client.query(2) == b"after restart"
+            assert client.counters.get("reconnects") == 1
+            client.close()
+
+
+class TestKillIsAbrupt:
+    def test_kill_does_not_drain(self):
+        """kill() must not run the orderly drain path: in-flight state
+        (sessions, reply cache) stays as the crash left it."""
+        db = make_db(num_records=16)
+        try:
+            frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+            thread = ServerThread(PirServer(frontend)).start()
+            client = NetworkClient(thread.host, thread.port, timeout=5.0)
+            client.query(1)
+            assert frontend.session_count == 1
+            thread.kill()
+            # No drain: the session was never closed.
+            assert frontend.session_count == 1
+            client._teardown()
+        finally:
+            db.close()
+
+    def test_kill_twice_is_idempotent(self):
+        db = make_db(num_records=16)
+        try:
+            frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+            thread = ServerThread(PirServer(frontend)).start()
+            thread.kill()
+            thread.kill()
+        finally:
+            db.close()

@@ -3,17 +3,26 @@
 import asyncio
 import socket
 import struct
+import threading
+import time
 
 import pytest
 
-from repro.errors import ProtocolError, TransientChannelError
+from repro.errors import (
+    NetTimeoutError,
+    ProtocolError,
+    TransientChannelError,
+)
 from repro.net.framing import (
     Bye,
     Hello,
     MAX_FRAME_BYTES,
     NetRefused,
+    Ping,
+    Pong,
     Reply,
     Request,
+    Resume,
     Welcome,
     decode_net_message,
     encode_frame,
@@ -35,9 +44,24 @@ class TestEnvelopeCodec:
         NetRefused(9, protocol.Refused("busy", "unavailable", 0.25)),
         NetRefused(0, protocol.Refused("legacy")),
         Bye(),
+        Ping(),
+        Pong(False, 0),
+        Pong(True, 2**32 - 1),
+        Resume(0xDEADBEEF01020304),
+        Resume(0),
     ])
     def test_roundtrip(self, message):
         assert decode_net_message(encode_net_message(message)) == message
+
+    @pytest.mark.parametrize("blob", [
+        b"\x07\x00",            # PING with trailing byte
+        b"\x08\x00",            # PONG too short
+        b"\x08\x00\x00\x00\x00\x00\x00",  # PONG too long
+        b"\x09\x00\x01",        # RESUME too short
+    ])
+    def test_malformed_probe_and_resume_rejected(self, blob):
+        with pytest.raises(ProtocolError):
+            decode_net_message(blob)
 
     def test_empty_body_rejected(self):
         with pytest.raises(ProtocolError):
@@ -112,12 +136,14 @@ class TestFraming:
         finally:
             right.close()
 
-    def test_recv_timeout_is_transient(self):
+    def test_recv_timeout_is_typed_and_transient(self):
         left, right = socket.socketpair()
         try:
             right.settimeout(0.05)
-            with pytest.raises(TransientChannelError, match="timed out"):
+            with pytest.raises(NetTimeoutError, match="deadline"):
                 read_frame_sock(right)
+            # NetTimeoutError stays inside the retryable hierarchy.
+            assert issubclass(NetTimeoutError, TransientChannelError)
         finally:
             left.close()
             right.close()
@@ -151,6 +177,118 @@ class TestFraming:
     def test_transport_cap_admits_max_protocol_payload(self):
         """A maximal legal service payload must fit inside one frame."""
         assert protocol.MAX_PAYLOAD_BYTES < MAX_FRAME_BYTES
+
+
+class TestFragmentedDelivery:
+    """TCP guarantees bytes, not boundaries: a frame may arrive one byte
+    at a time, with the length prefix split across reads.  Both receive
+    paths must reassemble exactly the frames that were sent."""
+
+    BODIES = [b"", b"x", b"fragmented frame body", bytes(range(256))]
+
+    def test_sock_byte_at_a_time(self):
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(5.0)
+            stream = b"".join(encode_frame(body) for body in self.BODIES)
+
+            def dribble():
+                for i in range(len(stream)):
+                    left.sendall(stream[i:i + 1])
+
+            sender = threading.Thread(target=dribble)
+            sender.start()
+            try:
+                for body in self.BODIES:
+                    assert read_frame_sock(right) == body
+            finally:
+                sender.join()
+        finally:
+            left.close()
+            right.close()
+
+    def test_sock_split_length_prefix(self):
+        """Two bytes of the prefix, a pause, then the rest."""
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(5.0)
+            frame = encode_frame(b"split prefix")
+
+            def send_in_two():
+                left.sendall(frame[:2])
+                time.sleep(0.05)
+                left.sendall(frame[2:])
+
+            sender = threading.Thread(target=send_in_two)
+            sender.start()
+            try:
+                assert read_frame_sock(right) == b"split prefix"
+            finally:
+                sender.join()
+        finally:
+            left.close()
+            right.close()
+
+    def test_async_byte_at_a_time(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            stream = b"".join(encode_frame(body) for body in self.BODIES)
+            received = []
+
+            async def consume():
+                for _ in self.BODIES:
+                    received.append(await read_frame_async(reader))
+
+            async def dribble():
+                for i in range(len(stream)):
+                    reader.feed_data(stream[i:i + 1])
+                    await asyncio.sleep(0)
+                reader.feed_eof()
+
+            await asyncio.gather(consume(), dribble())
+            assert received == self.BODIES
+
+        asyncio.run(run())
+
+    def test_async_split_length_prefix(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            frame = encode_frame(b"split prefix")
+
+            async def dribble():
+                reader.feed_data(frame[:3])
+                await asyncio.sleep(0.01)
+                reader.feed_data(frame[3:])
+
+            body, _ = await asyncio.gather(read_frame_async(reader),
+                                           dribble())
+            assert body == b"split prefix"
+
+        asyncio.run(run())
+
+    def test_end_to_end_through_fragmenting_proxy(self):
+        """A real client/server pair behind a proxy that re-chunks every
+        frame into 3-byte writes: the stack must not notice."""
+        from tests.helpers import make_db
+        from repro.baselines import make_records
+        from repro.faults import ChaosProxy, ChaosProxyThread, FaultInjector
+        from repro.net import NetworkClient, PirServer, ServerThread
+        from repro.service.frontend import SESSION_RANDOM, QueryFrontend
+
+        records = make_records(16, 16)
+        db = make_db(num_records=16)
+        try:
+            frontend = QueryFrontend(db, session_id_mode=SESSION_RANDOM)
+            with ServerThread(PirServer(frontend)) as server:
+                proxy = ChaosProxy(server.host, server.port,
+                                   FaultInjector(seed=3), fragment_bytes=3)
+                with ChaosProxyThread(proxy) as chaos:
+                    with NetworkClient(chaos.host, chaos.port,
+                                       timeout=10.0) as client:
+                        for page_id in (0, 5, 15):
+                            assert client.query(page_id) == records[page_id]
+        finally:
+            db.close()
 
 
 class TestProtocolLengthGuards:
