@@ -45,6 +45,10 @@ from repro.obs import read_jsonl, rows_by_kind
 
 _VIRTUAL_REL_TOL = 1e-9
 
+# Every phase row must carry these columns; a row missing one is malformed
+# input (exit 2), not a silent KeyError traceback mid-comparison.
+_PHASE_COLUMNS = ("count", "bytes", "virtual_s", "wall_s")
+
 
 def load_run(file_path: str) -> Dict[str, object]:
     """Load one JSONL run: its meta row plus phase rows keyed by name."""
@@ -60,6 +64,17 @@ def load_run(file_path: str) -> Dict[str, object]:
     calibration = float(meta.get("calibration_s", 0.0))
     if calibration <= 0.0:
         raise ValueError(f"{file_path}: meta row lacks a positive calibration_s")
+    for row in phases:
+        if "name" not in row:
+            raise ValueError(
+                f"{file_path}: phase row without a 'name' column: {row!r}"
+            )
+        missing = [key for key in _PHASE_COLUMNS if key not in row]
+        if missing:
+            raise ValueError(
+                f"{file_path}: phase {row['name']!r} is missing "
+                f"column(s) {', '.join(missing)} — run is malformed"
+            )
     return {
         "meta": meta,
         "calibration": calibration,
@@ -100,7 +115,14 @@ def compare_runs(
             table.append([name, "-", f"{cur['wall_s']:.4f}", "-", "new"])
             continue
         if cur is None:
-            regressions.append(f"{name}: phase disappeared from current run")
+            # Spell out what the baseline recorded, column by column, so the
+            # CI log shows exactly which measurements vanished.
+            lost = ", ".join(
+                f"{key}={base[key]!r} -> absent" for key in _PHASE_COLUMNS
+            )
+            regressions.append(
+                f"{name}: phase disappeared from current run ({lost})"
+            )
             table.append([name, f"{base['wall_s']:.4f}", "-", "-", "MISSING"])
             continue
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from .engine import RetrievalEngine
+from .engine import BatchOp, RetrievalEngine
 from .params import SystemParameters
 from ..crypto.pipeline import PIPELINE_MODES, KeystreamPipeline
 from ..crypto.rng import SecureRandom
@@ -296,6 +296,25 @@ class PirDatabase:
     def touch(self) -> None:
         """Issue a dummy request to keep the background reshuffle mixing."""
         self.engine.touch()
+
+    def run_batch(self, ops: Sequence[BatchOp],
+                  window: Optional[int] = None) -> List[object]:
+        """Execute a batch through the fused one-disk-pass-per-window path.
+
+        Ops are grouped into round-robin windows of up to ``k`` operations;
+        each window reads the k-frame block once and commits one journaled
+        write-back (see :meth:`RetrievalEngine.run_batch`).  Returns one
+        result per op, positionally: the payload bytes for ``query``, the
+        new page id for ``insert``, ``None`` for update/delete/touch, or
+        the exception instance for a failed slot.  Payloads are
+        byte-identical to running the same op sequence through the serial
+        methods — only the physical trace differs.
+        """
+        results = self.engine.run_batch(ops, window=window)
+        return [
+            bytes(item.payload) if isinstance(item, Page) else item
+            for item in results
+        ]
 
     def recover(self):
         """Repair a torn write-back after a crash (see engine ``recover``).

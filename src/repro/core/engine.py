@@ -42,7 +42,7 @@ overwrites a journal record that is still needed for repair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .journal import (
     FLAG_DELETED,
@@ -57,8 +57,10 @@ from ..errors import (
     CapacityError,
     ConfigurationError,
     CryptoError,
+    PageDeletedError,
     PageNotFoundError,
     RecoveryError,
+    ReproError,
     StorageError,
     TransientStorageError,
 )
@@ -69,9 +71,26 @@ from ..sim.metrics import CounterSet
 from ..storage.disk import DiskStore
 from ..storage.page import Page
 
-__all__ = ["RetrievalEngine", "RequestOutcome", "RecoveryReport"]
+__all__ = ["RetrievalEngine", "RequestOutcome", "RecoveryReport", "BatchOp"]
 
 _MAX_REJECTION_ROUNDS = 10_000_000
+
+BATCH_KINDS = ("query", "update", "insert", "delete", "touch")
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    """One logical operation inside a fused batch.
+
+    ``kind`` is one of :data:`BATCH_KINDS`; ``page_id`` is required for
+    query/update/delete and ``payload`` for update/insert.  The engine
+    validates per slot, so a malformed op refuses its own slot without
+    sinking the batch.
+    """
+
+    kind: str
+    page_id: Optional[int] = None
+    payload: Optional[bytes] = None
 
 
 @dataclass
@@ -286,10 +305,11 @@ class RetrievalEngine:
                 "restored state is older than the journal and cannot be "
                 "rolled forward"
             )
-        if len(intent.frames) != self.params.block_size + 1:
+        expected_frames = self.params.block_size + intent.request_span
+        if len(intent.frames) != expected_frames:
             raise RecoveryError(
                 f"intent record carries {len(intent.frames)} frames, "
-                f"expected {self.params.block_size + 1}"
+                f"expected {expected_frames}"
             )
         self.disk.current_request = intent.request_index
         self._apply_intent(intent)
@@ -346,6 +366,468 @@ class RetrievalEngine:
         start = self._next_block * k
         with self.tracer.span("pipeline.prefetch"):
             return self.cop.prefetch_keystreams(range(start, start + k))
+
+    # -- fused batch execution ---------------------------------------------------
+
+    def run_batch(
+        self,
+        ops: Sequence[BatchOp],
+        window: Optional[int] = None,
+    ) -> List[object]:
+        """Execute a batch with **one physical disk pass per window**.
+
+        Ops are grouped into round-robin windows of up to ``window``
+        (default k) operations.  Each window reads the k-frame block
+        *once*, decrypts it with a single fused keystream call, serves
+        every op in the group from the shared in-memory frames (zero-copy
+        memoryview pages), and commits one journaled write-back — the
+        serial loop's ~B·(k+1) frame transfers collapse to ~(k+B) per
+        shared window while replies stay byte-identical (content is a
+        pure function of the logical op sequence; see DESIGN.md §14 for
+        the privacy argument).
+
+        Returns a positional result list: a :class:`Page` for ``query``,
+        the new page id (int) for ``insert``, ``None`` for
+        update/delete/touch.  A slot whose op failed holds the exception
+        instance instead — validation failures never consume a request,
+        and a window-level storage fault fails only that window's slots
+        (matching the serial loop's per-op failure isolation at window
+        granularity).  Non-PIR exceptions (e.g. a simulated crash)
+        propagate, leaving the journal positioned for :meth:`recover`.
+        """
+        capacity = self.params.block_size if window is None else window
+        if capacity <= 0:
+            raise ConfigurationError("batch window must be positive")
+        results: List[object] = [None] * len(ops)
+        for start in range(0, len(ops), capacity):
+            # A previous window (or request) whose write-back failed
+            # mid-apply left trusted deltas in place with the frames
+            # unwritten; roll it forward before planning against that
+            # state — exactly the serial loop's per-request heal.
+            self._heal_pending()
+            indices = list(range(start, min(start + capacity, len(ops))))
+            plan = self._plan_window([ops[i] for i in indices], results,
+                                     indices)
+            live = [(i, entry) for i, entry in zip(indices, plan)
+                    if entry is not None]
+            if not live:
+                continue
+            try:
+                # The "engine.batch" span is the window's trace root, the
+                # batched counterpart of the serial "request" span.
+                with self.tracer.span("engine.batch"):
+                    self._run_window(live, results)
+            except ReproError as exc:
+                # Compute-phase abort: nothing trusted or durable changed,
+                # the window simply never happened.  Apply-phase failure:
+                # the intent is retained and the next window's heal rolls
+                # it forward (the ops then *have* committed — clients that
+                # retry on the reported transient error stay idempotent,
+                # as with a serial request).  Either way every executable
+                # slot reports the error (validation failures recorded by
+                # the planner stand) and later windows proceed.
+                for i, _ in live:
+                    results[i] = exc
+                self.disk.current_request = -1
+                continue
+            self.prefetch_next()
+        return results
+
+    def _plan_window(
+        self,
+        ops: Sequence[BatchOp],
+        results: List[object],
+        indices: Sequence[int],
+    ) -> List[Optional[Tuple]]:
+        """Validate a window's ops against a simulated flag/free overlay.
+
+        Validation outcomes depend only on the logical op sequence (page
+        flags and the free pool), never on relocation randomness, so the
+        planner can decide *before* touching the disk which ops execute —
+        a window whose every op fails validation performs no I/O at all,
+        and insert targets are pinned here exactly as the serial loop
+        would pick them (lowest free id at that op's turn).
+        """
+        pm = self.cop.page_map
+        sim_flags: Dict[int, int] = {}
+        sim_free: Optional[set] = None
+
+        def sim_deleted(page_id: int) -> bool:
+            flag = sim_flags.get(page_id)
+            if flag is not None:
+                return flag == FLAG_DELETED
+            return pm.is_deleted(page_id)
+
+        def materialised_free() -> set:
+            nonlocal sim_free
+            if sim_free is None:
+                sim_free = set(pm.free_ids())
+                for page_id, flag in sim_flags.items():
+                    if flag == FLAG_DELETED:
+                        sim_free.add(page_id)
+                    else:
+                        sim_free.discard(page_id)
+            return sim_free
+
+        plan: List[Optional[Tuple]] = []
+        for slot, op in zip(indices, ops):
+            try:
+                if op.kind == "touch":
+                    entry = ("touch", None, None, False, False)
+                elif op.kind == "query":
+                    self._check_user_id(op.page_id)
+                    entry = ("query", op.page_id, None, False, False)
+                elif op.kind == "update":
+                    self._check_user_id(op.page_id)
+                    self._check_payload(op.payload)
+                    sim_flags[op.page_id] = FLAG_LIVE
+                    if sim_free is not None:
+                        sim_free.discard(op.page_id)
+                    entry = ("update", op.page_id, op.payload, False, True)
+                elif op.kind == "delete":
+                    self._check_user_id(op.page_id)
+                    if sim_deleted(op.page_id):
+                        raise PageNotFoundError(
+                            f"page {op.page_id} is already deleted"
+                        )
+                    sim_flags[op.page_id] = FLAG_DELETED
+                    if sim_free is not None:
+                        sim_free.add(op.page_id)
+                    entry = ("delete", op.page_id, None, True, False)
+                elif op.kind == "insert":
+                    self._check_payload(op.payload)
+                    free = materialised_free()
+                    if not free:
+                        raise CapacityError(
+                            "no free page available for insertion; delete "
+                            "pages or provision a reserve_fraction at setup"
+                        )
+                    target = min(free)
+                    free.discard(target)
+                    sim_flags[target] = FLAG_LIVE
+                    entry = ("insert", target, op.payload, False, True)
+                else:
+                    raise ConfigurationError(
+                        f"unknown batch op kind {op.kind!r}"
+                    )
+            except ReproError as exc:
+                results[slot] = exc
+                plan.append(None)
+            else:
+                plan.append(entry)
+        return plan
+
+    def _run_window(
+        self,
+        live: List[Tuple[int, Tuple]],
+        results: List[object],
+    ) -> None:
+        """One fused disk pass serving every planned op of one window.
+
+        Compute → intend → apply, exactly like a serial request: all
+        per-op relocations happen against in-memory containers (the
+        shared block plus per-op extra frames) and a *pending overlay* of
+        the trusted state; nothing lands in the real pageMap/pageCache —
+        and nothing durable moves — until the single commit point, so a
+        mid-window read fault aborts the whole window cleanly.
+        """
+        pm = self.cop.page_map
+        cache = self.cop.cache
+        rng = self.cop.rng
+        k = self.params.block_size
+        base_index = self._request_count
+        self.disk.current_request = base_index
+        block_start = self._next_block * k
+
+        # One physical scan of the round-robin block; a single fused
+        # keystream call decrypts all k frames into zero-copy page views.
+        block = self._fetch_window_block(block_start, k)
+        extras: List[Page] = []
+        extra_locs: List[int] = []
+
+        # Window-wide pending overlay of the trusted state.
+        ov_cache: Dict[int, Page] = {}
+        ov_pos: Dict[int, Tuple[int, int]] = {}
+        ov_flags: Dict[int, int] = {}
+        cache_puts: List[Tuple[int, Page]] = []
+        flag_ops: List[Tuple[int, int]] = []
+        map_ops: List[Tuple[int, int, int]] = []
+
+        def ov_lookup(page_id: int) -> Tuple[bool, int]:
+            entry = ov_pos.get(page_id)
+            if entry is not None:
+                return entry[0] == MAP_CACHED, entry[1]
+            location = pm.lookup(page_id)
+            return location.in_cache, location.position
+
+        def ov_is_deleted(page_id: int) -> bool:
+            flag = ov_flags.get(page_id)
+            if flag is not None:
+                return flag == FLAG_DELETED
+            return pm.is_deleted(page_id)
+
+        def ov_cache_get(slot: int) -> Page:
+            page = ov_cache.get(slot)
+            return page if page is not None else cache.get(slot)
+
+        def container_get(position: int) -> Page:
+            if block_start <= position < block_start + k:
+                return block[position - block_start]
+            return extras[extra_locs.index(position)]
+
+        def container_set(position: int, page: Page) -> None:
+            if block_start <= position < block_start + k:
+                block[position - block_start] = page
+            else:
+                extras[extra_locs.index(position)] = page
+
+        executed = 0
+        for slot, entry in live:
+            kind, target_id, new_payload, deleting, revive = entry
+
+            # Lines 2-9 against the overlay: decide the per-op extra page.
+            cache_hit = False
+            result: Optional[Page] = None
+            if target_id is None:
+                extra_id = self._window_random_candidate(
+                    block_start, ov_pos, extra_locs
+                )
+            else:
+                in_cache, position = ov_lookup(target_id)
+                if in_cache:
+                    cache_hit = True
+                    result = ov_cache_get(position)
+                    extra_id = self._window_random_candidate(
+                        block_start, ov_pos, extra_locs
+                    )
+                elif deleting:
+                    extra_id = self._window_random_candidate(
+                        block_start, ov_pos, extra_locs
+                    )
+                elif (block_start <= position < block_start + k
+                        or position in extra_locs):
+                    # Already inside the window's containers — served from
+                    # memory; fetch a random extra to keep the shape.
+                    extra_id = self._window_random_candidate(
+                        block_start, ov_pos, extra_locs
+                    )
+                else:
+                    extra_id = target_id
+            _, extra_location = ov_lookup(extra_id)
+
+            # The one per-op physical read (the serial path's (k+1)-th
+            # frame); the k-frame block itself is never re-read.
+            extras.append(self._fetch_window_extra(extra_location))
+            extra_locs.append(extra_location)
+
+            wants_fetched_target = (
+                target_id is not None and not cache_hit and not deleting
+            )
+            if wants_fetched_target:
+                _, q_pos = ov_lookup(target_id)
+                result = container_get(q_pos)
+                if result.page_id != target_id:
+                    raise PageNotFoundError(
+                        f"page {target_id} not found at mapped position "
+                        f"{q_pos}; page map and disk are inconsistent"
+                    )
+            else:
+                q_pos = extra_location
+
+            # §4.3 content edits, recorded as overlay + intent deltas.
+            if target_id is not None:
+                if new_payload is not None:
+                    fresh = Page(target_id, new_payload, deleted=False)
+                    if cache_hit:
+                        _, cache_slot = ov_lookup(target_id)
+                        cache_puts.append((cache_slot, fresh))
+                        ov_cache[cache_slot] = fresh
+                        result = fresh
+                    else:
+                        container_set(q_pos, fresh)
+                    if revive:
+                        flag_ops.append((target_id, FLAG_LIVE))
+                        ov_flags[target_id] = FLAG_LIVE
+                if deleting:
+                    if cache_hit:
+                        _, cache_slot = ov_lookup(target_id)
+                        carcass = Page(target_id, b"", deleted=True)
+                        cache_puts.append((cache_slot, carcass))
+                        ov_cache[cache_slot] = carcass
+                    else:
+                        _, carcass_pos = ov_lookup(target_id)
+                        if (block_start <= carcass_pos < block_start + k
+                                or carcass_pos in extra_locs):
+                            container_set(
+                                carcass_pos,
+                                container_get(carcass_pos).mark_deleted(),
+                            )
+                    flag_ops.append((target_id, FLAG_DELETED))
+                    ov_flags[target_id] = FLAG_DELETED
+
+            # Lines 17-20: relocate through a uniform block slot and a
+            # cache victim, all inside the shared containers.
+            r = rng.randrange(k)
+            r_pos = block_start + r
+            page_r = container_get(r_pos)
+            page_q = container_get(q_pos)
+            container_set(r_pos, page_q)
+            container_set(q_pos, page_r)
+
+            if deleting and target_id is not None and cache_hit:
+                _, s = ov_lookup(target_id)
+            else:
+                s = cache.victim_slot()
+            evicted = ov_cache_get(s)
+            entering = container_get(r_pos)
+            cache_puts.append((s, entering))
+            ov_cache[s] = entering
+            container_set(r_pos, evicted)
+
+            page_at_r = container_get(r_pos)
+            page_at_q = container_get(q_pos)
+            map_ops.append((entering.page_id, MAP_CACHED, s))
+            map_ops.append((page_at_r.page_id, MAP_DISK, r_pos))
+            map_ops.append((page_at_q.page_id, MAP_DISK, q_pos))
+            ov_pos[entering.page_id] = (MAP_CACHED, s)
+            ov_pos[page_at_r.page_id] = (MAP_DISK, r_pos)
+            ov_pos[page_at_q.page_id] = (MAP_DISK, q_pos)
+
+            if kind == "query":
+                # Executed in full first (the trace must not depend on
+                # page state), then the slot refuses — the serial path's
+                # PirDatabase.query contract, at the op's in-window turn.
+                if ov_is_deleted(target_id):
+                    results[slot] = PageDeletedError(
+                        f"page {target_id} is deleted"
+                    )
+                else:
+                    results[slot] = result
+            elif kind == "insert":
+                results[slot] = target_id
+            else:
+                results[slot] = None
+            executed += 1
+
+        # ---- single commit point for the whole window ----------------------
+        n_extra = len(extras)
+        self.cop.charge_egress(k + n_extra)
+        with self.tracer.span("reencrypt",
+                              nbytes=(k + n_extra) * self.cop.frame_size):
+            sealed = self.cop.seal_pages(block + extras)
+        self.counters.increment("crypto.batched_frames", k + n_extra)
+        rotation_left = self._rotation_requests_left
+        intent = WriteIntent(
+            request_index=base_index,
+            next_block=(self._next_block + 1) % self.params.num_blocks,
+            rotation_left=-1 if rotation_left is None else rotation_left - 1,
+            block_start=block_start,
+            extra_location=extra_locs[0],
+            extra_locations=list(extra_locs),
+            cache_puts=cache_puts,
+            flag_ops=flag_ops,
+            map_ops=map_ops,
+            frames=sealed,
+        )
+        if self.journal is not None:
+            with self.tracer.span("journal.seal"):
+                self.journal.write(self.cop.seal_blob(intent.encode()))
+        self._apply_intent(intent)
+        if self.journal is not None:
+            self.journal.clear()
+        self.disk.current_request = -1
+
+        self.counters.increment("requests", executed)
+        self.counters.increment("batch.fused.windows")
+        self.counters.increment("batch.fused.ops", executed)
+        self.counters.increment("batch.fused.block_reads")
+        self.counters.increment("batch.fused.extra_reads", n_extra)
+        self.counters.increment(
+            "batch.fused.reads_saved", executed * (k + 1) - (k + n_extra)
+        )
+        if self.cop.pipeline is not None:
+            self.cop.pipeline.note_batch_window(k, n_extra)
+
+    def _fetch_window_block(self, block_start: int, k: int) -> List[Page]:
+        """One contiguous read + fused decrypt of the round-robin block."""
+
+        def attempt() -> List[Page]:
+            frames = self.disk.read_range(block_start, k)
+            self.cop.charge_ingest(k)
+            with self.tracer.span("decrypt",
+                                  nbytes=k * self.cop.frame_size):
+                block = self.cop.unseal_frames(list(frames), views=True)
+            self.counters.increment("crypto.batched_frames", k)
+            return block
+
+        if self.read_retry is None:
+            return attempt()
+        return retry_call(
+            attempt,
+            self.read_retry,
+            self.cop.clock,
+            self._retry_rng,
+            retry_on=(TransientStorageError, AuthenticationError),
+            counters=self.counters,
+            counter="retries.read",
+        )
+
+    def _fetch_window_extra(self, location: int) -> Page:
+        """Read + decrypt one per-op extra frame inside a fused window."""
+
+        def attempt() -> Page:
+            frame = self.disk.read(location)
+            self.cop.charge_ingest(1)
+            with self.tracer.span("decrypt", nbytes=self.cop.frame_size):
+                return self.cop.unseal_frames([frame], views=True)[0]
+
+        if self.read_retry is None:
+            return attempt()
+        return retry_call(
+            attempt,
+            self.read_retry,
+            self.cop.clock,
+            self._retry_rng,
+            retry_on=(TransientStorageError, AuthenticationError),
+            counters=self.counters,
+            counter="retries.read",
+        )
+
+    def _window_random_candidate(
+        self,
+        block_start: int,
+        ov_pos: Dict[int, Tuple[int, int]],
+        extra_locs: List[int],
+    ) -> int:
+        """Overlay-aware :meth:`_random_free_candidate` for fused windows.
+
+        Additionally rejects candidates whose (overlay) position is one of
+        the window's already-fetched extra locations: the disk frame there
+        is stale — the live page sits in the window's containers — so
+        re-reading it would serve garbage.
+        """
+        pm = self.cop.page_map
+        k = self.params.block_size
+        total = self.params.total_pages
+        for _ in range(_MAX_REJECTION_ROUNDS):
+            candidate = self.cop.rng.randrange(total)
+            entry = ov_pos.get(candidate)
+            if entry is not None:
+                in_cache, position = entry[0] == MAP_CACHED, entry[1]
+            else:
+                location = pm.lookup(candidate)
+                in_cache, position = location.in_cache, location.position
+            if in_cache:
+                continue
+            if block_start <= position < block_start + k:
+                continue
+            if position in extra_locs:
+                continue
+            return candidate
+        raise CapacityError(
+            "rejection sampling failed to find an eligible random page; the "
+            "configuration violates num_locations >= block_size + 2"
+        )
 
     def _execute_request(
         self,
@@ -546,15 +1028,27 @@ class RetrievalEngine:
                 pm.set_disk(page_id, position)
 
         k = self.params.block_size
+        extras = intent.extras()
         try:
-            with self.tracer.span("write_back",
-                                  nbytes=(k + 1) * self.disk.frame_size):
-                self.disk.write_request(
-                    intent.block_start,
-                    intent.frames[:k],
-                    intent.extra_location,
-                    intent.frames[k],
-                )
+            with self.tracer.span(
+                "write_back",
+                nbytes=(k + len(extras)) * self.disk.frame_size,
+            ):
+                if len(extras) == 1:
+                    self.disk.write_request(
+                        intent.block_start,
+                        intent.frames[:k],
+                        intent.extra_location,
+                        intent.frames[k],
+                    )
+                else:
+                    # Fused window: one contiguous block write plus one
+                    # write per per-op extra frame — the mirror image of
+                    # the read side's single block scan.
+                    self.disk.write_range(intent.block_start,
+                                          intent.frames[:k])
+                    for location, frame in zip(extras, intent.frames[k:]):
+                        self.disk.write(location, frame)
         except Exception:
             # The trusted deltas above are already applied, so the pageMap
             # now points at frames that were never written.  Retain the
@@ -568,13 +1062,12 @@ class RetrievalEngine:
         # live at these locations (reads the frame headers we just wrote;
         # draws no randomness, advances no clock).
         self.cop.note_frames_written(
-            list(range(intent.block_start, intent.block_start + k))
-            + [intent.extra_location],
+            list(range(intent.block_start, intent.block_start + k)) + extras,
             intent.frames,
         )
 
         self._next_block = intent.next_block
-        self._request_count = intent.request_index + 1
+        self._request_count = intent.request_index + intent.request_span
         if intent.rotation_left < 0:
             self._rotation_requests_left = None
         elif intent.rotation_left == 0:
@@ -703,12 +1196,19 @@ class RetrievalEngine:
         )
 
     def _pick_free_disk_page(self) -> int:
-        """A deleted/dummy page currently resident on disk, for insertion."""
-        pm = self.cop.page_map
-        for candidate in pm.free_ids():
-            if not pm.is_cached(candidate):
-                return candidate
-        raise CapacityError(
-            "no disk-resident free page available for insertion; delete pages "
-            "or provision a reserve_fraction at setup"
-        )
+        """The lowest-numbered free page id, for insertion.
+
+        Deterministic (min over the free set, which is a pure function of
+        the logical operation sequence) so the serial loop and the fused
+        batch planner agree on which page an insert lands on — the
+        byte-identical-replies guarantee between the two paths depends on
+        it.  A cached free page is fine: the insert then takes the
+        cache-hit path, exactly like an update of a cached page.
+        """
+        free = self.cop.page_map.free_ids()
+        if not free:
+            raise CapacityError(
+                "no free page available for insertion; delete pages "
+                "or provision a reserve_fraction at setup"
+            )
+        return min(free)

@@ -44,12 +44,34 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .database import PirDatabase
-from ..errors import ConfigurationError, PageDeletedError, PageNotFoundError
+from .engine import BatchOp
+from ..errors import (
+    ConfigurationError,
+    PageDeletedError,
+    PageNotFoundError,
+    ReproError,
+)
 from ..hardware.coprocessor import SecureStorageReport
 from ..hardware.specs import HardwareSpec
 from ..sim.metrics import CounterSet
 
 __all__ = ["ShardedPirDatabase", "ShardExecutor"]
+
+
+def _globalise_error(exc: Exception, local_id, global_id: int) -> Exception:
+    """Rewrite a shard-level error so its message names the global id.
+
+    Shards speak local page ids; the substitution keeps batch error slots
+    consistent with what the serial per-op methods report.  Errors whose
+    message does not mention the local id pass through unchanged.
+    """
+    if local_id is None:
+        return exc
+    text = str(exc)
+    marker = f"page {local_id}"
+    if marker not in text:
+        return exc
+    return type(exc)(text.replace(marker, f"page {global_id}", 1))
 
 
 class ShardExecutor:
@@ -251,13 +273,7 @@ class ShardedPirDatabase:
     def _route(self, global_id: int) -> Tuple[int, int]:
         """Global id -> (shard index, local page id)."""
         with self._routing_lock:
-            if 0 <= global_id < self.num_records:
-                if global_id in self._deleted_base:
-                    raise PageDeletedError(f"page {global_id} is deleted")
-                return global_id // self._per_shard, global_id % self._per_shard
-            if global_id in self._inserted:
-                return self._inserted[global_id]
-        raise PageNotFoundError(f"unknown global page id {global_id}")
+            return self._route_locked(global_id)
 
     def _with_cover(self, shard_index: int, operation):
         """Run ``operation`` on its shard plus covers on all the others.
@@ -308,6 +324,22 @@ class ShardedPirDatabase:
             else:
                 self._inserted.pop(global_id, None)
 
+    def touch(self) -> None:
+        """Dummy request to keep the shards' reshuffles mixing.
+
+        With cover traffic every shard advances one request (matching the
+        uniform streams real operations produce); without it, shard 0
+        hosts the single dummy — the same placement the fused batch path
+        uses for touch ops.
+        """
+        if self.cover_traffic:
+            self.executor.run([
+                (index, shard.touch)
+                for index, shard in enumerate(self.shards)
+            ])
+        else:
+            self.executor.run([(0, self.shards[0].touch)])
+
     def insert(self, payload: bytes) -> int:
         """Insert into the emptiest shard; returns a fresh global id."""
         best = max(
@@ -320,6 +352,149 @@ class ShardedPirDatabase:
             self._next_inserted_id += 1
             self._inserted[global_id] = (best, local)
         return global_id
+
+    def run_batch(self, ops: Sequence[BatchOp]) -> List[object]:
+        """Fused batch across shards: one windowed disk pass per shard.
+
+        A routing prescan resolves every op's owning shard (recording
+        routing failures in their slots without consuming requests), then
+        each shard receives *one* :meth:`PirDatabase.run_batch` call
+        carrying its real ops plus one ``touch`` cover per foreign real op
+        — per-shard streams stay equal-length in canonical order, so the
+        cross-shard sequence leaks nothing about targets, and each shard
+        fuses its whole stream into round-robin windows.  Inserts are
+        routed to the emptiest shard by *simulated* free counts (the
+        prescan replays the batch's deletes/inserts against the starting
+        counts; which shard hosts a page is placement, not content, so
+        replies match the serial methods byte for byte).  Global ids for
+        successful inserts are allocated in batch order; successful
+        deletes tombstone their global id only after the shard commits.
+        """
+        results: List[object] = [None] * len(ops)
+        with self._routing_lock:
+            free = [shard.cop.page_map.free_count for shard in self.shards]
+            # The prescan replays the batch's routing-table mutations: a
+            # delete must tombstone its global id *for the rest of the
+            # batch*, or a later op could silently alias onto an insert
+            # that recycles the freed local slot — the exact stale-alias
+            # bug the tombstone set prevents across batches.
+            sim_deleted_base: set = set()
+            sim_removed_inserted: set = set()
+
+            def sim_route(global_id: int) -> Tuple[int, int]:
+                if global_id in sim_deleted_base:
+                    raise PageDeletedError(f"page {global_id} is deleted")
+                if global_id in sim_removed_inserted:
+                    raise PageNotFoundError(
+                        f"unknown global page id {global_id}"
+                    )
+                return self._route_locked(global_id)
+
+            routed: List[Tuple[int, Optional[int], int, BatchOp]] = []
+            for slot, op in enumerate(ops):
+                try:
+                    if op.kind == "touch":
+                        routed.append((slot, None, -1, op))
+                    elif op.kind == "insert":
+                        best = max(range(self.num_shards),
+                                   key=lambda index: free[index])
+                        free[best] -= 1
+                        routed.append(
+                            (slot, best, -1, BatchOp("insert",
+                                                     payload=op.payload))
+                        )
+                    else:
+                        shard_index, local = sim_route(op.page_id)
+                        if op.kind == "delete":
+                            free[shard_index] += 1
+                            if op.page_id < self.num_records:
+                                sim_deleted_base.add(op.page_id)
+                            else:
+                                sim_removed_inserted.add(op.page_id)
+                        routed.append(
+                            (slot, shard_index, op.page_id,
+                             BatchOp(op.kind, page_id=local,
+                                     payload=op.payload))
+                        )
+                except ReproError as exc:
+                    results[slot] = exc
+
+        if not routed:
+            return results
+        self.counters.increment("batch.requests")
+        self.counters.increment("batch.ops", len(routed))
+
+        # Per-shard streams: the owning shard gets the real op, every other
+        # shard a touch cover, all in canonical shard order per logical op.
+        per_shard: List[List[Tuple[Optional[int], BatchOp]]] = [
+            [] for _ in self.shards
+        ]
+        cover = BatchOp("touch")
+        covers_issued = 0
+        for slot, owner, _, local_op in routed:
+            for index in range(self.num_shards):
+                if index == owner:
+                    per_shard[index].append((slot, local_op))
+                elif owner is None and index == 0:
+                    # A batch touch with covers disabled still needs one
+                    # real dummy request somewhere; shard 0 hosts it.
+                    per_shard[index].append((slot, local_op))
+                elif self.cover_traffic:
+                    per_shard[index].append((None, cover))
+                    covers_issued += 1
+        if covers_issued:
+            self.counters.increment("covers", covers_issued)
+
+        def shard_thunk(db: PirDatabase,
+                        stream: List[Tuple[Optional[int], BatchOp]]):
+            return db.run_batch([op for _, op in stream])
+
+        operations = [
+            (index, partial(shard_thunk, self.shards[index], per_shard[index]))
+            for index in range(self.num_shards)
+            if per_shard[index]
+        ]
+        shard_results = self.executor.run(operations)
+
+        # Merge positionally from each owning shard; shard-level errors
+        # name local ids, so rewrite them in terms of the global id.
+        owner_of = {slot: (0 if owner is None else owner)
+                    for slot, owner, _, _ in routed}
+        for (index, _), replies in zip(operations, shard_results):
+            for (slot, _), reply in zip(per_shard[index], replies):
+                if slot is not None and owner_of[slot] == index:
+                    results[slot] = reply
+
+        with self._routing_lock:
+            for slot, owner, global_id, local_op in routed:
+                reply = results[slot]
+                if local_op.kind == "insert" and not isinstance(
+                        reply, Exception):
+                    new_id = self._next_inserted_id
+                    self._next_inserted_id += 1
+                    self._inserted[new_id] = (owner, reply)
+                    results[slot] = new_id
+                elif local_op.kind == "delete" and not isinstance(
+                        reply, Exception):
+                    if global_id < self.num_records:
+                        self._deleted_base.add(global_id)
+                    else:
+                        self._inserted.pop(global_id, None)
+                elif isinstance(reply, Exception) and global_id >= 0:
+                    results[slot] = _globalise_error(
+                        reply, local_op.page_id, global_id
+                    )
+        return results
+
+    def _route_locked(self, global_id: int) -> Tuple[int, int]:
+        """:meth:`_route` body for callers already holding the lock."""
+        if 0 <= global_id < self.num_records:
+            if global_id in self._deleted_base:
+                raise PageDeletedError(f"page {global_id} is deleted")
+            return global_id // self._per_shard, global_id % self._per_shard
+        if global_id in self._inserted:
+            return self._inserted[global_id]
+        raise PageNotFoundError(f"unknown global page id {global_id}")
 
     # ------------------------------------------------------------------
     # Introspection

@@ -113,6 +113,18 @@ class KeystreamPipeline:
             for location, frame in zip(locations, frames):
                 self._nonces[location] = (suite, frame[:NONCE_SIZE])
 
+    def note_batch_window(self, block_frames: int, extra_frames: int) -> None:
+        """Account one fused batch window in the pipeline's counters.
+
+        The fused engine decrypts a whole window (k block frames plus one
+        extra per executed op) through single suite calls, so per-frame
+        hit/miss counters alone under-describe its behaviour; these
+        aggregates let benchmarks attribute keystream work to windows.
+        """
+        self.counters.increment("batch.windows")
+        self.counters.increment("batch.block_frames", block_frames)
+        self.counters.increment("batch.extra_frames", extra_frames)
+
     # -- prefetch --------------------------------------------------------------
 
     def prefetch(self, locations: Iterable[int], length: int) -> int:

@@ -318,21 +318,30 @@ class CipherSuite:
             for nonce, ciphertext in zip(nonces, ciphertexts)
         ]
 
-    def decrypt_pages(self, frames: Sequence[bytes]) -> List[bytes]:
+    def decrypt_pages(
+        self, frames: Sequence[bytes], views: bool = False
+    ) -> List[bytes]:
         """Verify and decrypt a batch of frames.
 
         Every MAC is checked before any failure is reported;
         :class:`AuthenticationError` carries the indices of *all* failing
         frames so one tampered frame cannot mask another.
+
+        With ``views=True`` the plaintexts come back as zero-copy
+        ``memoryview`` slices of one shared decrypt buffer instead of k
+        separate ``bytes`` copies — the fused batch engine threads these
+        straight through page decode, relocation and re-encryption.
         """
         if self._fine:
             with self.tracer.fine_span(
                 "crypto.decrypt_batch", nbytes=sum(len(f) for f in frames)
             ):
-                return self._decrypt_batch(frames)
-        return self._decrypt_batch(frames)
+                return self._decrypt_batch(frames, views=views)
+        return self._decrypt_batch(frames, views=views)
 
-    def _decrypt_batch(self, frames: Sequence[bytes]) -> List[bytes]:
+    def _decrypt_batch(
+        self, frames: Sequence[bytes], views: bool = False
+    ) -> List[bytes]:
         nonces: List[bytes] = []
         ciphertexts: List[bytes] = []
         for frame in frames:
@@ -357,13 +366,15 @@ class CipherSuite:
                 f"frame(s) {failed} of batch of {len(frames)} failed MAC "
                 "verification"
             )
-        return self._transform_batch(nonces, ciphertexts, consult=True)
+        return self._transform_batch(nonces, ciphertexts, consult=True,
+                                     views=views)
 
     def _transform_batch(
         self,
         nonces: Sequence[bytes],
         payloads: Sequence[bytes],
         consult: bool = False,
+        views: bool = False,
     ) -> List[bytes]:
         """XOR each payload with its frame keystream, batch-wide.
 
@@ -399,10 +410,11 @@ class CipherSuite:
                         nonces[index], len(payloads[index])
                     )
         mixed = _xor_bytes(b"".join(payloads), b"".join(streams))
+        source = memoryview(mixed) if views else mixed
         out: List[bytes] = []
         offset = 0
         for payload in payloads:
-            out.append(mixed[offset : offset + len(payload)])
+            out.append(source[offset : offset + len(payload)])
             offset += len(payload)
         return out
 

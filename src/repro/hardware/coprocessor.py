@@ -210,19 +210,25 @@ class SecureCoprocessor:
             [page.encode(self.page_capacity) for page in pages]
         )
 
-    def unseal_frames(self, frames: Sequence[bytes]) -> List[Page]:
+    def unseal_frames(
+        self, frames: Sequence[bytes], views: bool = False
+    ) -> List[Page]:
         """Batch :meth:`unseal` with batched MAC verification.
 
         During a key rotation the store holds a mix of old- and new-key
         frames, so the batch falls back to the per-frame path (which
         retries the legacy key per frame); outside rotation — the steady
         state — the whole batch is verified and decrypted in one call.
+
+        ``views=True`` decodes the pages over zero-copy memoryview slices
+        of one shared decrypt buffer (ignored on the rotation fallback,
+        where frames are decrypted one at a time anyway).
         """
         if self._legacy_suite is not None:
             return [self.unseal(frame) for frame in frames]
         return [
             Page.decode(plaintext)
-            for plaintext in self.suite.decrypt_pages(frames)
+            for plaintext in self.suite.decrypt_pages(frames, views=views)
         ]
 
     def seal_blob(self, data: bytes) -> bytes:

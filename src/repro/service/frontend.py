@@ -33,6 +33,7 @@ from .health import (
     error_for_refusal,
 )
 from ..core.database import PirDatabase
+from ..core.engine import BatchOp
 from ..crypto.suite import CipherSuite
 from ..errors import (
     DegradedServiceError,
@@ -188,6 +189,12 @@ class SealedReplyCache:
                 self._file = None
 
 
+# Batch op types the fused engine path understands; anything else (e.g. a
+# nested Batch) falls back to the serial per-op dispatch loop.
+_FUSABLE_OPS = (protocol.Query, protocol.Update, protocol.Insert,
+                protocol.Delete)
+
+
 class QueryFrontend:
     """Session manager + request dispatcher inside the coprocessor."""
 
@@ -203,6 +210,7 @@ class QueryFrontend:
         reply_cache: Optional[SealedReplyCache] = None,
         reply_cache_path=None,
         session_salt: Optional[str] = None,
+        fused_batches: bool = True,
     ):
         """``session_id_mode`` selects sequential (legacy, in-process) or
         unguessable random session ids — network-facing frontends must use
@@ -217,6 +225,13 @@ class QueryFrontend:
         across frontends (cluster replicas dedupe each other's
         retransmissions); ``reply_cache_path`` makes the frontend's own
         cache persistent so acknowledged replies survive a crash-restart.
+
+        ``fused_batches`` routes BATCH requests through the database's
+        fused one-disk-pass-per-window path (:meth:`PirDatabase.run_batch`)
+        instead of dispatching each op serially; replies are byte-identical
+        either way, only the physical trace and cost differ.  Set it False
+        to keep the serial per-op loop (e.g. when a test pins the serial
+        trace shape).
 
         ``session_salt`` diversifies the :data:`SESSION_RANDOM` id
         stream.  Session ids derive from the database's seeded RNG tree,
@@ -237,6 +252,7 @@ class QueryFrontend:
         if session_ttl is not None and session_ttl <= 0:
             raise ProtocolError("session_ttl must be positive (or None)")
         self.database = database
+        self.fused_batches = fused_batches and hasattr(database, "run_batch")
         self.session_id_mode = session_id_mode
         self.session_ttl = session_ttl
         self._time_source = (
@@ -507,6 +523,10 @@ class QueryFrontend:
         self.counters.increment("batch.ops", len(batch.ops))
         if self._batch_sizes is not None:
             self._batch_sizes.observe(len(batch.ops))
+        if self.fused_batches and all(
+            isinstance(op, _FUSABLE_OPS) for op in batch.ops
+        ):
+            return self._dispatch_batch_fused(batch)
         replies: List[protocol.ClientMessage] = []
         with self.tracer.span("frontend.batch"):
             for op in batch.ops:
@@ -517,6 +537,51 @@ class QueryFrontend:
                 except ReproError as exc:
                     reply = self._refusal_for(exc)
                 replies.append(reply)
+        return protocol.BatchReply(replies)
+
+    def _dispatch_batch_fused(self, batch: protocol.Batch) -> protocol.BatchReply:
+        """Serve a batch through the fused one-disk-pass-per-window engine.
+
+        The whole batch becomes one :meth:`~PirDatabase.run_batch` call;
+        failed slots come back as exception instances and are converted to
+        the same per-op :class:`~repro.service.protocol.Refused` replies
+        the serial loop produces, so clients cannot tell the paths apart
+        by reply content.  Health is consulted once up front (a degraded
+        service refuses every slot, as the serial loop would); per-op
+        faults surface through the refused slots themselves.
+        """
+        self.counters.increment("batch.fused.requests")
+        try:
+            self.health.check()
+        except ReproError as exc:
+            return protocol.BatchReply(
+                [self._refusal_for(exc) for _ in batch.ops]
+            )
+        ops: List[BatchOp] = []
+        for op in batch.ops:
+            if isinstance(op, protocol.Query):
+                ops.append(BatchOp("query", page_id=op.page_id))
+            elif isinstance(op, protocol.Update):
+                ops.append(BatchOp("update", page_id=op.page_id,
+                                   payload=op.payload))
+            elif isinstance(op, protocol.Insert):
+                ops.append(BatchOp("insert", payload=op.payload))
+            else:
+                ops.append(BatchOp("delete", page_id=op.page_id))
+        with self.tracer.span("frontend.batch"):
+            results = self.database.run_batch(ops)
+        replies: List[protocol.ClientMessage] = []
+        for op, outcome in zip(batch.ops, results):
+            if isinstance(outcome, ReproError):
+                replies.append(self._refusal_for(outcome))
+                continue
+            self.health.record_success()
+            if isinstance(op, protocol.Query):
+                replies.append(protocol.Result(op.page_id, outcome))
+            elif isinstance(op, protocol.Insert):
+                replies.append(protocol.Result(outcome, op.payload))
+            else:
+                replies.append(protocol.Ok())
         return protocol.BatchReply(replies)
 
 

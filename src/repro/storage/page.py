@@ -78,11 +78,20 @@ class Page:
             + bytes([flags])
             + len(self.payload).to_bytes(4, "big")
         )
-        return header + self.payload + bytes(capacity - len(self.payload))
+        # join (not +) so zero-copy memoryview payloads — what the fused
+        # batch path decodes pages into — serialise without materialising.
+        return b"".join(
+            (header, self.payload, bytes(capacity - len(self.payload)))
+        )
 
     @staticmethod
-    def decode(raw: bytes) -> "Page":
-        """Parse bytes produced by :meth:`encode`."""
+    def decode(raw) -> "Page":
+        """Parse bytes (or a zero-copy memoryview) produced by :meth:`encode`.
+
+        When ``raw`` is a memoryview the payload stays a view into the
+        underlying buffer — no copy is made until the page is re-encoded
+        or the payload crosses a ``bytes()`` boundary.
+        """
         if len(raw) < HEADER_SIZE:
             raise StorageError(f"page buffer of {len(raw)} bytes is shorter than header")
         page_id = int.from_bytes(raw[0:8], "big")

@@ -128,7 +128,7 @@ class TestCompareBench:
         run_bench(ok)
         assert compare_bench.main([str(bad), str(ok)]) == 2
 
-    def test_missing_phase_is_a_regression(self, tmp_path):
+    def test_missing_phase_is_a_regression(self, tmp_path, capsys):
         baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
         run_bench(baseline)
         run_bench(current)
@@ -141,6 +141,32 @@ class TestCompareBench:
         assert compare_bench.main(
             [str(baseline), str(current), "--threshold", "1.0"]
         ) == 1
+        # The regression message is a per-column diff of what the baseline
+        # recorded for the vanished phase, not just a bare phase name.
+        out = capsys.readouterr().out
+        assert "journal.seal" in out
+        assert "disappeared" in out
+        for column in ("count=", "bytes=", "virtual_s=", "wall_s="):
+            assert column in out, column
+
+    def test_phase_row_missing_column_exits_2(self, tmp_path, capsys):
+        # A phase row that lost a column is malformed input: the gate must
+        # exit 2 with a clear message, never crash with a KeyError.
+        baseline, current = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+        run_bench(baseline)
+        run_bench(current)
+        rows = read_jsonl(str(current))
+        for row in rows:
+            if row.get("kind") == "phase" and row["name"] == "decrypt":
+                del row["virtual_s"]
+        with open(current, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        assert compare_bench.main([str(baseline), str(current)]) == 2
+        err = capsys.readouterr().err
+        assert "decrypt" in err
+        assert "virtual_s" in err
+        assert "malformed" in err
 
     def test_committed_baseline_is_loadable(self):
         baseline = path.join(
