@@ -17,27 +17,40 @@ Exercises ``repro.cluster`` end to end on localhost:
   replies delivered``: a retransmission the dead backend already applied
   is answered from cache, never re-executed).  The killed backend then
   restarts and the run asserts membership reconverges to full strength.
+* **cluster.replicated** — the acceptance gate for sealed write
+  replication (DESIGN.md §13): a write-capable fleet updates disjoint
+  pages through a replication-connected mesh, reading every write back
+  immediately (any stale read fails the run); the busiest backend is
+  killed mid-stream, writes keep landing through failover (a
+  read-your-writes shed is retried as a fresh request, never served
+  stale), and after the victim restarts the run asserts both members
+  converge to byte-identical trusted state (``content_digest``).
 
-Both phases fail loudly on any lost, duplicated, or wrong-byte reply.
+All phases fail loudly on any lost, duplicated, stale, or wrong-byte
+reply.
 
 Besides the pytest checks, this file is a script::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py --quick --out run.jsonl
 
 emitting the perf-gate JSONL layout diffed by ``compare_bench.py``
-against ``benchmarks/results/perf_baseline_cluster.jsonl``.
+against ``benchmarks/results/perf_baseline_cluster.jsonl``.  The
+``--phases`` flag selects which phases run — the ``cluster-replication``
+CI lane runs ``--phases replicated`` against its own baseline
+(``perf_baseline_cluster_repl.jsonl``).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 import tempfile
 import threading
 import time
 from os import path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 try:
     import repro  # noqa: F401
@@ -45,7 +58,13 @@ except ImportError:  # script mode from a checkout without PYTHONPATH
     sys.path.insert(0, path.join(path.dirname(__file__), "..", "src"))
 
 from repro.baselines import make_records
-from repro.cluster import ClusterRouter, RouterThread, build_cluster
+from repro.cluster import (
+    ClusterRouter,
+    RouterThread,
+    build_cluster,
+    connect_replication,
+)
+from repro.errors import DegradedServiceError
 from repro.faults.retry import RetryPolicy
 from repro.net import NetworkClient
 
@@ -60,11 +79,28 @@ _CLIENTS = 4
 _BACKENDS = 2
 #: Fraction of the chaos workload completed before the kill lands.
 _KILL_AFTER_FRACTION = 0.25
+#: Fixed write payload width keeps the replicated phase's byte column
+#: deterministic (must stay <= _BENCH_PAGE_SIZE, the page capacity).
+_REPL_PAYLOAD_LEN = 24
+#: Outer retry budget for a write/read-back op that keeps shedding
+#: retryably (read-your-writes refusals during failover).
+_REPL_OP_DEADLINE = 30.0
+
+
+def _repl_payload(page_id: int) -> bytes:
+    return f"repl-{page_id:05d}".encode().ljust(_REPL_PAYLOAD_LEN, b".")
 
 
 @contextlib.contextmanager
-def _cluster(seed: int, backends: int = _BACKENDS, router_kw=None):
-    """N seeded backends behind a router, all on loopback."""
+def _cluster(seed: int, backends: int = _BACKENDS, router_kw=None,
+             replicated: bool = False):
+    """N seeded backends behind a router, all on loopback.
+
+    ``replicated=True`` additionally wires the started members into a
+    full sealed-replication mesh with a durable backlog under the
+    snapshot directory — the write-capable configuration DESIGN.md §13
+    describes.
+    """
     records = make_records(_BENCH_RECORDS, _BENCH_PAGE_SIZE)
     with tempfile.TemporaryDirectory() as snap_dir:
         handles = build_cluster(
@@ -76,6 +112,10 @@ def _cluster(seed: int, backends: int = _BACKENDS, router_kw=None):
         try:
             for handle in handles:
                 handle.start()
+            if replicated:
+                durable = os.path.join(snap_dir, "repl")
+                os.makedirs(durable, exist_ok=True)
+                connect_replication(handles, durable_dir=durable)
             kw = dict(probe_interval=0.05, probe_timeout=1.0,
                       eject_after=2, readmit_after=2,
                       connect_timeout=1.0, backend_timeout=5.0)
@@ -160,6 +200,70 @@ class _Fleet:
                 f"{self.errors[0]!r}"
             ) from self.errors[0]
         return wall
+
+
+class _WriteFleet(_Fleet):
+    """Write-then-read-back clients over disjoint page ranges.
+
+    Each client owns ``per_client`` pages nobody else touches and, per
+    step, updates one and immediately queries it back — the read-your-
+    writes gate.  A retryable shed (``DegradedServiceError``: the
+    routed member cannot yet prove it holds the write, or no caught-up
+    failover candidate exists) is retried as a *fresh* request until
+    :data:`_REPL_OP_DEADLINE`; a stale read-back fails the run on the
+    spot.  One write per page keeps the final per-page state
+    order-independent, so the post-run convergence gate is exact.
+    """
+
+    def _retry_degraded(self, op):
+        deadline = time.monotonic() + _REPL_OP_DEADLINE
+        while True:
+            try:
+                return op()
+            except DegradedServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def _drive(self, index: int) -> None:
+        try:
+            client = NetworkClient(
+                self.host, self.port, timeout=10.0, read_timeout=10.0,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.05,
+                                  max_delay=0.5),
+                rng_seed=DEFAULT_SEED + index,
+            )
+            try:
+                for step in range(self.per_client):
+                    page_id = index * self.per_client + step
+                    payload = _repl_payload(page_id)
+                    self._retry_degraded(
+                        lambda: client.update(page_id, payload)
+                    )
+                    echoed = self._retry_degraded(
+                        lambda: client.query(page_id)
+                    )
+                    assert echoed == payload, (
+                        f"STALE READ: page {page_id} read back "
+                        f"{echoed!r} after acknowledged write of "
+                        f"{payload!r}"
+                    )
+                    with self._lock:
+                        self.ok += 1
+                        self.bytes += len(echoed)
+                        fired = [
+                            entry for entry in self._progress_callbacks
+                            if self.ok >= entry[0]
+                        ]
+                        for entry in fired:
+                            self._progress_callbacks.remove(entry)
+                    for _, callback in fired:
+                        callback()
+            finally:
+                client.close()
+        except BaseException as exc:  # surfaced by join()
+            with self._lock:
+                self.errors.append(exc)
 
 
 def _wait_until(predicate, timeout: float = 15.0) -> bool:
@@ -259,6 +363,113 @@ def run_chaos(queries: int, seed: int):
     return total, fleet.bytes, wall, stats
 
 
+def run_replicated(seed: int):
+    """Replicated writes under a mid-stream kill; returns
+    (count, bytes, wall, stats).
+
+    In-run gates (DESIGN.md §13 acceptance):
+
+    * **zero stale reads** — every acknowledged write is read back
+      immediately and must echo exactly, through the kill and the
+      failovers it forces;
+    * **replica convergence** — after the victim restarts and the mesh
+      catches up, both members hold every written page at its written
+      value and their ``content_digest`` matches byte for byte.
+
+    The workload writes each page exactly once (``_BENCH_RECORDS``
+    pages split across ``_CLIENTS`` clients), so it is sized by the
+    record count, not ``--queries`` — single-writer-per-page is the
+    ordering discipline sealed replication guarantees convergence
+    under.
+    """
+    per_client = _BENCH_RECORDS // _CLIENTS
+    total = per_client * _CLIENTS
+    with _cluster(seed, router_kw={"backend_timeout": 2.0},
+                  replicated=True) as (handles, router, thread):
+        fleet = _WriteFleet(thread.host, thread.port, _CLIENTS, per_client,
+                            expected=[])
+        killed = {}
+
+        def kill_busiest():
+            by_address = {h.spec.address: h for h in handles}
+            state = max(router.membership.members,
+                        key=lambda member: member.pinned)
+            victim = by_address[state.address]
+            victim.kill()
+            killed["handle"] = victim
+            killed["address"] = state.address
+            # The crashed member comes back mid-run (a process
+            # supervisor restart).  Sessions whose last acknowledged
+            # write died with the victim un-streamed are *correctly*
+            # refused everywhere else until this happens — the restart
+            # replays the durable backlog and unwedges them.
+            restarter = threading.Timer(1.5, victim.restart)
+            restarter.daemon = True
+            restarter.start()
+            killed["restarter"] = restarter
+
+        fleet.on_progress(max(1, int(total * _KILL_AFTER_FRACTION)),
+                          kill_busiest)
+        wall = fleet.run()
+
+        # Replication gate 1: zero stale reads.  Every write/read-back
+        # pair completed (the stale-read assert lives inside the fleet).
+        assert killed, "the kill trigger never fired"
+        assert fleet.ok == total, (
+            f"{fleet.ok}/{total} write/read-back pairs completed through "
+            "the kill"
+        )
+        # Replication gate 2: the restarted victim rejoins and the mesh
+        # drains its backlog both ways — every member has applied
+        # everything every peer ever emitted.
+        killed["restarter"].join()
+        assert _wait_until(lambda: router.membership.at_full_strength), (
+            "membership never reconverged after the restart"
+        )
+
+        def caught_up():
+            for mine in handles:
+                for peer in handles:
+                    if mine is peer:
+                        continue
+                    applied = mine.repl_applier.applied_for(
+                        peer.repl_log.origin
+                    )
+                    if applied < peer.repl_log.last_seq:
+                        return False
+            return True
+
+        assert _wait_until(caught_up, timeout=30.0), (
+            "replication backlog never drained after the restart"
+        )
+        sheds = router.counters.get("ryw.rejected")
+        stats = {
+            "failovers": router.counters.get("failovers"),
+            "retransmits": router.counters.get("retransmits"),
+            "ryw_checks": router.counters.get("ryw.checks"),
+            "ryw_rejected": sheds,
+        }
+        # Replication gate 3: convergence.  Quiesce both members (kill
+        # stops the applier-serving workers), then compare trusted
+        # state directly — every page at its written value on *both*
+        # members, and byte-identical content digests.
+        for handle in handles:
+            handle.kill()
+        for page_id in range(total):
+            expected = _repl_payload(page_id)
+            for handle in handles:
+                got = handle.db.query(page_id)
+                assert got == expected, (
+                    f"DIVERGED: page {page_id} on {handle.spec.address} "
+                    f"is {got!r}, expected {expected!r}"
+                )
+        digests = {h.db.content_digest() for h in handles}
+        assert len(digests) == 1, (
+            f"content digests diverged across members: {digests}"
+        )
+    return total, fleet.bytes, wall, stats
+
+
 # ---------------------------------------------------------------------------
 # Pytest checks (run explicitly via the CI cluster lane)
 # ---------------------------------------------------------------------------
@@ -276,6 +487,17 @@ def test_chaos_kill_under_load_exactly_once():
     assert nbytes == 32 * _BENCH_PAGE_SIZE
     # The kill landed mid-traffic: at least one session had to move.
     assert stats["failovers"] >= 1
+
+
+def test_replicated_writes_zero_stale_reads_and_convergence():
+    count, nbytes, _wall, stats = run_replicated(DEFAULT_SEED)
+    assert count == _BENCH_RECORDS
+    assert nbytes == _BENCH_RECORDS * _REPL_PAYLOAD_LEN
+    # The kill landed mid-stream: at least one writing session moved,
+    # and at least one adoption was held to the read-your-writes gate
+    # (sessions that never held a watermark on the dead member skip it).
+    assert stats["failovers"] >= 1
+    assert stats["ryw_checks"] >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +522,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="explicit query count (overrides --quick); "
                              f"must be a multiple of {_CLIENTS}")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--phases", nargs="+",
+                        choices=["routed", "chaos", "replicated"],
+                        default=["routed", "chaos"],
+                        help="which phases to run (default: routed chaos; "
+                             "the cluster-replication CI lane runs "
+                             "'replicated' alone against its own baseline)")
     parser.add_argument("--out", default="",
                         help="JSONL output path (default stdout)")
     args = parser.parse_args(argv)
@@ -311,14 +539,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     calibration = calibration_seconds()
 
-    solo_count, _solo_bytes, solo_wall = run_routed(queries, args.seed,
-                                                    backends=1)
-    routed_count, routed_bytes, routed_wall = run_routed(queries, args.seed)
-    chaos_count, chaos_bytes, chaos_wall, chaos_stats = run_chaos(
-        queries, args.seed
-    )
-
-    rows = [{
+    meta: Dict[str, object] = {
         "kind": "meta",
         "queries": queries,
         "seed": args.seed,
@@ -328,39 +549,73 @@ def main(argv: Optional[List[str]] = None) -> int:
         "clients": _CLIENTS,
         "backends": _BACKENDS,
         "calibration_s": calibration,
+    }
+    rows: List[dict] = [meta]
+    summary = []
+
+    if "routed" in args.phases:
+        solo_count, _solo_bytes, solo_wall = run_routed(queries, args.seed,
+                                                        backends=1)
+        routed_count, routed_bytes, routed_wall = run_routed(queries,
+                                                             args.seed)
         # Informational (not gated): in-process backends share the GIL,
         # so routed QPS measures router overhead, not horizontal scale.
-        "qps_1_backend": solo_count / solo_wall if solo_wall > 0 else 0.0,
-        "qps_n_backends": (routed_count / routed_wall
-                           if routed_wall > 0 else 0.0),
-        "chaos_failovers": chaos_stats["failovers"],
-        "chaos_retransmits": chaos_stats["retransmits"],
-        "chaos_duplicates": chaos_stats["duplicates"],
-    }]
-    rows.append({
-        "kind": "phase", "name": "cluster.routed",
-        "count": routed_count, "bytes": routed_bytes,
-        "virtual_s": 0.0, "wall_s": routed_wall,
-    })
-    rows.append({
-        "kind": "phase", "name": "cluster.chaos",
-        "count": chaos_count, "bytes": chaos_bytes,
-        "virtual_s": 0.0, "wall_s": chaos_wall,
-    })
+        meta["qps_1_backend"] = (solo_count / solo_wall
+                                 if solo_wall > 0 else 0.0)
+        meta["qps_n_backends"] = (routed_count / routed_wall
+                                  if routed_wall > 0 else 0.0)
+        rows.append({
+            "kind": "phase", "name": "cluster.routed",
+            "count": routed_count, "bytes": routed_bytes,
+            "virtual_s": 0.0, "wall_s": routed_wall,
+        })
+        summary.append(f"{routed_count} routed queries")
+    if "chaos" in args.phases:
+        chaos_count, chaos_bytes, chaos_wall, chaos_stats = run_chaos(
+            queries, args.seed
+        )
+        meta["chaos_failovers"] = chaos_stats["failovers"]
+        meta["chaos_retransmits"] = chaos_stats["retransmits"]
+        meta["chaos_duplicates"] = chaos_stats["duplicates"]
+        rows.append({
+            "kind": "phase", "name": "cluster.chaos",
+            "count": chaos_count, "bytes": chaos_bytes,
+            "virtual_s": 0.0, "wall_s": chaos_wall,
+        })
+        summary.append(
+            f"{chaos_stats['failovers']} failover(s) and "
+            f"{chaos_stats['duplicates']} duplicate(s) absorbed under chaos"
+        )
+    if "replicated" in args.phases:
+        repl_count, repl_bytes, repl_wall, repl_stats = run_replicated(
+            args.seed
+        )
+        meta["repl_failovers"] = repl_stats["failovers"]
+        meta["repl_ryw_checks"] = repl_stats["ryw_checks"]
+        meta["repl_ryw_rejected"] = repl_stats["ryw_rejected"]
+        rows.append({
+            "kind": "phase", "name": "cluster.replicated",
+            "count": repl_count, "bytes": repl_bytes,
+            "virtual_s": 0.0, "wall_s": repl_wall,
+        })
+        summary.append(
+            f"{repl_count} replicated writes read back with zero stale "
+            f"reads ({repl_stats['ryw_checks']} read-your-writes "
+            f"check(s), {repl_stats['ryw_rejected']} shed(s)) and "
+            "converged digests"
+        )
 
     from repro.core.params import SystemParameters
 
-    rows[0]["block_size"] = SystemParameters.solve(
+    meta["block_size"] = SystemParameters.solve(
         _BENCH_RECORDS, _BENCH_CACHE, 2.0,
         page_capacity=_BENCH_PAGE_SIZE,
     ).block_size
 
     if args.out:
         written = write_jsonl(args.out, rows)
-        print(f"wrote {written} rows ({queries} queries through "
-              f"{_BACKENDS} backends, {chaos_stats['failovers']} "
-              f"failover(s) and {chaos_stats['duplicates']} duplicate(s) "
-              f"absorbed under chaos) to {args.out}")
+        print(f"wrote {written} rows through {_BACKENDS} backends "
+              f"({'; '.join(summary)}) to {args.out}")
     else:
         import json
 

@@ -7,13 +7,23 @@ one of N backend :class:`~repro.net.server.PirServer` processes.
 Health-gated membership (PING/PONG probing with hysteresis) routes
 around dead or draining members; failover re-establishes a session on a
 replica via RESUME and retransmits the in-flight sealed request, with
-shared reply-cache visibility keeping delivery exactly-once.  The router
-never opens sealed bytes — it sits outside the tamper boundary and
-learns nothing the host platform does not already see.
+shared reply-cache visibility keeping delivery exactly-once.  Sealed
+write replication (:mod:`repro.cluster.replication`) streams every
+member's mutations to its peers and the router enforces read-your-writes
+on failover, so an acknowledged write is visible on whichever replica
+adopts the session.  The router never opens sealed bytes — it sits
+outside the tamper boundary and learns nothing the host platform does
+not already see.
 """
 
-from .backend import BackendHandle, build_cluster
+from .backend import BackendHandle, build_cluster, connect_replication
 from .membership import BackendSpec, ClusterMembership, MemberState
+from .replication import (
+    ReplicationApplier,
+    ReplicationLog,
+    ReplicationRecord,
+    Replicator,
+)
 from .router import ClusterRouter, RouterThread
 
 __all__ = [
@@ -22,6 +32,11 @@ __all__ = [
     "ClusterMembership",
     "ClusterRouter",
     "MemberState",
+    "ReplicationApplier",
+    "ReplicationLog",
+    "ReplicationRecord",
+    "Replicator",
     "RouterThread",
     "build_cluster",
+    "connect_replication",
 ]

@@ -28,6 +28,7 @@ import os
 from typing import List, Optional, Sequence
 
 from .membership import BackendSpec
+from .replication import ReplicationApplier, ReplicationLog, Replicator
 from ..core.database import PirDatabase
 from ..core.snapshot import bootstrap_replica, load_snapshot
 from ..errors import ConfigurationError
@@ -35,7 +36,7 @@ from ..net.admission import AdmissionController
 from ..net.server import PirServer, ServerThread
 from ..service.frontend import SESSION_RANDOM, QueryFrontend, SealedReplyCache
 
-__all__ = ["BackendHandle", "build_cluster"]
+__all__ = ["BackendHandle", "build_cluster", "connect_replication"]
 
 
 class BackendHandle:
@@ -60,6 +61,14 @@ class BackendHandle:
             adopt_sessions=True, metrics=metrics,
         )
         self.thread: Optional[ServerThread] = None
+        # Sealed write replication (see connect_replication): the log and
+        # applier belong to the *engine* side and survive kill/restart,
+        # exactly like the frontend; the streamer threads belong to the
+        # process-equivalent and are torn down and respawned with it.
+        self.repl_log: Optional[ReplicationLog] = None
+        self.repl_applier: Optional[ReplicationApplier] = None
+        self._repl_peers: list = []
+        self._replicators: list = []
 
     @property
     def host(self) -> str:
@@ -79,17 +88,66 @@ class BackendHandle:
         self.thread = ServerThread(self.server).start()
         return self
 
+    # -- replication lifecycle -------------------------------------------------
+
+    def attach_replication(self, log: ReplicationLog,
+                           applier: ReplicationApplier,
+                           peer_addresses: Sequence[str]) -> None:
+        """Wire this member into the sealed replication mesh.
+
+        The database starts emitting one sealed record per request into
+        ``log``, and the server starts answering peers' REPL connections
+        through ``applier`` and stamping replies with the log's
+        high-water mark.  Call :meth:`start_replication` (or
+        :func:`connect_replication`, which does both) to begin streaming
+        to ``peer_addresses``.
+        """
+        self.repl_log = log
+        self.repl_applier = applier
+        self._repl_peers = list(peer_addresses)
+        self.db.replication = log
+        self.server.attach_replication(log, applier)
+
+    def start_replication(self) -> None:
+        """(Re)spawn one streamer thread per peer."""
+        self.stop_replication()
+        if self.repl_log is None:
+            return
+        for peer in self._repl_peers:
+            replicator = Replicator(self.repl_log, peer)
+            replicator.start()
+            self._replicators.append(replicator)
+
+    def stop_replication(self) -> None:
+        for replicator in self._replicators:
+            replicator.stop()
+        self._replicators = []
+
     def kill(self) -> None:
-        """Crash the serving process-equivalent; engine state survives."""
+        """Crash the serving process-equivalent; engine state survives.
+
+        The server dies before the streamers so any in-flight semi-sync
+        barrier can still see its record delivered — stopping the
+        streamers first would mark every peer disconnected and wave the
+        barrier through with the write unreplicated (the reply-cache
+        dedupe gate covers that window regardless, at the cost of a
+        shed).
+        """
         if self.thread is not None:
             self.thread.kill()
             self.thread = None
+        self.stop_replication()
 
     def drain(self) -> None:
-        """Graceful stop (the rolling-restart path)."""
+        """Graceful stop (the rolling-restart path).
+
+        Streamers keep running until the drain completes so the backlog
+        finishes flushing to peers, then stop with the process.
+        """
         if self.thread is not None:
             self.thread.drain()
             self.thread = None
+        self.stop_replication()
 
     def restart(self) -> "BackendHandle":
         """Come back on the same port after a kill or drain.
@@ -106,7 +164,14 @@ class BackendHandle:
             admission=self.admission, adopt_sessions=True,
             metrics=self.metrics,
         )
+        if self.repl_log is not None and self.repl_applier is not None:
+            # Same log + applier: the restarted member resumes emitting
+            # where it left off and remembers how far it applied each
+            # peer, so the catch-up handshakes replay only what it missed.
+            self.server.attach_replication(self.repl_log, self.repl_applier)
         self.thread = ServerThread(self.server).start()
+        if self.repl_log is not None:
+            self.start_replication()
         return self
 
     def stop(self) -> None:
@@ -172,3 +237,72 @@ def build_cluster(
         )
         handles.append(BackendHandle(db, frontend, host=host, metrics=metrics))
     return handles
+
+
+def connect_replication(
+    handles: Sequence[BackendHandle],
+    cover_traffic: bool = True,
+    durable_dir: Optional[str] = None,
+    dial_overrides: Optional[dict] = None,
+    origins: Optional[Sequence[str]] = None,
+    wait_timeout: float = 5.0,
+    metrics=None,
+) -> None:
+    """Wire *started* backends into a full replication mesh and stream.
+
+    Every member gets a :class:`ReplicationLog` keyed by its advertised
+    address (the origin peers track), a :class:`ReplicationApplier`, and
+    one streamer thread per peer.  Call after ``handle.start()`` — the
+    origin identity is the bound ``host:port``, so ports must be known.
+
+    ``origins`` overrides the per-member origin identity.  The origin is
+    an opaque stream name, but the router's read-your-writes gate asks
+    failover candidates for their applied mark *by the address it knows
+    the member under* — so whenever the router is configured with
+    addresses other than the bound ones (a chaos proxy standing in for a
+    member, a NAT'd deployment), pass those advertised addresses here.
+
+    ``cover_traffic`` is the privacy-vs-cost dial: True (default) emits a
+    sealed cover record for every read so the stream leaks only request
+    counts; False replicates writes only, cheaper but read/write-mix
+    visible to the host.  ``durable_dir`` persists each member's backlog
+    (``repl-<i>.log``) so an acknowledged write survives a full process
+    crash, not just a thread death.  ``dial_overrides`` maps a peer's
+    real address to the address streamers should dial instead — the hook
+    chaos tests use to interpose a :class:`~repro.faults.netchaos
+    .ChaosProxy` on the replication path (origins stay the real
+    addresses).
+    """
+    for handle in handles:
+        if handle.port == 0:
+            raise ConfigurationError(
+                "connect_replication needs started backends (port 0 means "
+                "the listener is not bound yet)"
+            )
+    overrides = dict(dial_overrides or {})
+    if origins is not None and len(origins) != len(handles):
+        raise ConfigurationError(
+            "origins must name every backend exactly once"
+        )
+    real = [handle.spec.address for handle in handles]
+    names = list(origins) if origins is not None else real
+    for index, handle in enumerate(handles):
+        path = (os.path.join(durable_dir, f"repl-{index}.log")
+                if durable_dir is not None else None)
+        log = ReplicationLog(
+            handle.db.cop, origin=names[index],
+            cover_traffic=cover_traffic, path=path,
+            wait_timeout=wait_timeout, metrics=metrics,
+        )
+        applier = ReplicationApplier(
+            handle.db, metrics=metrics,
+            engine_lock=handle.frontend.engine_lock,
+        )
+        # Streamers always dial the *bound* peer addresses (or a chaos
+        # interposition from dial_overrides); origins are identities,
+        # not dial targets.
+        peers = [overrides.get(real[j], real[j])
+                 for j in range(len(handles)) if j != index]
+        handle.attach_replication(log, applier, peers)
+    for handle in handles:
+        handle.start_replication()

@@ -1,0 +1,583 @@
+"""Sealed write replication between cluster backends (DESIGN.md §13).
+
+PR 6's cluster tier made reads available across backend failures but let
+writes land on exactly one member, so replicas diverged from the
+bootstrap snapshot onward.  This module closes that gap with a sealed,
+sequence-numbered logical replication stream:
+
+* :class:`ReplicationLog` — the *origin* side.  Every request the
+  database serves emits one fixed-size record (``RPL1`` magic, encoded
+  with the same :class:`~repro.core.journal.RecordCursor` idiom as the
+  RJN1/RJN2 intent records) that is sealed by the coprocessor under the
+  replica-shared master key before the host ever sees it.  Reads emit
+  ``noop`` *cover records* by default, so the stream length and record
+  sizes reveal only the request count — which connection-level traffic
+  analysis already reveals — and never the read/write mix.  Setting
+  ``cover_traffic=False`` drops the covers: cheaper (peers do no work
+  for reads) but the host learns which requests were writes.  This is
+  the same privacy-vs-cost dial the paper turns with ``c``.
+
+* :class:`ReplicationApplier` — the *peer* side.  Applies records
+  **logically** through the engine (modify/delete/touch), never by
+  replaying frames: replicas deliberately have independent RNG lineages,
+  so their physical layouts diverge on every request and byte-level
+  replay would be unsound.  Convergence is defined over the trusted
+  *content* (page id → liveness + payload, see
+  :meth:`~repro.core.database.PirDatabase.content_digest`), which is
+  exactly what clients can observe.  Sequence tracking makes every
+  record idempotent: a duplicate delivery (netchaos duplicate plans, a
+  streamer retransmit after a lost ack) applies exactly once, and
+  out-of-order arrivals wait in a pending buffer until the gap fills.
+
+* :class:`Replicator` — one daemon thread per peer that streams the
+  log over the ``net.framing`` REPL envelope.  Its handshake *is* the
+  catch-up protocol: REPL_QUERY asks the peer how far it has applied
+  this origin's stream, and streaming resumes from that point out of the
+  log's backlog — which is also how a restarted backend converges
+  (``load_snapshot`` + journal roll-forward locally, then backlog replay
+  from each peer for everything it missed while down).
+
+Trust boundary: the router and any network observer handle only sealed
+record bodies; plaintext sequence numbers and origin addresses are the
+only cleartext, and both are request-count/topology metadata the host
+already has.  Apply-side conflict policy is last-writer-wins per page in
+per-origin arrival order; concurrent inserts on *different* members can
+collide on the deterministically chosen free page id, so deployments
+keep a single writer per page (the drills write disjoint pages).
+
+The backlog is retained unboundedly (optionally on disk via ``path=``):
+trimming it safely needs a cluster-wide minimum acked sequence plus a
+snapshot exchange for fully re-imaged peers, which stays on the roadmap.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.journal import RecordCursor
+from ..errors import (
+    ConfigurationError,
+    PageNotFoundError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+)
+from ..net.framing import (
+    ReplAck,
+    ReplQuery,
+    ReplRecord,
+    ReplState,
+    decode_net_message,
+    encode_net_message,
+    read_frame_sock,
+    write_frame_sock,
+)
+from ..sim.metrics import CounterSet
+
+__all__ = [
+    "KIND_NOOP",
+    "KIND_WRITE",
+    "KIND_DELETE",
+    "ReplicationRecord",
+    "ReplicationLog",
+    "ReplicationApplier",
+    "Replicator",
+    "encode_record",
+    "decode_record",
+    "record_size",
+]
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+_MAGIC = b"RPL1"
+_MAGIC_LEN = len(_MAGIC)
+
+KIND_NOOP = 0
+KIND_WRITE = 1
+KIND_DELETE = 2
+
+_KIND_BY_NAME = {"noop": KIND_NOOP, "write": KIND_WRITE, "delete": KIND_DELETE}
+
+#: Durable backlog entry header: u64 sequence, u32 sealed-record length.
+_BACKLOG_HEADER = struct.Struct(">QI")
+
+_U16 = struct.Struct(">H")
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """One decoded logical operation from a replication stream."""
+
+    seq: int
+    kind: int
+    page_id: int
+    payload: bytes
+
+
+def record_size(cop) -> int:
+    """Plaintext size every record is padded to before sealing.
+
+    Fixed per deployment (header + one max-size page payload), so sealed
+    records are indistinguishable regardless of operation kind.
+    """
+    return _MAGIC_LEN + _U64.size + 1 + _U64.size + _U32.size + cop.page_capacity
+
+
+def encode_record(cop, seq: int, kind: int, page_id: int, payload: bytes) -> bytes:
+    """Encode, pad, and seal one replication record.
+
+    The sequence number is bound *inside* the sealed body as well as sent
+    in the plaintext envelope, so a host that splices record bodies onto
+    other sequence numbers is detected at apply time.
+    """
+    if kind not in (KIND_NOOP, KIND_WRITE, KIND_DELETE):
+        raise ConfigurationError(f"unknown replication record kind {kind}")
+    limit = cop.page_capacity
+    if len(payload) > limit:
+        raise StorageError(
+            f"replication payload of {len(payload)} bytes exceeds the "
+            f"{limit}-byte page bound"
+        )
+    plain = b"".join([
+        _MAGIC,
+        _U64.pack(seq),
+        bytes([kind]),
+        _U64.pack(page_id),
+        _U32.pack(len(payload)),
+        payload,
+    ])
+    padded = plain + b"\x00" * (record_size(cop) - len(plain))
+    return cop.seal_record(padded)
+
+
+def decode_record(cop, sealed: bytes) -> ReplicationRecord:
+    """Unseal and decode one replication record; rejects any tampering."""
+    blob = cop.unseal_record(sealed)
+    if bytes(blob[:_MAGIC_LEN]) != _MAGIC:
+        raise StorageError("replication record has a bad magic number")
+    cursor = RecordCursor(blob, offset=_MAGIC_LEN)
+    seq = cursor.take(_U64)
+    kind = cursor.take_byte()
+    if kind not in (KIND_NOOP, KIND_WRITE, KIND_DELETE):
+        raise StorageError(f"replication record has unknown kind {kind}")
+    page_id = cursor.take(_U64)
+    payload = cursor.take_bytes(cursor.take(_U32))
+    padding = cursor.take_bytes(len(blob) - cursor.offset)
+    if padding.strip(b"\x00"):
+        raise StorageError("replication record has non-zero padding")
+    return ReplicationRecord(seq, kind, page_id, payload)
+
+
+class _PeerState:
+    __slots__ = ("connected", "acked")
+
+    def __init__(self) -> None:
+        self.connected = False
+        self.acked = 0
+
+
+class ReplicationLog:
+    """Origin-side sealed record stream with per-peer ack tracking.
+
+    ``emit`` is called by the database on the serving worker thread and
+    never blocks on the network; the server's event loop separately
+    awaits :meth:`wait_replicated` before acknowledging a client, which
+    is what makes an acknowledged write survive the origin's death
+    (semi-synchronous replication).  Peers that are disconnected are not
+    waited on — they catch up from the backlog when they return.
+    """
+
+    def __init__(
+        self,
+        cop,
+        origin: str,
+        cover_traffic: bool = True,
+        path: Optional[str] = None,
+        wait_timeout: float = 5.0,
+        metrics=None,
+    ):
+        if not origin:
+            raise ConfigurationError("replication origin must be non-empty")
+        self.cop = cop
+        self.origin = origin
+        self.cover_traffic = cover_traffic
+        self.wait_timeout = wait_timeout
+        self.counters = CounterSet(registry=metrics, prefix="repl.log.")
+        self._cond = threading.Condition()
+        self._records: List[bytes] = []  # index i holds sequence i + 1
+        self._peers: Dict[str, _PeerState] = {}
+        self._path = path
+        self._file = None
+        if path is not None:
+            self._load(path)
+            self._file = open(path, "ab")
+
+    def _load(self, path: str) -> None:
+        """Reload the durable backlog, discarding any torn tail."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _BACKLOG_HEADER.size <= len(data):
+            seq, length = _BACKLOG_HEADER.unpack_from(data, offset)
+            start = offset + _BACKLOG_HEADER.size
+            if start + length > len(data) or seq != len(self._records) + 1:
+                break  # torn or out-of-sequence tail: stop trusting the file
+            self._records.append(data[start:start + length])
+            offset = start + length
+        if offset != len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+
+    @property
+    def last_seq(self) -> int:
+        with self._cond:
+            return len(self._records)
+
+    def emit(self, kind: str, page_id: int = 0, payload: bytes = b"") -> int:
+        """Seal and append one record; returns the sequence it received.
+
+        A ``noop`` emit with cover traffic disabled appends nothing and
+        returns the current high-water mark.
+        """
+        kind_code = _KIND_BY_NAME[kind]
+        with self._cond:
+            if kind_code == KIND_NOOP and not self.cover_traffic:
+                return len(self._records)
+            seq = len(self._records) + 1
+            sealed = encode_record(self.cop, seq, kind_code, page_id, payload)
+            if self._file is not None:
+                self._file.write(_BACKLOG_HEADER.pack(seq, len(sealed)))
+                self._file.write(sealed)
+                self._file.flush()
+            self._records.append(sealed)
+            self.counters.increment("emitted")
+            self._cond.notify_all()
+            return seq
+
+    # -- peer tracking -------------------------------------------------------
+
+    def register_peer(self, address: str) -> None:
+        with self._cond:
+            self._peers.setdefault(address, _PeerState())
+
+    def mark_connected(self, address: str) -> None:
+        with self._cond:
+            self._peers.setdefault(address, _PeerState()).connected = True
+            self._cond.notify_all()
+
+    def mark_disconnected(self, address: str) -> None:
+        with self._cond:
+            peer = self._peers.get(address)
+            if peer is not None:
+                peer.connected = False
+            # Anyone blocked in wait_replicated must re-evaluate: a dead
+            # peer is no longer waited on.
+            self._cond.notify_all()
+
+    def record_ack(self, address: str, seq: int) -> None:
+        with self._cond:
+            peer = self._peers.setdefault(address, _PeerState())
+            if seq > peer.acked:
+                peer.acked = seq
+            self.counters.increment("acks")
+            self._cond.notify_all()
+
+    def peer_acked(self, address: str) -> int:
+        with self._cond:
+            peer = self._peers.get(address)
+            return 0 if peer is None else peer.acked
+
+    def connected_peers(self) -> List[str]:
+        with self._cond:
+            return [a for a, p in self._peers.items() if p.connected]
+
+    # -- consumption ---------------------------------------------------------
+
+    def next_record(self, after_seq: int, wait: float = 0.2) -> Optional[Tuple[int, bytes]]:
+        """The record following ``after_seq``, or None after ``wait``."""
+        with self._cond:
+            if len(self._records) <= after_seq:
+                self._cond.wait(wait)
+            if len(self._records) <= after_seq:
+                return None
+            return after_seq + 1, self._records[after_seq]
+
+    def records_since(self, after_seq: int) -> List[Tuple[int, bytes]]:
+        with self._cond:
+            return [
+                (after_seq + 1 + index, sealed)
+                for index, sealed in enumerate(self._records[after_seq:])
+            ]
+
+    def wait_replicated(self, seq: int, timeout: Optional[float] = None) -> bool:
+        """Block until every *connected* peer has acked ``seq``.
+
+        Returns False on timeout (counted): the reply is still sent —
+        the alternative is trading a latency blip for unavailability —
+        but the router's read-your-writes gate keeps the session off any
+        replica that has not caught up, so correctness degrades to
+        "failover may have to wait", never to a stale read.
+        """
+        deadline = time.monotonic() + (
+            self.wait_timeout if timeout is None else timeout
+        )
+        with self._cond:
+            while True:
+                lagging = [
+                    address
+                    for address, peer in self._peers.items()
+                    if peer.connected and peer.acked < seq
+                ]
+                if not lagging:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.counters.increment("wait_timeouts")
+                    return False
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            self._cond.notify_all()
+
+
+class ReplicationApplier:
+    """Peer-side idempotent apply with per-origin sequence tracking.
+
+    ``engine_lock`` serializes the raw engine calls against whoever
+    else drives the engine — on a cluster backend, the frontend's
+    serving worker (pass ``frontend.engine_lock``); the applier runs on
+    the server's dedicated replication worker, never behind a serve.
+    """
+
+    def __init__(self, db, metrics=None, engine_lock=None):
+        self.db = db
+        self.counters = CounterSet(registry=metrics, prefix="repl.apply.")
+        self.engine_lock = (engine_lock if engine_lock is not None
+                            else threading.Lock())
+        self._applied: Dict[str, int] = {}
+        self._pending: Dict[str, Dict[int, bytes]] = {}
+        self._lock = threading.Condition()
+
+    def applied_for(self, origin: str) -> int:
+        with self._lock:
+            return self._applied.get(origin, 0)
+
+    def wait_applied(self, origin: str, seq: int, timeout: float) -> bool:
+        """Block until ``origin``'s stream is applied through ``seq``.
+
+        The reply-cache dedupe gate: a member may only serve a cached
+        acknowledgement once it has applied the write the ACK stands
+        for.  Returns False on timeout (the origin is likely dead with
+        the record unstreamed — the caller sheds instead of serving a
+        stale ACK).
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._applied.get(origin, 0) < seq:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._lock.wait(remaining)
+            return True
+
+    def state(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._applied)
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        """Adopt a checkpointed applied-vector (snapshot sidecar restore)."""
+        with self._lock:
+            for origin, seq in state.items():
+                if seq > self._applied.get(origin, 0):
+                    self._applied[origin] = int(seq)
+            self._lock.notify_all()
+
+    def encode_state(self) -> bytes:
+        """Serialise the applied-vector for a sealed snapshot sidecar."""
+        with self._lock:
+            parts = [_U32.pack(len(self._applied))]
+            for origin in sorted(self._applied):
+                encoded = origin.encode("utf-8")
+                parts.append(_U16.pack(len(encoded)))
+                parts.append(encoded)
+                parts.append(_U64.pack(self._applied[origin]))
+            return b"".join(parts)
+
+    @staticmethod
+    def decode_state(blob: bytes) -> Dict[str, int]:
+        """Parse a blob from :meth:`encode_state` back into a vector."""
+        cursor = RecordCursor(blob)
+        state: Dict[str, int] = {}
+        for _ in range(cursor.take(_U32)):
+            origin = cursor.take_bytes(cursor.take(_U16)).decode("utf-8")
+            state[origin] = cursor.take(_U64)
+        cursor.expect_end("replication state blob")
+        return state
+
+    def apply(self, origin: str, seq: int, sealed: bytes) -> int:
+        """Apply one record; returns the highest contiguous applied seq.
+
+        Duplicates (``seq`` at or below the applied mark) are counted and
+        skipped; gaps park the record in a pending buffer until the
+        missing sequence arrives.  Apply errors advance the sequence
+        anyway — wedging the whole stream on one poisoned record would
+        turn a single bad write into full replica divergence.
+        """
+        with self._lock:
+            applied = self._applied.get(origin, 0)
+            if seq <= applied:
+                self.counters.increment("duplicates")
+                return applied
+            pending = self._pending.setdefault(origin, {})
+            pending[seq] = bytes(sealed)
+            if seq > applied + 1:
+                self.counters.increment("out_of_order")
+            while applied + 1 in pending:
+                blob = pending.pop(applied + 1)
+                applied += 1
+                self._apply_sealed(origin, applied, blob)
+            self._applied[origin] = applied
+            self._lock.notify_all()
+            return applied
+
+    def _apply_sealed(self, origin: str, seq: int, sealed: bytes) -> None:
+        try:
+            record = decode_record(self.db.cop, sealed)
+            if record.seq != seq:
+                raise StorageError(
+                    f"replication record body claims seq {record.seq} "
+                    f"but arrived as seq {seq}"
+                )
+            with self.engine_lock:
+                self._apply_record(record)
+        except ReproError:
+            self.counters.increment("errors")
+        else:
+            self.counters.increment("applied")
+
+    def _apply_record(self, record: ReplicationRecord) -> None:
+        # Engine-direct calls: the database-level emit hook must not see
+        # replicated applies, or every record would re-broadcast forever.
+        engine = self.db.engine
+        if record.kind == KIND_WRITE:
+            # modify() revives deleted/reserve-range pages, which is what
+            # makes a replicated *insert* (write at the origin's chosen
+            # free id) apply correctly here too.
+            engine.modify(record.page_id, record.payload)
+        elif record.kind == KIND_DELETE:
+            try:
+                engine.delete(record.page_id)
+            except PageNotFoundError:
+                # Already deleted here (e.g. snapshot raced the stream):
+                # burn an identical-trace request anyway so the apply
+                # pattern stays indistinguishable.
+                engine.touch()
+        else:
+            engine.touch()
+
+
+class Replicator(threading.Thread):
+    """Streams one origin log to one peer, reconnecting forever.
+
+    The REPL_QUERY handshake doubles as catch-up: the peer answers with
+    its applied sequence for this origin and streaming resumes from the
+    backlog at that point, so a peer that was down (or a streamer that
+    lost its socket mid-record) converges without any extra protocol.
+    """
+
+    def __init__(
+        self,
+        log: ReplicationLog,
+        peer_address: str,
+        connect_timeout: float = 2.0,
+        retry_interval: float = 0.2,
+        io_timeout: float = 5.0,
+    ):
+        super().__init__(daemon=True, name=f"replicator→{peer_address}")
+        self.log = log
+        self.peer_address = peer_address
+        self.connect_timeout = connect_timeout
+        self.retry_interval = retry_interval
+        self.io_timeout = io_timeout
+        self._stop_event = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        log.register_peer(peer_address)
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self.is_alive():
+            self.join(join_timeout)
+        self.log.mark_disconnected(self.peer_address)
+
+    def run(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self._stream_once()
+            except (OSError, ReproError):
+                pass
+            finally:
+                self.log.mark_disconnected(self.peer_address)
+                sock, self._sock = self._sock, None
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            if not self._stop_event.is_set():
+                self._stop_event.wait(self.retry_interval)
+
+    def _stream_once(self) -> None:
+        host, _, port = self.peer_address.rpartition(":")
+        sock = socket.create_connection(
+            (host, int(port)), timeout=self.connect_timeout
+        )
+        self._sock = sock
+        sock.settimeout(self.io_timeout)
+        write_frame_sock(sock, encode_net_message(ReplQuery(self.log.origin)))
+        answer = decode_net_message(read_frame_sock(sock))
+        if not isinstance(answer, ReplState) or answer.origin != self.log.origin:
+            raise ProtocolError(
+                f"replication handshake expected REPL_STATE for "
+                f"{self.log.origin!r}, got {type(answer).__name__}"
+            )
+        acked = answer.applied
+        self.log.record_ack(self.peer_address, acked)
+        self.log.mark_connected(self.peer_address)
+        while not self._stop_event.is_set():
+            item = self.log.next_record(acked)
+            if item is None:
+                continue
+            seq, sealed = item
+            write_frame_sock(
+                sock, encode_net_message(ReplRecord(self.log.origin, seq, sealed))
+            )
+            reply = decode_net_message(read_frame_sock(sock))
+            if not isinstance(reply, ReplAck) or reply.origin != self.log.origin:
+                raise ProtocolError("replication stream expected REPL_ACK")
+            if reply.seq >= seq:
+                acked = reply.seq
+                self.log.record_ack(self.peer_address, acked)
+            else:
+                # Receiver backpressure (apply queue full / draining):
+                # back off and retransmit — sequence tracking makes the
+                # retransmission idempotent.
+                self._stop_event.wait(0.05)

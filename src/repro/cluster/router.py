@@ -45,6 +45,8 @@ from ..net.framing import (
     NetRefused,
     Ping,
     Pong,
+    ReplQuery,
+    ReplState,
     Reply,
     Request,
     Resume,
@@ -96,6 +98,7 @@ class ClusterRouter:
         readmit_after: int = 2,
         connect_timeout: float = 2.0,
         backend_timeout: float = 30.0,
+        ryw_timeout: float = 5.0,
         metrics=None,
     ):
         if probe_interval <= 0 or probe_timeout <= 0:
@@ -104,12 +107,15 @@ class ClusterRouter:
             raise ConfigurationError(
                 "connect/backend timeouts must be positive"
             )
+        if ryw_timeout <= 0:
+            raise ConfigurationError("ryw_timeout must be positive")
         self.host = host
         self.port = port
         self.probe_interval = probe_interval
         self.probe_timeout = probe_timeout
         self.connect_timeout = connect_timeout
         self.backend_timeout = backend_timeout
+        self.ryw_timeout = ryw_timeout
         self.membership = ClusterMembership(
             backends, eject_after=eject_after, readmit_after=readmit_after,
             metrics=metrics,
@@ -118,6 +124,14 @@ class ClusterRouter:
         # session id -> backend address: lets a RESUME from a reconnecting
         # client land on the member already serving its session.
         self._pins: Dict[int, str] = {}
+        # session id -> {origin address -> highest acked write sequence}:
+        # the read-your-writes watermark, learned from the repl_seq each
+        # REPLY carries.  Failover targets must have applied every origin
+        # past these marks before they may adopt the session.
+        self._watermarks: Dict[int, Dict[str, int]] = {}
+        # Serializes (re-)adoption per session id: two concurrent RESUMEs
+        # for one session must never be adopted by different replicas.
+        self._adoption_locks: Dict[int, asyncio.Lock] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._probe_tasks: list = []
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -269,7 +283,25 @@ class ClusterRouter:
         Prefers the member the session is pinned to; otherwise — failover
         — the least-loaded routable member, which *adopts* the session.
         Returns (upstream, None) or (None, refusal_message).
+
+        Adoption is serialized per session id: two RESUMEs racing for one
+        session (client retries during a network partition) must not be
+        adopted by different replicas, or each would see only half the
+        session's writes.  The second RESUME waits here and then lands on
+        whatever member the first one pinned.
+
+        Failover targets are additionally held to the session's
+        read-your-writes watermark: a replica may only adopt once it has
+        applied every origin's replication stream past the session's last
+        acknowledged write (:meth:`_backend_caught_up`).  The router
+        waits up to ``ryw_timeout`` per candidate, then tries another.
         """
+        lock = self._adoption_locks.setdefault(session_id, asyncio.Lock())
+        async with lock:
+            return await self._resume_session_locked(session_id, exclude)
+
+    async def _resume_session_locked(self, session_id: int,
+                                     exclude: Sequence[str] = ()):
         tried: Set[str] = set(exclude)
         pinned = self._pins.get(session_id)
         while True:
@@ -284,6 +316,21 @@ class ClusterRouter:
                 return None, self._no_members_refusal()
             tried.add(state.address)
             self.membership.pin(state.address)  # reserve; see _open_new_session
+            needs = {
+                origin: seq
+                for origin, seq in self._watermarks.get(session_id,
+                                                        {}).items()
+                if origin != state.address and seq > 0
+            }
+            if needs:
+                self.counters.increment("ryw.checks")
+                if not await self._backend_caught_up(state, needs):
+                    # Never adopt a session onto a replica that lags the
+                    # session's acknowledged writes — a stale read would
+                    # be silent data loss from the client's view.
+                    self.counters.increment("ryw.rejected")
+                    self.membership.unpin(state.address)
+                    continue
             try:
                 reader, writer = await self._dial(state.address)
                 await write_frame_async(
@@ -318,6 +365,53 @@ class ClusterRouter:
                 f"backend resume answered {type(answer).__name__}"
             )
 
+    async def _backend_caught_up(self, state, needs: Dict[str, int]) -> bool:
+        """Poll ``state`` until it has applied every origin past ``needs``.
+
+        Opens a replication-query connection to the candidate and asks
+        for its applied high-water mark per origin (the same REPL_QUERY
+        the backends use for their catch-up handshake — the router sends
+        and reads only plaintext metadata, never sealed record contents).
+        Returns True once every origin's mark reaches the session's
+        watermark, False after ``ryw_timeout`` or on any transport or
+        protocol failure (a candidate without replication enabled answers
+        with a refusal and is simply rejected).
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.ryw_timeout
+        try:
+            reader, writer = await self._dial(state.address)
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            while True:
+                caught_up = True
+                for origin, needed in needs.items():
+                    await write_frame_async(
+                        writer, encode_net_message(ReplQuery(origin))
+                    )
+                    answer = decode_net_message(await asyncio.wait_for(
+                        read_frame_async(reader),
+                        timeout=self.probe_timeout,
+                    ))
+                    if not isinstance(answer, ReplState):
+                        return False
+                    self.membership.record_repl_state(
+                        state.address, origin, answer.applied
+                    )
+                    if answer.applied < needed:
+                        caught_up = False
+                if caught_up:
+                    return True
+                if loop.time() >= deadline:
+                    return False
+                await asyncio.sleep(0.02)
+        except (OSError, asyncio.TimeoutError, TransientChannelError,
+                ProtocolError):
+            return False
+        finally:
+            writer.close()
+
     def _record_pin(self, session_id: int, address: str) -> None:
         """Point the session at ``address``, whose load slot the caller
         already reserved via ``membership.pin``; releases the previous
@@ -332,6 +426,8 @@ class ClusterRouter:
         previous = self._pins.pop(session_id, None)
         if previous is not None:
             self.membership.unpin(previous)
+        self._watermarks.pop(session_id, None)
+        self._adoption_locks.pop(session_id, None)
 
     def _no_members_refusal(self) -> NetRefused:
         self.counters.increment("refused.no_members")
@@ -466,7 +562,17 @@ class ClusterRouter:
                 upstream = None
                 continue
             if isinstance(answer, Reply):
-                return upstream, answer
+                if answer.repl_seq > 0:
+                    # Remember the highest replication sequence this
+                    # session has seen acknowledged per origin backend —
+                    # the read-your-writes watermark failover targets
+                    # must reach before they may adopt the session.
+                    marks = self._watermarks.setdefault(session_id, {})
+                    if answer.repl_seq > marks.get(upstream.address, 0):
+                        marks[upstream.address] = answer.repl_seq
+                # The watermark is router-internal routing state; the
+                # client gets the plain reply.
+                return upstream, Reply(answer.request_id, answer.sealed)
             if isinstance(answer, NetRefused):
                 if answer.refusal.code == SHED_CODE:
                     # Rolling restart or overload: the member shed the

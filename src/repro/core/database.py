@@ -54,6 +54,11 @@ class PirDatabase:
         self.cop = coprocessor
         self.disk = disk
         self.engine = engine
+        # Optional ReplicationLog (duck-typed: anything with emit()).  Set
+        # by the cluster tier; every public operation then emits one sealed
+        # logical record — reads emit "noop" covers so the stream never
+        # reveals the write pattern (see repro.cluster.replication).
+        self.replication = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -277,6 +282,10 @@ class PirDatabase:
         :class:`PageDeletedError`.
         """
         page = self.engine.retrieve(page_id)
+        # Emit before raising: the engine already executed the full trace,
+        # so the cover record must be appended either way or the stream
+        # would fall out of step with the request count.
+        self._emit("noop")
         if self.cop.page_map.is_deleted(page_id):
             raise PageDeletedError(f"page {page_id} is deleted")
         return page.payload
@@ -284,18 +293,29 @@ class PirDatabase:
     def update(self, page_id: int, payload: bytes) -> None:
         """Replace the payload of an existing page (§4.3 modification)."""
         self.engine.modify(page_id, payload)
+        self._emit("write", page_id, payload)
 
     def insert(self, payload: bytes) -> int:
         """Add a new page, consuming one reserved free slot; returns its id."""
-        return self.engine.insert(payload)
+        new_id = self.engine.insert(payload)
+        # Replicated as a write at the chosen id: peers revive the same
+        # reserve page via modify(), so ids converge across the cluster.
+        self._emit("write", new_id, payload)
+        return new_id
 
     def delete(self, page_id: int) -> None:
         """Remove a page; its storage becomes available to ``insert`` (§4.3)."""
         self.engine.delete(page_id)
+        self._emit("delete", page_id)
 
     def touch(self) -> None:
         """Issue a dummy request to keep the background reshuffle mixing."""
         self.engine.touch()
+        self._emit("noop")
+
+    def _emit(self, kind: str, page_id: int = 0, payload: bytes = b"") -> None:
+        if self.replication is not None:
+            self.replication.emit(kind, page_id, payload)
 
     def run_batch(self, ops: Sequence[BatchOp],
                   window: Optional[int] = None) -> List[object]:
@@ -311,6 +331,18 @@ class PirDatabase:
         methods — only the physical trace differs.
         """
         results = self.engine.run_batch(ops, window=window)
+        if self.replication is not None:
+            for op, item in zip(ops, results):
+                if isinstance(item, Exception):
+                    self._emit("noop")
+                elif op.kind == "update":
+                    self._emit("write", op.page_id, op.payload)
+                elif op.kind == "insert":
+                    self._emit("write", item, op.payload)
+                elif op.kind == "delete":
+                    self._emit("delete", op.page_id)
+                else:  # query / touch
+                    self._emit("noop")
         return [
             bytes(item.payload) if isinstance(item, Page) else item
             for item in results
@@ -414,6 +446,39 @@ class PirDatabase:
             )
         if pm.cached_count != self.params.cache_capacity:
             raise ConfigurationError("page map cached-count drifted from m")
+
+    def content_digest(self) -> bytes:
+        """Digest of the logical content: page id → liveness + payload.
+
+        Replicas share one logical database but deliberately *divergent*
+        physical layouts (independent RNG lineages relocate pages
+        differently on every request), so replica convergence is defined
+        over this digest — exactly the state a client can observe — and
+        never over disk bytes.  Decrypts the whole store; like
+        :meth:`consistency_check`, only call it on small instances.
+        """
+        import hashlib
+
+        pm = self.cop.page_map
+        pages = {}
+        for location in range(self.disk.num_locations):
+            frame = self.disk.peek(location)
+            if frame is None:
+                raise ConfigurationError(f"location {location} uninitialised")
+            page = self.cop.unseal(frame)
+            pages[page.page_id] = page
+        for page in self.cop.cache:
+            pages[page.page_id] = page
+        digest = hashlib.sha256()
+        for page_id in sorted(pages):
+            page = pages[page_id]
+            deleted = pm.is_deleted(page_id)
+            digest.update(page_id.to_bytes(8, "big"))
+            digest.update(b"\x01" if deleted else b"\x00")
+            payload = b"" if deleted else bytes(page.payload)
+            digest.update(len(payload).to_bytes(4, "big"))
+            digest.update(payload)
+        return digest.digest()
 
     def expected_query_time(self) -> float:
         """Eq. 8 evaluated for this configuration's spec and frame size."""

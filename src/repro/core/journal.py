@@ -46,6 +46,7 @@ from ..storage.page import Page
 from ..storage.timing import DiskTimingModel
 
 __all__ = [
+    "RecordCursor",
     "WriteIntent",
     "MemoryJournal",
     "FileJournal",
@@ -71,6 +72,48 @@ MAP_CACHED = 0
 MAP_DISK = 1
 FLAG_LIVE = 1
 FLAG_DELETED = 2
+
+
+class RecordCursor:
+    """Bounds-checked sequential reader over one sealed record blob.
+
+    The RJN1/RJN2 intent codec here and the RPL1 replication-record codec
+    (:mod:`repro.cluster.replication`) share this reader, so every
+    fixed-width field, flag byte, and length-prefixed payload decodes with
+    identical truncation behaviour: any read past the end of the blob
+    raises :class:`~repro.errors.StorageError` instead of a bare
+    ``struct.error``/``IndexError``.
+    """
+
+    def __init__(self, blob: bytes, offset: int = 0):
+        self.blob = blob
+        self.offset = offset
+
+    def take(self, fmt: struct.Struct) -> int:
+        try:
+            value = fmt.unpack_from(self.blob, self.offset)[0]
+        except struct.error as exc:
+            raise StorageError(f"record is truncated: {exc}") from exc
+        self.offset += fmt.size
+        return value
+
+    def take_byte(self) -> int:
+        if self.offset >= len(self.blob):
+            raise StorageError("record is truncated")
+        value = self.blob[self.offset]
+        self.offset += 1
+        return value
+
+    def take_bytes(self, length: int) -> bytes:
+        if length < 0 or self.offset + length > len(self.blob):
+            raise StorageError("record is truncated")
+        value = self.blob[self.offset:self.offset + length]
+        self.offset += length
+        return value
+
+    def expect_end(self, what: str) -> None:
+        if self.offset != len(self.blob):
+            raise StorageError(f"trailing bytes in {what}")
 
 
 @dataclass
@@ -159,70 +202,48 @@ class WriteIntent:
         magic = bytes(blob[:4])
         if magic not in (_MAGIC, _MAGIC_V2):
             raise StorageError("intent record has a bad magic number")
-        offset = 4
+        cursor = RecordCursor(blob, offset=4)
 
-        def take(fmt: struct.Struct) -> int:
-            nonlocal offset
-            value = fmt.unpack_from(blob, offset)[0]
-            offset += fmt.size
-            return value
-
-        def take_byte() -> int:
-            nonlocal offset
-            value = blob[offset]
-            offset += 1
-            return value
-
-        def take_bytes(length: int) -> bytes:
-            nonlocal offset
-            if offset + length > len(blob):
-                raise StorageError("intent record is truncated")
-            value = blob[offset : offset + length]
-            offset += length
-            return value
-
-        try:
-            request_index = take(_U64)
-            next_block = take(_U64)
-            rotation_left = take(_I64)
-            block_start = take(_U64)
-            if magic == _MAGIC:
-                extra_location = take(_U64)
-                extra_locations = None
-            else:
-                extra_locations = [take(_U64) for _ in range(take(_U32))]
-                if not extra_locations:
-                    raise StorageError("intent record carries no extras")
-                extra_location = extra_locations[0]
-            intent = cls(
-                request_index=request_index,
-                next_block=next_block,
-                rotation_left=rotation_left,
-                block_start=block_start,
-                extra_location=extra_location,
-                extra_locations=extra_locations,
+        request_index = cursor.take(_U64)
+        next_block = cursor.take(_U64)
+        rotation_left = cursor.take(_I64)
+        block_start = cursor.take(_U64)
+        if magic == _MAGIC:
+            extra_location = cursor.take(_U64)
+            extra_locations = None
+        else:
+            extra_locations = [
+                cursor.take(_U64) for _ in range(cursor.take(_U32))
+            ]
+            if not extra_locations:
+                raise StorageError("intent record carries no extras")
+            extra_location = extra_locations[0]
+        intent = cls(
+            request_index=request_index,
+            next_block=next_block,
+            rotation_left=rotation_left,
+            block_start=block_start,
+            extra_location=extra_location,
+            extra_locations=extra_locations,
+        )
+        for _ in range(cursor.take(_U32)):
+            slot = cursor.take(_U64)
+            page_id = cursor.take(_U64)
+            flags = cursor.take_byte()
+            payload = cursor.take_bytes(cursor.take(_U32))
+            intent.cache_puts.append(
+                (slot, Page(page_id, payload, deleted=bool(flags & 2)))
             )
-            for _ in range(take(_U32)):
-                slot = take(_U64)
-                page_id = take(_U64)
-                flags = take_byte()
-                payload = take_bytes(take(_U32))
-                intent.cache_puts.append(
-                    (slot, Page(page_id, payload, deleted=bool(flags & 2)))
-                )
-            for _ in range(take(_U32)):
-                page_id = take(_U64)
-                intent.flag_ops.append((page_id, take_byte()))
-            for _ in range(take(_U32)):
-                page_id = take(_U64)
-                kind = take_byte()
-                intent.map_ops.append((page_id, kind, take(_U64)))
-            for _ in range(take(_U32)):
-                intent.frames.append(take_bytes(take(_U32)))
-        except (struct.error, IndexError) as exc:
-            raise StorageError(f"intent record is truncated: {exc}") from exc
-        if offset != len(blob):
-            raise StorageError("trailing bytes in intent record")
+        for _ in range(cursor.take(_U32)):
+            page_id = cursor.take(_U64)
+            intent.flag_ops.append((page_id, cursor.take_byte()))
+        for _ in range(cursor.take(_U32)):
+            page_id = cursor.take(_U64)
+            kind = cursor.take_byte()
+            intent.map_ops.append((page_id, kind, cursor.take(_U64)))
+        for _ in range(cursor.take(_U32)):
+            intent.frames.append(cursor.take_bytes(cursor.take(_U32)))
+        cursor.expect_end("intent record")
         return intent
 
 

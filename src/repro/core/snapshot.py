@@ -41,7 +41,13 @@ from ..storage.merkle import AuthenticatedDisk
 from ..storage.page import Page
 from ..storage.trace import AccessTrace
 
-__all__ = ["save_snapshot", "load_snapshot", "bootstrap_replica"]
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "bootstrap_replica",
+    "save_sealed_sidecar",
+    "load_sealed_sidecar",
+]
 
 _MANIFEST = "manifest.json"
 _FRAMES = "frames.bin"
@@ -295,6 +301,38 @@ def load_snapshot(
     db = PirDatabase(params, cop, disk, engine)
     _decode_trusted_state(trusted, db)
     return db
+
+
+def save_sealed_sidecar(db: PirDatabase, directory: str, name: str,
+                        data: bytes) -> None:
+    """Seal an auxiliary trusted blob next to a snapshot.
+
+    The replication tier checkpoints its applied-sequence vector this way
+    (``<name>.sealed`` beside ``sealed.bin``), so a backend rebuilt from
+    the snapshot knows where each peer's backlog replay must resume — the
+    "``load_snapshot`` + journal roll-forward + replication backlog"
+    catch-up sequence.  Sealed under the coprocessor's master-key suite:
+    the host stores it but cannot read or undetectably alter it.
+    """
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, name + ".sealed"), "wb") as handle:
+        handle.write(db.cop.seal_blob(bytes(data)))
+
+
+def load_sealed_sidecar(db: PirDatabase, directory: str,
+                        name: str) -> Optional[bytes]:
+    """Unseal a sidecar written by :func:`save_sealed_sidecar`.
+
+    Returns None when the sidecar does not exist (e.g. a snapshot from
+    before replication was enabled); raises
+    :class:`~repro.errors.AuthenticationError` on tampering or a wrong
+    master key.
+    """
+    path = os.path.join(directory, name + ".sealed")
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        return db.cop.unseal_blob(handle.read())
 
 
 def bootstrap_replica(

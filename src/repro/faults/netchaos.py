@@ -96,6 +96,21 @@ class ChaosProxy:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
 
+    async def sever_all(self) -> None:
+        """Abort every live proxied connection; keep accepting new ones.
+
+        Models a NAT table reset / transient network partition: both ends
+        of each in-flight connection see a hard reset at the same moment,
+        which is how the double-RESUME races are provoked (two clients of
+        one session reconnect simultaneously).
+        """
+        tasks = list(self._conn_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self.counters.increment("severed", len(tasks))
+
     async def _handle_connection(self, client_reader, client_writer) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
@@ -256,6 +271,16 @@ class ChaosProxyThread:
         finally:
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
+
+    def sever_all(self, timeout: float = 30.0) -> None:
+        """Thread-safe :meth:`ChaosProxy.sever_all`."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.proxy.sever_all(), self._loop
+            )
+            future.result(timeout=timeout)
 
     def stop(self, timeout: float = 30.0) -> None:
         if self._thread is None or self._loop is None:

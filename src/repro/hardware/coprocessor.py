@@ -247,6 +247,23 @@ class SecureCoprocessor:
                 raise
             return self._legacy_suite.decrypt_page(blob)
 
+    def seal_record(self, plaintext: bytes) -> bytes:
+        """Seal one fixed-size control record (the §13 replication stream).
+
+        The caller pads the record to its deployment-fixed size *before*
+        sealing, so every sealed record is the same length regardless of
+        the operation it carries — the host sees a uniform stream of
+        ciphertexts, one per request, and learns nothing about the
+        read/write mix.  Sealing uses the replica-shared master-key suite
+        (:meth:`seal_blob`), which is what makes the record readable by
+        every peer coprocessor and by nothing outside one.
+        """
+        return self.seal_blob(plaintext)
+
+    def unseal_record(self, sealed: bytes) -> bytes:
+        """Authenticate + decrypt a record sealed by a peer coprocessor."""
+        return self.unseal_blob(sealed)
+
     # -- timing charges (link + crypto engine) -----------------------------------
 
     def charge_ingest(self, num_frames: int) -> None:

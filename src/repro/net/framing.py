@@ -17,20 +17,33 @@ Two layers live here, both below the sealed
   admission-control refusals that must be readable *before* a session
   suite exists:
 
-  ========  =========  ===============================================
-  tag       message    body
-  ========  =========  ===============================================
-  0x01      HELLO      magic ``RPIR``, u8 protocol version
-  0x02      WELCOME    u64 session id (the handshake's shared secret)
-  0x03      REQUEST    u32 request id, sealed service-protocol bytes
-  0x04      REPLY      u32 request id, sealed service-protocol bytes
-  0x05      REFUSED    u32 request id, plaintext encoded
-                       :class:`repro.service.protocol.Refused`
-  0x06      BYE        (empty) — orderly session close
-  0x07      PING       (empty) — health probe; no session required
-  0x08      PONG       u8 flags (bit 0 = draining), u32 open sessions
-  0x09      RESUME     u64 session id — re-attach after reconnect
-  ========  =========  ===============================================
+  ==========  ===========  ===============================================
+  tag         message      body
+  ==========  ===========  ===============================================
+  0x01        HELLO        magic ``RPIR``, u8 protocol version
+  0x02        WELCOME      u64 session id (the handshake's shared secret)
+  0x03        REQUEST      u32 request id, sealed service-protocol bytes
+  0x04        REPLY        u32 request id, u64 replication watermark,
+                           sealed service-protocol bytes
+  0x05        REFUSED      u32 request id, plaintext encoded
+                           :class:`repro.service.protocol.Refused`
+  0x06        BYE          (empty) — orderly session close
+  0x07        PING         (empty) — health probe; no session required
+  0x08        PONG         u8 flags (bit 0 = draining), u32 open sessions
+  0x09        RESUME       u64 session id — re-attach after reconnect
+  0x0A        REPL_RECORD  origin address, u64 sequence, sealed
+                           replication record bytes
+  0x0B        REPL_ACK     origin address, u64 highest contiguously
+                           applied sequence from that origin
+  0x0C        REPL_QUERY   origin address — "how far have you applied
+                           that origin's stream?"
+  0x0D        REPL_STATE   origin address, u64 applied sequence — the
+                           answer to REPL_QUERY
+  ==========  ===========  ===============================================
+
+  Origin addresses in the REPL_* messages are u16-length-prefixed UTF-8
+  ``host:port`` strings — a backend's advertised address doubles as its
+  replication stream identity.
 
   Request ids are per-connection client-chosen sequence numbers echoed in
   the matching REPLY/REFUSED, so a client that timed out and retransmitted
@@ -46,6 +59,20 @@ Two layers live here, both below the sealed
   timeout rather than a false "healthy".  PONG is plaintext for the same
   reason REFUSED is: it exists before any session does, and it carries
   nothing the connection pattern itself does not already reveal.
+
+  The REPL_* messages carry DESIGN.md §13's sealed replication stream
+  between cluster backends.  A connection whose first frame is REPL_QUERY
+  or REPL_RECORD is a peer replication channel, not a client session: the
+  sender streams sealed, sequence-numbered records and the receiver
+  answers each with the highest sequence it has *contiguously* applied
+  from that origin, which doubles as the catch-up cursor after a restart.
+  Record bodies are sealed under the replica-shared master key and padded
+  to a fixed size before sealing, so neither the router nor a network
+  observer learns which requests were writes.  The REPLY watermark is the
+  serving backend's own replication sequence after the request — plain
+  u64, because it is a request *counter*, which connection-level traffic
+  analysis already reveals; the router uses it for read-your-writes
+  failover gating and strips it before forwarding to clients.
 
   RESUME replaces HELLO on a re-dialled connection: the client presents
   the session id from its original WELCOME and the server re-attaches the
@@ -79,6 +106,10 @@ __all__ = [
     "Ping",
     "Pong",
     "Resume",
+    "ReplRecord",
+    "ReplAck",
+    "ReplQuery",
+    "ReplState",
     "encode_net_message",
     "decode_net_message",
     "encode_frame",
@@ -109,8 +140,16 @@ _T_BYE = 0x06
 _T_PING = 0x07
 _T_PONG = 0x08
 _T_RESUME = 0x09
+_T_REPL_RECORD = 0x0A
+_T_REPL_ACK = 0x0B
+_T_REPL_QUERY = 0x0C
+_T_REPL_STATE = 0x0D
 
 _PONG_DRAINING = 0x01
+
+#: Upper bound on an advertised ``host:port`` origin string; anything
+#: longer than this in a REPL_* body is a desynchronised or hostile peer.
+_MAX_ORIGIN_BYTES = 256
 
 
 @dataclass(frozen=True)
@@ -131,8 +170,18 @@ class Request:
 
 @dataclass(frozen=True)
 class Reply:
+    """A sealed answer to one REQUEST.
+
+    ``repl_seq`` is the serving backend's replication high-water mark
+    after this request (0 when the backend has no replication attached).
+    The cluster router records it per session as the read-your-writes
+    floor for failover, and forwards clients a plain ``repl_seq == 0``
+    reply so the watermark never leaves the cluster.
+    """
+
     request_id: int
     sealed: bytes
+    repl_seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -181,9 +230,71 @@ class Resume:
     session_id: int
 
 
+@dataclass(frozen=True)
+class ReplRecord:
+    """One sealed replication record from ``origin``'s stream."""
+
+    origin: str
+    seq: int
+    sealed: bytes
+
+
+@dataclass(frozen=True)
+class ReplAck:
+    """Receiver's highest contiguously applied sequence from ``origin``.
+
+    An ack below the sequence just sent means the receiver could not take
+    the record (apply queue full, draining); the streamer backs off and
+    retransmits — records are idempotent under sequence tracking.
+    """
+
+    origin: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class ReplQuery:
+    """Ask a backend how far it has applied ``origin``'s stream."""
+
+    origin: str
+
+
+@dataclass(frozen=True)
+class ReplState:
+    """Answer to :class:`ReplQuery`: applied sequence for ``origin``."""
+
+    origin: str
+    applied: int
+
+
 NetMessage = Union[
     Hello, Welcome, Request, Reply, NetRefused, Bye, Ping, Pong, Resume,
+    ReplRecord, ReplAck, ReplQuery, ReplState,
 ]
+
+
+def _encode_origin(origin: str) -> bytes:
+    encoded = origin.encode("utf-8")
+    if len(encoded) > _MAX_ORIGIN_BYTES:
+        raise ProtocolError(
+            f"origin address of {len(encoded)} bytes exceeds the "
+            f"{_MAX_ORIGIN_BYTES}-byte cap"
+        )
+    return struct.pack(">H", len(encoded)) + encoded
+
+
+def _decode_origin(body: bytes, offset: int) -> "tuple[str, int]":
+    (length,) = struct.unpack_from(">H", body, offset)
+    if length > _MAX_ORIGIN_BYTES:
+        raise ProtocolError(
+            f"origin address of {length} bytes exceeds the "
+            f"{_MAX_ORIGIN_BYTES}-byte cap"
+        )
+    start = offset + 2
+    encoded = body[start:start + length]
+    if len(encoded) != length:
+        raise ProtocolError("truncated origin address")
+    return encoded.decode("utf-8"), start + length
 
 
 def encode_net_message(message: NetMessage) -> bytes:
@@ -197,7 +308,7 @@ def encode_net_message(message: NetMessage) -> bytes:
                 + message.sealed)
     if isinstance(message, Reply):
         return (bytes([_T_REPLY]) + _U32.pack(message.request_id)
-                + message.sealed)
+                + _U64.pack(message.repl_seq) + message.sealed)
     if isinstance(message, NetRefused):
         return (bytes([_T_REFUSED]) + _U32.pack(message.request_id)
                 + protocol.encode_client_message(message.refusal))
@@ -210,6 +321,17 @@ def encode_net_message(message: NetMessage) -> bytes:
         return bytes([_T_PONG, flags]) + _U32.pack(message.sessions)
     if isinstance(message, Resume):
         return bytes([_T_RESUME]) + _U64.pack(message.session_id)
+    if isinstance(message, ReplRecord):
+        return (bytes([_T_REPL_RECORD]) + _encode_origin(message.origin)
+                + _U64.pack(message.seq) + message.sealed)
+    if isinstance(message, ReplAck):
+        return (bytes([_T_REPL_ACK]) + _encode_origin(message.origin)
+                + _U64.pack(message.seq))
+    if isinstance(message, ReplQuery):
+        return bytes([_T_REPL_QUERY]) + _encode_origin(message.origin)
+    if isinstance(message, ReplState):
+        return (bytes([_T_REPL_STATE]) + _encode_origin(message.origin)
+                + _U64.pack(message.applied))
     raise ProtocolError(f"cannot encode {type(message).__name__}")
 
 
@@ -230,7 +352,8 @@ def decode_net_message(body: bytes) -> NetMessage:
         if tag == _T_REQUEST:
             return Request(_U32.unpack_from(body, 1)[0], body[5:])
         if tag == _T_REPLY:
-            return Reply(_U32.unpack_from(body, 1)[0], body[5:])
+            return Reply(_U32.unpack_from(body, 1)[0], body[13:],
+                         _U64.unpack_from(body, 5)[0])
         if tag == _T_REFUSED:
             refusal = protocol.decode_client_message(body[5:])
             if not isinstance(refusal, protocol.Refused):
@@ -253,6 +376,25 @@ def decode_net_message(body: bytes) -> NetMessage:
             if len(body) != 9:
                 raise ProtocolError("bad RESUME length")
             return Resume(_U64.unpack_from(body, 1)[0])
+        if tag == _T_REPL_RECORD:
+            origin, offset = _decode_origin(body, 1)
+            return ReplRecord(origin, _U64.unpack_from(body, offset)[0],
+                              body[offset + 8:])
+        if tag == _T_REPL_ACK:
+            origin, offset = _decode_origin(body, 1)
+            if len(body) != offset + 8:
+                raise ProtocolError("bad REPL_ACK length")
+            return ReplAck(origin, _U64.unpack_from(body, offset)[0])
+        if tag == _T_REPL_QUERY:
+            origin, offset = _decode_origin(body, 1)
+            if len(body) != offset:
+                raise ProtocolError("bad REPL_QUERY length")
+            return ReplQuery(origin)
+        if tag == _T_REPL_STATE:
+            origin, offset = _decode_origin(body, 1)
+            if len(body) != offset + 8:
+                raise ProtocolError("bad REPL_STATE length")
+            return ReplState(origin, _U64.unpack_from(body, offset)[0])
     except struct.error as exc:
         raise ProtocolError(f"truncated network message: {exc}") from exc
     raise ProtocolError(f"unknown network message tag 0x{tag:02x}")

@@ -46,6 +46,10 @@ from .framing import (
     NetRefused,
     Ping,
     Pong,
+    ReplAck,
+    ReplQuery,
+    ReplRecord,
+    ReplState,
     Reply,
     Request,
     Resume,
@@ -146,6 +150,11 @@ class PirServer:
         # multiple workers net spans are suppressed.
         self._span_tracer = frontend.tracer if workers == 1 else NULL_TRACER
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        # Inbound replication records get their own queue and worker so a
+        # serve stalled in the semi-sync barrier can never starve the
+        # peer applies that would release it (see _repl_worker_loop).
+        self._repl_queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._repl_thread: Optional[threading.Thread] = None
         self._threads: list = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -157,6 +166,49 @@ class PirServer:
         # Test hook: called on the worker thread just before dispatching a
         # request to the frontend (drain-during-in-flight tests block here).
         self._serve_hook = None
+        # Sealed write replication (cluster backends only; see
+        # attach_replication).
+        self._repl_log = None
+        self._repl_applier = None
+
+    def attach_replication(self, log, applier) -> None:
+        """Wire a :class:`~repro.cluster.replication.ReplicationLog` and
+        :class:`~repro.cluster.replication.ReplicationApplier` in.
+
+        Afterwards this server (a) answers peer REPL_QUERY/REPL_RECORD
+        connections, applying inbound records on a dedicated replication
+        worker (serialized against the serving workers through the
+        frontend's engine lock, so the engine still sees one operation
+        at a time — but never queued *behind* a serve, or a barrier
+        stalled waiting for a peer could starve the very applies that
+        release the peer's own barriers: a distributed pool deadlock),
+        (b) stamps every REPLY with the sequence its serve's barrier
+        waited on, for the router's read-your-writes gate, and (c) holds
+        each reply — on the worker thread, *before* it is cached or sent
+        — until every *connected* peer has acked the emitted sequence:
+        semi-synchronous replication, which is what makes an
+        acknowledged write survive this backend's death.  The barrier
+        must run before the reply enters the shared reply cache, or a
+        surviving peer could dedupe-serve an acknowledgement for a write
+        it never applied (a stale read after failover).
+        """
+        self._repl_log = log
+        self._repl_applier = applier
+        if self._loop is not None:
+            self._ensure_repl_worker()
+
+        def _barrier():
+            seq = log.last_seq
+            log.wait_replicated(seq)
+            return (log.origin, seq)
+
+        def _gate(origin, seq):
+            if origin == log.origin:
+                return log.last_seq >= seq  # our own emission: we hold it
+            return applier.wait_applied(origin, seq, log.wait_timeout)
+
+        self.frontend.replication_barrier = _barrier
+        self.frontend.replication_gate = _gate
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -174,6 +226,8 @@ class PirServer:
             )
             thread.start()
             self._threads.append(thread)
+        if self._repl_applier is not None:
+            self._ensure_repl_worker()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -208,6 +262,10 @@ class PirServer:
         for thread in self._threads:
             thread.join()
         self._threads = []
+        if self._repl_thread is not None:
+            self._repl_queue.put(None)
+            self._repl_thread.join()
+            self._repl_thread = None
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -253,6 +311,9 @@ class PirServer:
             if isinstance(first, Ping):
                 await self._probe_loop(reader, writer, first)
                 return
+            if isinstance(first, (ReplQuery, ReplRecord)):
+                await self._repl_loop(reader, writer, first)
+                return
             session_id = await self._handshake(first, writer)
             if session_id is None:
                 return
@@ -287,6 +348,8 @@ class PirServer:
                     # snapshot before this coroutine runs another line.
                     if isinstance(reply, Reply):
                         self.counters.increment("replies")
+                    # (Semi-sync replication holds replies on the worker
+                    # thread, before caching: frontend.replication_barrier.)
                     await self._send(writer, reply)
                 finally:
                     self._inflight -= 1
@@ -338,6 +401,64 @@ class PirServer:
                 writer, Pong(self._draining, self.frontend.session_count)
             )
             message = decode_net_message(await read_frame_async(reader))
+
+    async def _repl_loop(self, reader, writer, first) -> None:
+        """Serve a peer's replication connection (REPL_QUERY/REPL_RECORD).
+
+        The stream is sessionless like a probe: a REPL_QUERY answers with
+        this backend's applied high-water mark for the asking origin (the
+        catch-up handshake), and each REPL_RECORD is applied on a worker
+        thread — the engine stays single-threaded per request, replicated
+        or local — then acked with the new applied mark.  Apply is
+        idempotent, so a shed or re-sent record is simply acked at the
+        unchanged mark and the peer retransmits.
+        """
+        if self._repl_applier is None:
+            raise ProtocolError("replication is not enabled on this server")
+        message = first
+        while True:
+            if isinstance(message, ReplQuery):
+                self.counters.increment("repl.queries")
+                await self._send(writer, ReplState(
+                    message.origin,
+                    self._repl_applier.applied_for(message.origin),
+                ))
+            elif isinstance(message, ReplRecord):
+                applied = await self._apply_replicated(message)
+                await self._send(writer, ReplAck(message.origin, applied))
+            else:
+                raise ProtocolError(
+                    f"replication connection sent {type(message).__name__}"
+                )
+            message = decode_net_message(await read_frame_async(reader))
+
+    async def _apply_replicated(self, record: ReplRecord) -> int:
+        """Queue one inbound record for a worker; return the applied mark.
+
+        While draining (or when the queue is full) the record is *not*
+        applied and the current mark is returned unchanged — the peer's
+        streamer sees a stale ack and retransmits after backoff.
+        """
+        assert self._repl_applier is not None
+        if self._draining:
+            return self._repl_applier.applied_for(record.origin)
+        assert self._loop is not None and self._idle_event is not None
+        future = self._loop.create_future()
+        try:
+            self._repl_queue.put_nowait((record, future, self._loop))
+        except queue.Full:
+            self.counters.increment("shed")
+            self.counters.increment("shed.repl")
+            return self._repl_applier.applied_for(record.origin)
+        self._publish_queue_depth()
+        self._inflight += 1
+        self._idle_event.clear()
+        try:
+            return await future
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle_event.set()
 
     async def _handshake(self, message, writer) -> Optional[int]:
         """HELLO/WELCOME exchange; returns the session id or None if refused.
@@ -420,16 +541,23 @@ class PirServer:
                 return NetRefused(request.request_id, refusal)
         assert self._loop is not None
         future = self._loop.create_future()
+        # Mark the session busy for the whole queued-to-served window so
+        # the idle reaper cannot close it out from under a queued request.
+        self.frontend.begin_request(session_id)
         try:
             self._queue.put_nowait((session_id, request, future, self._loop))
         except queue.Full:
+            self.frontend.end_request(session_id)
             self.counters.increment("shed")
             self.counters.increment("shed.queue")
             return NetRefused(request.request_id, protocol.Refused(
                 "request queue is full", SHED_CODE, 0.05,
             ))
         self._publish_queue_depth()
-        return await future
+        try:
+            return await future
+        finally:
+            self.frontend.end_request(session_id)
 
     async def _send(self, writer, message, best_effort: bool = False) -> None:
         body = encode_net_message(message)
@@ -460,7 +588,23 @@ class PirServer:
                                             nbytes=len(request.sealed)):
                     sealed_reply = self.frontend.serve(session_id,
                                                        request.sealed)
-                result = Reply(request.request_id, sealed_reply)
+                # Stamp the reply with the (origin, seq) mark the serve's
+                # replication barrier actually waited on, so the router's
+                # read-your-writes watermark never runs ahead of what
+                # connected peers hold.  log.last_seq at stamp time would
+                # include other sessions' concurrent emissions that were
+                # never waited on — a watermark a surviving peer may be
+                # unable to satisfy until the dead origin restarts.  A
+                # mark from a *different* origin (a dedupe served from the
+                # shared cache for a write another member emitted) stamps
+                # 0: the seq lives in that origin's numbering, and the
+                # dedupe gate already proved this member applied it.
+                mark = self.frontend.consume_reply_mark()
+                repl_seq = 0
+                if (self._repl_log is not None and mark is not None
+                        and mark[0] == self._repl_log.origin):
+                    repl_seq = mark[1]
+                result = Reply(request.request_id, sealed_reply, repl_seq)
             except ReproError as exc:
                 # serve() seals most refusals itself; reaching here means
                 # the session is gone (reaped/closed) or similarly
@@ -480,6 +624,42 @@ class PirServer:
             except RuntimeError:
                 # The loop was closed under us (ServerThread.kill in a
                 # crash test); the connection is gone, nobody awaits this.
+                return
+
+    def _ensure_repl_worker(self) -> None:
+        if self._repl_thread is None:
+            self._repl_thread = threading.Thread(
+                target=self._repl_worker_loop, name="pir-repl-worker",
+                daemon=True,
+            )
+            self._repl_thread.start()
+
+    def _repl_worker_loop(self) -> None:
+        """Apply inbound replication records off their own queue.
+
+        A separate lane from the serving workers: a serve holding a
+        worker thread through a semi-sync barrier is *waiting on peers*
+        — if peer records queued behind it, two members could deadlock
+        each other's pools (each barrier waiting for an apply the other
+        member cannot run).  Engine single-threading is preserved by the
+        applier taking the frontend's engine lock around the actual
+        engine calls.
+        """
+        while True:
+            item = self._repl_queue.get()
+            if item is None:
+                return
+            record, future, loop = item
+            try:
+                applied = self._repl_applier.apply(
+                    record.origin, record.seq, record.sealed)
+            except BaseException:
+                # Never wedge the peer's stream: ack the unchanged
+                # mark so its streamer backs off and retransmits.
+                applied = self._repl_applier.applied_for(record.origin)
+            try:
+                loop.call_soon_threadsafe(self._resolve, future, applied)
+            except RuntimeError:
                 return
 
     @staticmethod

@@ -19,6 +19,7 @@ until :meth:`QueryFrontend.recover` has repaired the store.
 
 from __future__ import annotations
 
+import contextlib
 import struct
 import threading
 from collections import OrderedDict
@@ -110,6 +111,14 @@ class SealedReplyCache:
     on load, exactly like a torn journal record.  The log is append-only
     and never compacted; the in-memory LRU bound applies after reload.
 
+    Eviction never removes a session's *most recent* reply.  That entry
+    is exactly what a client retransmits after a reconnect or failover,
+    and the retransmission may arrive before the original ack was ever
+    seen — evicting it would re-execute an acknowledged mutation
+    (double-apply).  Under churn this means the cache can temporarily
+    exceed ``capacity`` by up to one pinned entry per live session;
+    :meth:`drop_session` unpins when the session closes or is reaped.
+
     Thread-safe: the network server's worker threads and its event-loop
     thread (session reaping) touch the cache concurrently.
     """
@@ -119,6 +128,11 @@ class SealedReplyCache:
             raise ProtocolError("reply cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
+        # session id -> key of that session's most recent reply (pinned).
+        self._latest: Dict[int, tuple] = {}
+        # key -> (origin, repl_seq) for entries whose mutation was
+        # emitted into a replication log (see mark_for).
+        self._marks: Dict[tuple, tuple] = {}
         self._lock = threading.Lock()
         self._path = str(path) if path is not None else None
         self._file = None
@@ -143,10 +157,29 @@ class SealedReplyCache:
             request = raw[offset + _CACHE_RECORD.size:
                           offset + _CACHE_RECORD.size + req_len]
             reply = raw[offset + _CACHE_RECORD.size + req_len:body_end]
-            self._entries[(session_id, request)] = reply
+            key = (session_id, request)
+            self._entries[key] = reply
+            self._latest[session_id] = key  # last record wins
             offset = body_end
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """Evict oldest-first, skipping each session's pinned latest reply.
+
+        Caller holds the lock (or is still single-threaded in _load).
+        When every entry is pinned the cache overflows instead of
+        evicting an un-acked reply.
+        """
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = None
+            for key in self._entries:
+                if self._latest.get(key[0]) != key:
+                    victim = key
+                    break
+            if victim is None:
+                break
+            del self._entries[victim]
+            self._marks.pop(victim, None)
 
     def __len__(self) -> int:
         with self._lock:
@@ -161,7 +194,7 @@ class SealedReplyCache:
             return reply
 
     def put(self, session_id: int, sealed_request: bytes,
-            sealed_reply: bytes) -> None:
+            sealed_reply: bytes, mark=None) -> None:
         key = (session_id, sealed_request)
         with self._lock:
             if self._file is not None:
@@ -173,14 +206,34 @@ class SealedReplyCache:
                 self._file.flush()
             self._entries[key] = sealed_reply
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._latest[session_id] = key
+            if mark is not None:
+                self._marks[key] = mark
+            else:
+                self._marks.pop(key, None)
+            self._evict_over_capacity()
+
+    def mark_for(self, session_id: int, sealed_request: bytes):
+        """The replication mark stored with an entry, or None.
+
+        On cluster backends every cached reply carries the ``(origin,
+        seq)`` of the replication record its mutation emitted; a member
+        serving the entry as a dedupe must have applied that record
+        first (QueryFrontend.replication_gate), or a preserved ACK could
+        outlive the write it acknowledges.  Marks are in-memory only:
+        entries reloaded from a persistent cache file have none, and the
+        restart catch-up handshake covers that window instead.
+        """
+        with self._lock:
+            return self._marks.get((session_id, sealed_request))
 
     def drop_session(self, session_id: int) -> None:
         with self._lock:
+            self._latest.pop(session_id, None)
             stale = [key for key in self._entries if key[0] == session_id]
             for key in stale:
                 del self._entries[key]
+                self._marks.pop(key, None)
 
     def close(self) -> None:
         with self._lock:
@@ -261,6 +314,32 @@ class QueryFrontend:
         )
         self._sessions: Dict[int, CipherSuite] = {}
         self._last_used: Dict[int, float] = {}
+        # session id -> number of requests admitted but not yet answered
+        # (queued or being served); the idle reaper must not close these.
+        self._inflight_requests: Dict[int, int] = {}
+        # Set by PirServer.attach_replication on cluster backends.
+        # replication_barrier: called after a successful dispatch, before
+        # the reply is cached; blocks until connected peers hold the
+        # write and returns the (origin, seq) mark to cache with it.
+        # replication_gate(origin, seq) -> bool: called before serving a
+        # cached reply as a dedupe; must confirm this member has applied
+        # the record behind it (see both call sites in serve()).
+        self.replication_barrier = None
+        self.replication_gate = None
+        # Per-worker-thread (origin, seq) mark of the reply serve() just
+        # produced — what the barrier actually waited on.  The network
+        # server stamps this onto the wire reply so the router's
+        # read-your-writes watermark never runs ahead of what connected
+        # peers were confirmed to hold (log.last_seq at stamp time can
+        # include other sessions' not-yet-replicated emissions).
+        self._reply_marks = threading.local()
+        # Serializes engine access between the serving worker and a
+        # replication applier running on its own thread (cluster
+        # backends): the plain engine is single-threaded by contract,
+        # and this lock is how the two lanes honour it.  Held only
+        # around the dispatch itself — never across the replication
+        # barrier, which must not block peer applies.
+        self.engine_lock = threading.Lock()
         # Guards the session tables: the network server opens/closes/reaps
         # sessions on its event-loop thread while worker threads serve.
         self._session_lock = threading.Lock()
@@ -365,7 +444,30 @@ class QueryFrontend:
         with self._session_lock:
             self._sessions.pop(session_id, None)
             self._last_used.pop(session_id, None)
+            self._inflight_requests.pop(session_id, None)
         self._reply_cache.drop_session(session_id)
+
+    def begin_request(self, session_id: int) -> None:
+        """Mark a request admitted for ``session_id`` (queued or serving).
+
+        The network server brackets the whole queued-to-answered window
+        with begin/end so :meth:`reap_idle_sessions` cannot reap a session
+        whose request sits unserved in the worker queue — reaping it there
+        turned a retryable shed into a non-retryable ``session-not-found``.
+        """
+        with self._session_lock:
+            self._inflight_requests[session_id] = (
+                self._inflight_requests.get(session_id, 0) + 1
+            )
+
+    def end_request(self, session_id: int) -> None:
+        """Balance a :meth:`begin_request` once the reply (or refusal) is out."""
+        with self._session_lock:
+            count = self._inflight_requests.get(session_id, 0) - 1
+            if count <= 0:
+                self._inflight_requests.pop(session_id, None)
+            else:
+                self._inflight_requests[session_id] = count
 
     @property
     def session_count(self) -> int:
@@ -389,6 +491,12 @@ class QueryFrontend:
         ``sessions.reaped``.  A reaped session's later requests refuse with
         an ``unknown session`` protocol error, exactly like an explicit
         :meth:`close_session`.
+
+        Sessions with in-flight work (admitted requests still queued or
+        being served, see :meth:`begin_request`) are never reaped, however
+        stale their last-used stamp: under load a request can sit in the
+        worker queue past the TTL, and reaping the session underneath it
+        answers ``session-not-found`` where a retryable refusal was due.
         """
         if self.session_ttl is None:
             return 0
@@ -398,6 +506,7 @@ class QueryFrontend:
                 session_id
                 for session_id, last in self._last_used.items()
                 if now - last > self.session_ttl
+                and self._inflight_requests.get(session_id, 0) == 0
             ]
             for session_id in stale:
                 self._sessions.pop(session_id, None)
@@ -439,13 +548,31 @@ class QueryFrontend:
         nothing durable.
         """
         with self.tracer.span("frontend.serve"):
+            self._reply_marks.mark = None
             suite = self.session_suite(session_id)
             with self._session_lock:
                 if session_id in self._last_used:
                     self._last_used[session_id] = self._time_source()
             cached = self._reply_cache.get(session_id, sealed_request)
             if cached is not None:
+                mark = self._reply_cache.mark_for(session_id, sealed_request)
+                gate = self.replication_gate
+                if mark is not None and gate is not None \
+                        and not gate(*mark):
+                    # The cached acknowledgement belongs to a write this
+                    # member has not applied (the origin died before its
+                    # record streamed here).  Serving the ACK would let
+                    # the session read stale state — shed instead; the
+                    # refusal is retryable and the origin's restart
+                    # replays the record.
+                    self.counters.increment("requests.duplicate_lagged")
+                    raise DegradedServiceError(
+                        "retransmitted request acknowledges a write not "
+                        "yet replicated to this member; retry",
+                        retry_after=0.2,
+                    )
                 self.counters.increment("requests.duplicate")
+                self._reply_marks.mark = mark
                 return cached
             try:
                 request = protocol.decode_client_message(
@@ -457,10 +584,18 @@ class QueryFrontend:
                 # engine and never counts against service health.
                 reply = self._refusal_for(exc, affects_health=False)
             else:
+                # Replicated members serialize against the peer-apply
+                # lane; without replication there is no second engine
+                # user (one worker, or a thread-safe sharded database)
+                # and the lock would only serialize the parallel path.
+                guard = (self.engine_lock
+                         if self.replication_barrier is not None
+                         else contextlib.nullcontext())
                 try:
-                    self.health.check()
-                    reply = self._dispatch(request)
-                    self.health.record_success()
+                    with guard:
+                        self.health.check()
+                        reply = self._dispatch(request)
+                        self.health.record_success()
                 except ReproError as exc:
                     reply = self._refusal_for(exc)
             self.counters.increment("requests")
@@ -468,11 +603,40 @@ class QueryFrontend:
                 protocol.encode_client_message(reply)
             )
             if not isinstance(reply, protocol.Refused):
+                mark = None
+                barrier = self.replication_barrier
+                if barrier is not None:
+                    # Semi-sync replication barrier (cluster backends):
+                    # a reply may only become a cached — and therefore
+                    # failover-preservable — acknowledgement once every
+                    # connected peer holds the write.  The returned
+                    # (origin, seq) mark rides with the cache entry so a
+                    # peer that dedupe-serves it can prove it applied
+                    # the write first (replication_gate above) — the
+                    # barrier alone cannot close the window, because it
+                    # passes when peers are disconnected (availability
+                    # over blocking forever).
+                    mark = barrier()
+                    self._reply_marks.mark = mark
                 # BatchReply is cached even when some entries are Refused:
                 # the *other* entries may have mutated durable state, so a
                 # duplicate must not re-execute them.
-                self._reply_cache.put(session_id, sealed_request, sealed_reply)
+                self._reply_cache.put(session_id, sealed_request,
+                                      sealed_reply, mark=mark)
             return sealed_reply
+
+    def consume_reply_mark(self):
+        """Pop the (origin, seq) mark of this thread's last serve().
+
+        None when the reply was a refusal, replication is not attached,
+        or serve() has not run on this thread.  The network server calls
+        this right after serve() to stamp the wire reply; consuming
+        (rather than peeking) keeps a later refusal from inheriting a
+        stale mark.
+        """
+        mark = getattr(self._reply_marks, "mark", None)
+        self._reply_marks.mark = None
+        return mark
 
     def _refusal_for(
         self, exc: ReproError, affects_health: bool = True

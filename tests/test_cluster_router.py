@@ -22,6 +22,7 @@ from repro.cluster import (
     ClusterRouter,
     RouterThread,
     build_cluster,
+    connect_replication,
 )
 from repro.errors import (
     ConfigurationError,
@@ -138,12 +139,14 @@ class TestMembershipPolicy:
 
 
 @contextlib.contextmanager
-def cluster(tmp_path, n=2, registry=None, router_kw=None):
+def cluster(tmp_path, n=2, registry=None, router_kw=None, replicated=False):
     handles = build_cluster(RECORDS, n, str(tmp_path), metrics=registry,
                             page_capacity=16, target_c=2.0)
     try:
         for handle in handles:
             handle.start()
+        if replicated:
+            connect_replication(handles)
         router = ClusterRouter(
             [handle.spec for handle in handles],
             probe_interval=0.05, probe_timeout=1.0, eject_after=2,
@@ -260,17 +263,25 @@ class TestFailover:
         """The acknowledged-but-unreplied window: backend A applies an
         update and caches the reply, but the reply never reaches the
         router.  Failover retransmits to B, whose view of the shared
-        reply cache answers without re-applying."""
+        reply cache answers without re-applying — and B already holds
+        the write via the sealed replication stream, so the failed-over
+        session reads its own write from the survivor."""
         handles = build_cluster(RECORDS, 2, str(tmp_path),
                                 page_capacity=16, target_c=2.0)
         try:
             for handle in handles:
                 handle.start()
             # Interpose a chaos proxy between the router and backend 0:
-            # the router believes the proxy IS the member.
+            # the router believes the proxy IS the member (so the proxy
+            # address is also backend 0's replication origin identity).
             proxy = ChaosProxy(handles[0].host, handles[0].port,
                                FaultInjector(seed=13))
             with ChaosProxyThread(proxy) as chaos:
+                connect_replication(
+                    handles,
+                    origins=[f"{chaos.host}:{chaos.port}",
+                             handles[1].spec.address],
+                )
                 specs = [BackendSpec(chaos.host, chaos.port),
                          handles[1].spec]
                 router = ClusterRouter(
@@ -295,21 +306,27 @@ class TestFailover:
                         ])
                         client.update(6, b"landed once")
                         after = sum(e.request_count for e in engines)
-                        # One engine application despite the failover
-                        # retransmission...
-                        assert after == before + 1
+                        # Exactly one application *per member* despite
+                        # the failover retransmission: the origin served
+                        # the update, its peer applied the replicated
+                        # record, and the retransmit was answered from
+                        # the shared reply cache without re-executing.
+                        assert after == before + 2
                         assert (handles[1].frontend.counters
                                 .get("requests.duplicate") == 1)
                         assert router.counters.get("failovers") == 1
                         assert router.counters.get("retransmits") == 1
-                        # ...and the write is durable on the replica that
-                        # applied it.  (Writes do NOT replicate between
-                        # backends — the shared reply cache guarantees
-                        # single application and a preserved ACK, not
-                        # cross-replica write visibility; DESIGN.md §13.)
-                        assert handles[0].db.query(6) == b"landed once"
                         # The failed-over session keeps serving reads.
                         assert client.query(1) == RECORDS[1]
+                # Quiesce (no applier worker mutating an engine), then
+                # check the write landed on BOTH members: the shared
+                # reply cache gave single application and a preserved
+                # ACK, and the sealed replication stream gave
+                # cross-replica write visibility (DESIGN.md §13).
+                for handle in handles:
+                    handle.kill()
+                assert handles[0].db.query(6) == b"landed once"
+                assert handles[1].db.query(6) == b"landed once"
         finally:
             for handle in handles:
                 handle.kill()
@@ -485,3 +502,170 @@ class TestBackendAdoption:
                 frontend.adopt_session(0)
         finally:
             db.close()
+
+
+class TestSealedReplication:
+    """The cross-replica write-divergence fix, end to end (DESIGN.md
+    §13): sealed write replication between members, the router's
+    read-your-writes failover gate, and restart catch-up."""
+
+    def test_failover_reads_own_write_then_restart_converges(self, tmp_path):
+        """Kill the pinned member right after an acknowledged write: the
+        failed-over session must read that write from the survivor, and
+        the restarted member must replay the tail it missed until both
+        engines hold identical trusted content."""
+        with cluster(tmp_path, n=2, replicated=True) as (
+                handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                assert client.query(3) == RECORDS[3]
+                client.update(6, b"replicated")
+                pinned = router._pins[client.session_id]
+                victim = next(h for h in handles
+                              if h.spec.address == pinned)
+                survivor = next(h for h in handles
+                                if h.spec.address != pinned)
+                victim.kill()
+                # Read-your-writes across failover: the survivor applied
+                # the sealed record before the update was acknowledged
+                # (semi-sync), the router's gate verified it, and the
+                # session sees its own write.
+                assert client.query(6) == b"replicated"
+                assert router.counters.get("ryw.checks") >= 1
+                assert router.counters.get("ryw.rejected") == 0
+                # More writes land while the victim is down...
+                client.update(7, b"while-down")
+                # ...then it returns and replays the missed tail from
+                # the survivor's backlog.
+                victim.restart()
+                assert wait_until(
+                    lambda: victim.repl_applier.applied_for(
+                        survivor.spec.address)
+                    >= survivor.repl_log.last_seq)
+            # Quiesce both members (no applier worker mutating an
+            # engine), then compare: the replicas converge on identical
+            # trusted content even though their physical layouts (and
+            # RNG lineages) differ.
+            for handle in handles:
+                handle.kill()
+            assert victim.db.query(6) == b"replicated"
+            assert victim.db.query(7) == b"while-down"
+            assert (victim.db.content_digest()
+                    == survivor.db.content_digest())
+
+    def test_failover_refuses_stale_replica(self, tmp_path):
+        """The heart of the bugfix: a replica that has not applied the
+        session's acknowledged writes must NOT adopt the session.  The
+        router refuses (retryably) instead of serving a stale read."""
+        with cluster(tmp_path, n=2, replicated=True,
+                     router_kw={"ryw_timeout": 0.3}) as (
+                         handles, router, thread):
+            with NetworkClient(thread.host, thread.port,
+                               timeout=5.0) as client:
+                assert client.query(1) == RECORDS[1]
+                pinned = router._pins[client.session_id]
+                victim = next(h for h in handles
+                              if h.spec.address == pinned)
+                # Partition the replication stream: the next write is
+                # acknowledged by the origin but never reaches the peer
+                # (with no *connected* peers the semi-sync wait is
+                # trivially satisfied — availability over blocking).
+                victim.stop_replication()
+                client.update(6, b"origin only")
+                victim.kill()
+                # The survivor lags the session's watermark: refusing is
+                # correct, serving the old page 6 would be silent data
+                # loss.
+                with pytest.raises(DegradedServiceError) as excinfo:
+                    client.query(6)
+                assert excinfo.value.retry_after > 0
+                assert router.counters.get("ryw.rejected") >= 1
+                # Recovery: the origin restarts, its streamer replays
+                # the backlog, the peer catches up past the watermark,
+                # and the same session's read then succeeds — with the
+                # written value, on whichever member adopts it.
+                victim.restart()
+                assert wait_until(
+                    lambda: router.membership.at_full_strength)
+
+                def read_back():
+                    try:
+                        return client.query(6) == b"origin only"
+                    except DegradedServiceError:
+                        return False
+
+                assert wait_until(read_back)
+
+    def test_concurrent_resumes_converge_on_one_adopter(self, tmp_path):
+        """Two RESUMEs racing for one session after a NAT reset must not
+        be adopted by different replicas — adoption is serialized per
+        session id, and both racers land on the same member."""
+        import socket
+        import threading
+
+        from repro.net.framing import (
+            Resume,
+            Welcome,
+            decode_net_message,
+            encode_net_message,
+            read_frame_sock,
+            write_frame_sock,
+        )
+
+        with cluster(tmp_path, n=3, replicated=True) as (
+                handles, router, thread):
+            proxy = ChaosProxy(thread.host, thread.port,
+                               FaultInjector(seed=7))
+            with ChaosProxyThread(proxy) as chaos:
+                client = NetworkClient(chaos.host, chaos.port, timeout=5.0)
+                try:
+                    assert client.query(1) == RECORDS[1]
+                    client.update(6, b"raced write")
+                    session_id = client.session_id
+                    pinned = router._pins[session_id]
+                    victim = next(h for h in handles
+                                  if h.spec.address == pinned)
+                    victim.kill()
+                    # NAT reset between client and router: the session
+                    # is unattached on both ends but stays pinned.
+                    chaos.sever_all()
+                    # Two recovery paths race their RESUMEs directly at
+                    # the router.
+                    answers = []
+                    barrier = threading.Barrier(2)
+
+                    def resume():
+                        sock = socket.create_connection(
+                            (thread.host, thread.port), timeout=5.0)
+                        try:
+                            barrier.wait(timeout=5.0)
+                            write_frame_sock(
+                                sock,
+                                encode_net_message(Resume(session_id)))
+                            answers.append(
+                                decode_net_message(read_frame_sock(sock)))
+                        finally:
+                            sock.close()
+
+                    racers = [threading.Thread(target=resume)
+                              for _ in range(2)]
+                    for racer in racers:
+                        racer.start()
+                    for racer in racers:
+                        racer.join(timeout=10.0)
+                    assert [type(a) for a in answers] == [Welcome, Welcome]
+                    assert all(a.session_id == session_id for a in answers)
+                    # Exactly one survivor adopted; the second racer was
+                    # routed to the first one's pin.
+                    survivors = [h for h in handles if h is not victim]
+                    adopter = router._pins[session_id]
+                    assert adopter in {h.spec.address for h in survivors}
+                    assert sum(
+                        h.frontend.counters.get("sessions.adopted")
+                        for h in survivors) == 1
+                    # The client re-dials through the proxy, resumes the
+                    # same session, and reads its own write.
+                    assert client.query(6) == b"raced write"
+                finally:
+                    with contextlib.suppress(TransientChannelError):
+                        client.close()

@@ -21,7 +21,7 @@ from tests.helpers import make_db
 from repro.baselines import make_records
 from repro.core.journal import FileJournal
 from repro.core.snapshot import load_snapshot, save_snapshot
-from repro.errors import ReproError
+from repro.errors import DegradedServiceError, ReproError
 from repro.faults import (
     SITE_DISK_WRITE,
     FaultInjector,
@@ -37,6 +37,27 @@ from repro.storage.filedisk import FileDiskStore
 NUM_RECORDS = 30
 SEED = 77
 RECORDS = make_records(NUM_RECORDS, 16)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.02):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _try_update(client, page_id, value):
+    from repro.errors import DegradedServiceError
+
+    try:
+        client.update(page_id, value)
+        return True
+    except DegradedServiceError:
+        return False
 
 
 def file_disk_factory(path):
@@ -162,6 +183,166 @@ class TestCrashRestartOverNetwork:
             assert client.query(2) == b"after restart"
             assert client.counters.get("reconnects") == 1
             client.close()
+
+
+class TestReplicationCrashDrills:
+    """The cross-replica drill (DESIGN.md §13): kill a backend with
+    writes in flight, the surviving replica serves every acknowledged
+    write, and the restarted backend converges back to identical
+    trusted content."""
+
+    def test_kill_backend_with_writes_in_flight_no_stale_reads(
+            self, tmp_path):
+        import threading
+
+        from repro.cluster import (
+            ClusterRouter,
+            RouterThread,
+            build_cluster,
+            connect_replication,
+        )
+
+        durable = tmp_path / "repl"
+        durable.mkdir()
+        handles = build_cluster(RECORDS, 2, str(tmp_path / "boot"),
+                                page_capacity=16, target_c=2.0)
+        try:
+            for handle in handles:
+                handle.start()
+            connect_replication(handles, durable_dir=str(durable))
+            router = ClusterRouter(
+                [handle.spec for handle in handles],
+                probe_interval=0.05, probe_timeout=1.0, eject_after=2,
+                readmit_after=2, connect_timeout=1.0, backend_timeout=5.0,
+            )
+            with RouterThread(router) as thread:
+                with NetworkClient(thread.host, thread.port,
+                                   timeout=10.0) as client:
+                    assert client.query(0) == RECORDS[0]
+                    pinned = router._pins[client.session_id]
+                    victim = next(h for h in handles
+                                  if h.spec.address == pinned)
+                    survivor = next(h for h in handles
+                                    if h.spec.address != pinned)
+
+                    # A stream of writes with the kill racing the
+                    # middle of it: the router fails the session over
+                    # and retransmits.  Every update either succeeds
+                    # with read-your-writes intact or is refused
+                    # *retryably* (the write exists only on the dead
+                    # member — the cluster sheds rather than serve
+                    # stale state); a stale read is never acceptable.
+                    killer = threading.Thread(target=victim.kill)
+                    for page_id in range(10):
+                        value = b"inflight-%d" % page_id
+                        try:
+                            client.update(page_id, value)
+                        except DegradedServiceError:
+                            # Acknowledged-but-unreplicated window:
+                            # only the restarted member can replay the
+                            # missing record; bring it back and retry.
+                            killer.join(timeout=5.0)
+                            victim.restart()
+                            assert wait_until(
+                                lambda v=value, p=page_id:
+                                _try_update(client, p, v))
+                        assert client.query(page_id) == value
+                        if page_id == 3:
+                            killer.start()
+                    killer.join(timeout=5.0)
+                    for page_id in range(10):
+                        assert (client.query(page_id)
+                                == b"inflight-%d" % page_id)
+
+                    # The victim restarts (unless the shed path already
+                    # brought it back) and replays the tail it missed
+                    # from the survivor's (durable) backlog.
+                    if victim.thread is None:
+                        victim.restart()
+                    assert wait_until(
+                        lambda: victim.repl_applier.applied_for(
+                            survivor.spec.address)
+                        >= survivor.repl_log.last_seq)
+            # Quiesce, then check convergence: identical trusted
+            # content on both members despite divergent physical
+            # layouts, with the backlog durable on disk.
+            for handle in handles:
+                handle.kill()
+            for page_id in range(10):
+                expected = b"inflight-%d" % page_id
+                assert victim.db.query(page_id) == expected
+                assert survivor.db.query(page_id) == expected
+            assert (victim.db.content_digest()
+                    == survivor.db.content_digest())
+            assert os.path.getsize(durable / "repl-0.log") > 0
+            assert os.path.getsize(durable / "repl-1.log") > 0
+        finally:
+            for handle in handles:
+                handle.kill()
+            for handle in handles:
+                handle.db.close()
+
+    def test_process_restart_replays_backlog_from_snapshot_and_sidecar(
+            self, tmp_path):
+        """A full process-death restart of a replica: its applied-vector
+        rides a snapshot as a sealed sidecar, the origin's backlog is
+        durable on disk, and roll-forward replays exactly the missed
+        tail (checkpointed records dedupe as duplicates)."""
+        from repro.cluster.replication import (
+            ReplicationApplier,
+            ReplicationLog,
+        )
+        from repro.core.snapshot import (
+            bootstrap_replica,
+            load_sealed_sidecar,
+            save_sealed_sidecar,
+        )
+
+        log_path = str(tmp_path / "origin.log")
+        snap_dir = str(tmp_path / "replica-snap")
+        origin = make_db(num_records=NUM_RECORDS, seed=SEED)
+        replica = bootstrap_replica(origin, str(tmp_path / "boot"),
+                                    seed=SEED + 1)
+        log = ReplicationLog(origin.cop, "origin:1", path=log_path)
+        origin.replication = log
+        applier = ReplicationApplier(replica)
+
+        # Phase 1: replicated normally, then checkpointed.
+        origin.update(1, b"pre-checkpoint")
+        for seq, sealed in log.records_since(0):
+            applier.apply("origin:1", seq, sealed)
+        save_snapshot(replica, snap_dir)
+        save_sealed_sidecar(replica, snap_dir, "repl-state",
+                            applier.encode_state())
+
+        # Phase 2: the replica process dies; the origin keeps writing.
+        checkpointed = applier.applied_for("origin:1")
+        replica.close()
+        origin.update(2, b"while down")
+        origin.delete(3)
+
+        # Phase 3: restart — snapshot, sidecar, durable backlog.
+        restored = load_snapshot(snap_dir, seed=SEED + 2)
+        blob = load_sealed_sidecar(restored, snap_dir, "repl-state")
+        assert blob is not None
+        fresh = ReplicationApplier(restored)
+        fresh.restore_state(ReplicationApplier.decode_state(blob))
+        assert fresh.applied_for("origin:1") == checkpointed
+        reloaded = ReplicationLog(origin.cop, "origin:1", path=log_path)
+        assert reloaded.last_seq == log.last_seq
+        for seq, sealed in reloaded.records_since(
+                fresh.applied_for("origin:1")):
+            fresh.apply("origin:1", seq, sealed)
+        assert fresh.applied_for("origin:1") == log.last_seq
+        assert restored.query(1) == b"pre-checkpoint"
+        assert restored.query(2) == b"while down"
+        with pytest.raises(ReproError):
+            restored.query(3)
+        assert restored.content_digest() == origin.content_digest()
+        log.close()
+        reloaded.close()
+        origin.close()
+        restored.close()
 
 
 class TestKillIsAbrupt:

@@ -1,4 +1,5 @@
-"""Session-id modes and idle-session reaping (service.frontend)."""
+"""Session-id modes, idle-session reaping, and reply-cache pinning
+(service.frontend)."""
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.service.frontend import (
     SESSION_RANDOM,
     SESSION_SEQUENTIAL,
     QueryFrontend,
+    SealedReplyCache,
     ServiceClient,
 )
 
@@ -139,4 +141,140 @@ class TestIdleSessionReaping:
         db = make_db()
         with pytest.raises(ProtocolError, match="session_ttl"):
             QueryFrontend(db, session_ttl=0.0)
+        db.close()
+
+
+class TestReplyCachePinning:
+    """Eviction must never remove a session's most recent (acknowledged)
+    reply: it is exactly what a client retransmits after failover, and
+    evicting it would re-execute an acknowledged mutation."""
+
+    def test_latest_reply_per_session_survives_churn(self):
+        cache = SealedReplyCache(capacity=4)
+        # Session 1's acknowledged reply awaits a possible retransmit
+        # while session 2 churns the cache well past its bound.
+        cache.put(1, b"acked request", b"pinned reply")
+        for index in range(10):
+            cache.put(2, b"req-%d" % index, b"reply-%d" % index)
+        # The bound held — churn evicted session 2's *older* entries —
+        # and both sessions' latest replies are still present.
+        assert len(cache) == 4
+        assert cache.get(1, b"acked request") == b"pinned reply"
+        assert cache.get(2, b"req-9") == b"reply-9"
+        assert cache.get(2, b"req-0") is None
+
+    def test_all_pinned_overflows_instead_of_evicting(self):
+        # One live session per entry: every entry is a pinned latest, so
+        # the cache temporarily exceeds capacity rather than open a
+        # double-apply window.
+        cache = SealedReplyCache(capacity=2)
+        for session_id in range(1, 6):
+            cache.put(session_id, b"only", b"reply-%d" % session_id)
+        assert len(cache) == 5
+        for session_id in range(1, 6):
+            assert cache.get(session_id, b"only") is not None
+
+    def test_drop_session_unpins(self):
+        cache = SealedReplyCache(capacity=2)
+        cache.put(1, b"a", b"ra")
+        cache.put(2, b"b", b"rb")
+        cache.drop_session(1)
+        assert cache.get(1, b"a") is None
+        # Unpinned space is reusable: session 2's old entry is now the
+        # evictable one once newer traffic arrives.
+        cache.put(2, b"c", b"rc")
+        cache.put(3, b"d", b"rd")
+        assert len(cache) == 2
+        assert cache.get(2, b"b") is None
+        assert cache.get(2, b"c") == b"rc"
+
+    def test_acked_mutation_dedupes_after_cache_overfill(self):
+        """The failover regression, at the frontend level: an update is
+        served and acknowledged, the shared cache fills past its bound
+        with other sessions' traffic, and the retransmitted sealed bytes
+        must still dedupe — not re-execute the mutation."""
+        db = make_db()
+        frontend = QueryFrontend(
+            db, session_id_mode=SESSION_RANDOM,
+            reply_cache=SealedReplyCache(capacity=3),
+        )
+        session_id = frontend.open_session()
+        suite = frontend.session_suite(session_id)
+        sealed_update = suite.encrypt_page(
+            protocol.encode_client_message(
+                protocol.Update(3, b"acked write"))
+        )
+        first = frontend.serve(session_id, sealed_update)
+        before = db.engine.request_count
+        # Churn: one busy neighbour session floods the cache.
+        other = frontend.open_session()
+        other_suite = frontend.session_suite(other)
+        for page_id in range(8):
+            frontend.serve(other, other_suite.encrypt_page(
+                protocol.encode_client_message(protocol.Query(page_id))
+            ))
+        # The retransmission (identical sealed bytes, as after a
+        # reconnect or failover) is answered from cache byte-for-byte.
+        assert frontend.serve(session_id, sealed_update) == first
+        assert frontend.counters.get("requests.duplicate") == 1
+        assert db.engine.request_count == before + 8  # churn only
+        db.close()
+
+
+class TestReapingVsInflightRequests:
+    """A session with a queued-but-unserved request must not be reaped:
+    the server admitted the request, so dropping the session between the
+    queue and the worker would refuse work it already accepted."""
+
+    def _frontend(self, ttl=5.0):
+        db = make_db()
+        clock = FakeTime()
+        frontend = QueryFrontend(
+            db, session_id_mode=SESSION_RANDOM,
+            session_ttl=ttl, time_source=clock,
+        )
+        return db, clock, frontend
+
+    def test_queued_request_blocks_reaping_until_served(self):
+        """The reap-vs-queue race, pinned to its worst interleaving: the
+        request is admitted, the TTL expires while it waits in the
+        queue, the reaper fires — and the session must survive so the
+        worker can still serve the queued request."""
+        db, clock, frontend = self._frontend(ttl=5.0)
+        session_id = frontend.open_session()
+        suite = frontend.session_suite(session_id)
+        sealed = suite.encrypt_page(
+            protocol.encode_client_message(protocol.Query(2))
+        )
+        frontend.begin_request(session_id)  # admitted, sitting queued
+        clock.advance(6.0)                  # TTL passes while it waits
+        assert frontend.reap_idle_sessions() == 0
+        assert frontend.session_count == 1
+        assert frontend.serve(session_id, sealed) is not None
+        frontend.end_request(session_id)
+        # With the bracket balanced and the session idle again, the
+        # next expiry reaps it normally.
+        clock.advance(6.0)
+        assert frontend.reap_idle_sessions() == 1
+        db.close()
+
+    def test_overlapping_requests_all_must_finish(self):
+        db, clock, frontend = self._frontend(ttl=5.0)
+        session_id = frontend.open_session()
+        frontend.begin_request(session_id)
+        frontend.begin_request(session_id)  # pipelined second request
+        clock.advance(6.0)
+        frontend.end_request(session_id)
+        assert frontend.reap_idle_sessions() == 0  # one still in flight
+        frontend.end_request(session_id)
+        assert frontend.reap_idle_sessions() == 1
+        db.close()
+
+    def test_unbalanced_end_is_harmless(self):
+        db, clock, frontend = self._frontend(ttl=5.0)
+        session_id = frontend.open_session()
+        frontend.end_request(session_id)  # stray; never goes negative
+        frontend.begin_request(session_id)
+        clock.advance(6.0)
+        assert frontend.reap_idle_sessions() == 0
         db.close()

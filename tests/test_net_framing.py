@@ -20,6 +20,10 @@ from repro.net.framing import (
     NetRefused,
     Ping,
     Pong,
+    ReplAck,
+    ReplQuery,
+    ReplRecord,
+    ReplState,
     Reply,
     Request,
     Resume,
@@ -41,6 +45,14 @@ class TestEnvelopeCodec:
         Welcome(0xDEADBEEF01020304),
         Request(1, b"sealed request bytes"),
         Reply(2**32 - 1, b""),
+        Reply(3, b"sealed reply", 0),
+        Reply(3, b"sealed reply", 2**64 - 1),
+        ReplRecord("127.0.0.1:7000", 42, b"sealed record"),
+        ReplRecord("host:1", 2**64 - 1, b""),
+        ReplAck("127.0.0.1:7000", 0),
+        ReplAck("10.0.0.9:65535", 2**64 - 1),
+        ReplQuery("127.0.0.1:7000"),
+        ReplState("127.0.0.1:7000", 17),
         NetRefused(9, protocol.Refused("busy", "unavailable", 0.25)),
         NetRefused(0, protocol.Refused("legacy")),
         Bye(),
@@ -62,6 +74,30 @@ class TestEnvelopeCodec:
     def test_malformed_probe_and_resume_rejected(self, blob):
         with pytest.raises(ProtocolError):
             decode_net_message(blob)
+
+    @pytest.mark.parametrize("blob", [
+        b"\x0a\x00\x02ab",          # REPL_RECORD truncated after origin
+        b"\x0b\x00\x02ab\x00",      # REPL_ACK seq too short
+        b"\x0b\x00\x02ab" + b"\x00" * 9,  # REPL_ACK trailing byte
+        b"\x0c\x00\x05abc",         # REPL_QUERY origin truncated
+        b"\x0c\x00\x02ab!",         # REPL_QUERY trailing byte
+        b"\x0d\x00\x02ab\x00\x00",  # REPL_STATE seq too short
+        b"\x0a" + struct.pack(">H", 300) + b"x" * 300 + b"\x00" * 8,
+    ])
+    def test_malformed_repl_frames_rejected(self, blob):
+        with pytest.raises(ProtocolError):
+            decode_net_message(blob)
+
+    def test_reply_watermark_defaults_to_zero(self):
+        """A stamped and an unstamped reply differ only in repl_seq, and
+        decoding preserves the watermark bit-exactly."""
+        plain = Reply(7, b"sealed")
+        assert plain.repl_seq == 0
+        stamped = decode_net_message(
+            encode_net_message(Reply(7, b"sealed", 99))
+        )
+        assert (stamped.request_id, stamped.sealed, stamped.repl_seq) == \
+            (7, b"sealed", 99)
 
     def test_empty_body_rejected(self):
         with pytest.raises(ProtocolError):

@@ -1,0 +1,271 @@
+"""Sealed replication unit tests (repro.cluster.replication).
+
+The cross-member integration drills live in test_cluster_router.py and
+test_crash_restart.py; this file pins down the pieces in isolation: the
+sealed record codec, the origin-side log (cover traffic, durability,
+semi-sync waits), and the peer-side applier's idempotent sequence
+tracking.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.helpers import make_db
+from repro.baselines import make_records
+from repro.cluster.replication import (
+    KIND_DELETE,
+    KIND_NOOP,
+    KIND_WRITE,
+    ReplicationApplier,
+    ReplicationLog,
+    decode_record,
+    encode_record,
+    record_size,
+)
+from repro.core.snapshot import (
+    load_sealed_sidecar,
+    save_sealed_sidecar,
+    save_snapshot,
+)
+from repro.errors import StorageError
+
+RECORDS = make_records(40, 16)
+
+
+@pytest.fixture()
+def db():
+    database = make_db(num_records=40)
+    yield database
+    database.close()
+
+
+class TestRecordCodec:
+    def test_roundtrip_all_kinds(self, db):
+        cop = db.cop
+        for kind, page_id, payload in [
+            (KIND_NOOP, 0, b""),
+            (KIND_WRITE, 7, b"new payload"),
+            (KIND_DELETE, 9, b""),
+        ]:
+            sealed = encode_record(cop, 3, kind, page_id, payload)
+            record = decode_record(cop, sealed)
+            assert (record.seq, record.kind, record.page_id,
+                    record.payload) == (3, kind, page_id, payload)
+
+    def test_all_records_same_size(self, db):
+        """The privacy property: a noop cover, a delete, and a max-size
+        write are indistinguishable ciphertexts."""
+        cop = db.cop
+        sizes = {
+            len(encode_record(cop, 1, KIND_NOOP, 0, b"")),
+            len(encode_record(cop, 2, KIND_DELETE, 30, b"")),
+            len(encode_record(cop, 3, KIND_WRITE, 5,
+                              b"x" * cop.page_capacity)),
+        }
+        assert len(sizes) == 1
+
+    def test_payload_bound_enforced(self, db):
+        with pytest.raises(StorageError, match="page bound"):
+            encode_record(db.cop, 1, KIND_WRITE, 0,
+                          b"x" * (db.cop.page_capacity + 1))
+
+    def test_tampered_record_rejected(self, db):
+        sealed = bytearray(encode_record(db.cop, 1, KIND_WRITE, 4, b"data"))
+        sealed[len(sealed) // 2] ^= 0x40
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            decode_record(db.cop, bytes(sealed))
+
+    def test_cross_replica_readable(self, db, tmp_path):
+        """A replica (same master key, different RNG lineage) must unseal
+        the record; a foreign deployment must not."""
+        from repro.core.snapshot import bootstrap_replica
+        replica = bootstrap_replica(db, str(tmp_path / "boot"), seed=9)
+        try:
+            sealed = encode_record(db.cop, 5, KIND_WRITE, 2, b"shared")
+            assert decode_record(replica.cop, sealed).payload == b"shared"
+        finally:
+            replica.close()
+        foreign = make_db(num_records=8, master_key=b"someone-else's key")
+        try:
+            from repro.errors import ReproError
+            with pytest.raises(ReproError):
+                decode_record(foreign.cop, sealed)
+        finally:
+            foreign.close()
+
+    def test_record_size_is_header_plus_page(self, db):
+        assert record_size(db.cop) == 4 + 8 + 1 + 8 + 4 + db.cop.page_capacity
+
+
+class TestReplicationLog:
+    def test_emit_assigns_dense_sequences(self, db):
+        log = ReplicationLog(db.cop, "o:1")
+        assert log.emit("write", 1, b"a") == 1
+        assert log.emit("noop") == 2
+        assert log.emit("delete", 2) == 3
+        assert log.last_seq == 3
+        assert [seq for seq, _ in log.records_since(0)] == [1, 2, 3]
+
+    def test_cover_traffic_off_drops_noops(self, db):
+        log = ReplicationLog(db.cop, "o:1", cover_traffic=False)
+        assert log.emit("noop") == 0
+        assert log.emit("write", 1, b"a") == 1
+        assert log.emit("noop") == 1  # unchanged high-water mark
+        assert log.last_seq == 1
+
+    def test_durable_backlog_reloads_and_discards_torn_tail(self, db, tmp_path):
+        path = str(tmp_path / "repl.log")
+        log = ReplicationLog(db.cop, "o:1", path=path)
+        log.emit("write", 1, b"a")
+        log.emit("write", 2, b"b")
+        log.close()
+        # Torn tail: a partial header from a crash mid-append.
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00\x03")
+        reloaded = ReplicationLog(db.cop, "o:1", path=path)
+        try:
+            assert reloaded.last_seq == 2
+            seq, sealed = reloaded.records_since(1)[0]
+            assert decode_record(db.cop, sealed).payload == b"b"
+            # The torn bytes were truncated away; appending continues.
+            assert reloaded.emit("write", 3, b"c") == 3
+        finally:
+            reloaded.close()
+
+    def test_wait_replicated_tracks_connected_peers_only(self, db):
+        log = ReplicationLog(db.cop, "o:1", wait_timeout=0.2)
+        seq = log.emit("write", 1, b"a")
+        # No peers at all: trivially replicated.
+        assert log.wait_replicated(seq)
+        log.register_peer("peer:1")
+        # Disconnected peers are not waited on (they catch up later).
+        assert log.wait_replicated(seq)
+        log.mark_connected("peer:1")
+        assert not log.wait_replicated(seq)  # connected + lagging: timeout
+        assert log.counters.get("wait_timeouts") == 1
+
+        waiter_result = []
+
+        def wait():
+            waiter_result.append(log.wait_replicated(seq, timeout=5.0))
+
+        thread = threading.Thread(target=wait)
+        thread.start()
+        log.record_ack("peer:1", seq)
+        thread.join(timeout=5.0)
+        assert waiter_result == [True]
+
+    def test_wait_unblocks_when_lagging_peer_disconnects(self, db):
+        log = ReplicationLog(db.cop, "o:1")
+        seq = log.emit("write", 1, b"a")
+        log.mark_connected("peer:1")
+        result = []
+        thread = threading.Thread(
+            target=lambda: result.append(log.wait_replicated(seq, timeout=5.0))
+        )
+        thread.start()
+        log.mark_disconnected("peer:1")
+        thread.join(timeout=5.0)
+        assert result == [True]
+
+
+class TestReplicationApplier:
+    def _sealed(self, db, seq, kind=KIND_WRITE, page_id=1, payload=b"x"):
+        return encode_record(db.cop, seq, kind, page_id, payload)
+
+    def test_apply_in_order(self, db):
+        applier = ReplicationApplier(db)
+        applier.apply("o:1", 1, self._sealed(db, 1, payload=b"first"))
+        applier.apply("o:1", 2, self._sealed(db, 2, payload=b"second"))
+        assert applier.applied_for("o:1") == 2
+        assert db.engine.retrieve(1).payload == b"second"
+
+    def test_duplicates_apply_exactly_once(self, db):
+        """The netchaos duplicate-plan guarantee: a record delivered
+        twice mutates once."""
+        applier = ReplicationApplier(db)
+        sealed = self._sealed(db, 1, payload=b"once")
+        before = db.engine.request_count
+        applier.apply("o:1", 1, sealed)
+        applier.apply("o:1", 1, sealed)
+        assert db.engine.request_count == before + 1
+        assert applier.counters.get("duplicates") == 1
+        assert applier.counters.get("applied") == 1
+
+    def test_out_of_order_waits_for_gap(self, db):
+        applier = ReplicationApplier(db)
+        applier.apply("o:1", 2, self._sealed(db, 2, payload=b"late"))
+        assert applier.applied_for("o:1") == 0  # parked, not applied
+        assert applier.counters.get("out_of_order") == 1
+        applier.apply("o:1", 1, self._sealed(db, 1, payload=b"early"))
+        # The gap filled: both drained, in order.
+        assert applier.applied_for("o:1") == 2
+        assert db.engine.retrieve(1).payload == b"late"
+
+    def test_origins_tracked_independently(self, db):
+        applier = ReplicationApplier(db)
+        applier.apply("o:1", 1, self._sealed(db, 1, page_id=1, payload=b"a"))
+        applier.apply("o:2", 1, self._sealed(db, 1, page_id=2, payload=b"b"))
+        assert applier.applied_for("o:1") == 1
+        assert applier.applied_for("o:2") == 1
+
+    def test_spliced_sequence_detected(self, db):
+        """A host replaying record body N under envelope seq M is caught
+        by the sealed inner sequence and skipped (counted as an error),
+        without wedging the stream."""
+        applier = ReplicationApplier(db)
+        spliced = self._sealed(db, 9, payload=b"evil")
+        applier.apply("o:1", 1, spliced)
+        assert applier.counters.get("errors") == 1
+        assert applier.applied_for("o:1") == 1  # seq advanced anyway
+        applier.apply("o:1", 2, self._sealed(db, 2, payload=b"good"))
+        assert db.engine.retrieve(1).payload == b"good"
+
+    def test_delete_of_missing_page_burns_cover_request(self, db):
+        applier = ReplicationApplier(db)
+        db.engine.delete(3)
+        before = db.engine.request_count
+        applier.apply("o:1", 1, self._sealed(db, 1, kind=KIND_DELETE,
+                                             page_id=3, payload=b""))
+        # Identical trace shape: the apply still costs one request.
+        assert db.engine.request_count == before + 1
+        assert applier.applied_for("o:1") == 1
+
+    def test_state_roundtrip_via_sealed_sidecar(self, db, tmp_path):
+        """The applied-vector checkpoint that rides with a snapshot:
+        save sealed, reload, restore — catch-up replays only the tail."""
+        applier = ReplicationApplier(db)
+        applier.apply("o:1", 1, self._sealed(db, 1, payload=b"a"))
+        applier.apply("o:2", 1, self._sealed(db, 1, payload=b"b"))
+        directory = str(tmp_path / "snap")
+        save_snapshot(db, directory)
+        save_sealed_sidecar(db, directory, "repl-state",
+                            applier.encode_state())
+        blob = load_sealed_sidecar(db, directory, "repl-state")
+        assert blob is not None
+        state = ReplicationApplier.decode_state(blob)
+        assert state == {"o:1": 1, "o:2": 1}
+        fresh = ReplicationApplier(db)
+        fresh.restore_state(state)
+        assert fresh.applied_for("o:1") == 1
+        # Replaying the already-checkpointed record is now a duplicate.
+        fresh.apply("o:1", 1, self._sealed(db, 1, payload=b"a"))
+        assert fresh.counters.get("duplicates") == 1
+
+    def test_missing_sidecar_returns_none(self, db, tmp_path):
+        directory = str(tmp_path / "snap")
+        save_snapshot(db, directory)
+        assert load_sealed_sidecar(db, directory, "repl-state") is None
+
+    def test_corrupt_state_blob_rejected(self, db):
+        applier = ReplicationApplier(db)
+        applier.apply("o:1", 1, self._sealed(db, 1))
+        blob = applier.encode_state()
+        with pytest.raises(StorageError):
+            ReplicationApplier.decode_state(blob + b"trailing")
+        with pytest.raises(StorageError):
+            ReplicationApplier.decode_state(blob[:-1])
