@@ -45,9 +45,13 @@ per-origin arrival order; concurrent inserts on *different* members can
 collide on the deterministically chosen free page id, so deployments
 keep a single writer per page (the drills write disjoint pages).
 
-The backlog is retained unboundedly (optionally on disk via ``path=``):
-trimming it safely needs a cluster-wide minimum acked sequence plus a
-snapshot exchange for fully re-imaged peers, which stays on the roadmap.
+The backlog is bounded by :meth:`ReplicationLog.compact`: once a snapshot
+covers a prefix of the stream (every peer either acked it or can be
+re-imaged from the snapshot), the covered records are dropped from memory
+and the durable ``repl-*.log`` file is atomically rewritten without them.
+A peer that later asks for a compacted sequence gets a
+:class:`~repro.errors.StorageError` instead of silent divergence — the
+signal that it must bootstrap from the snapshot, not the stream.
 """
 
 from __future__ import annotations
@@ -211,7 +215,10 @@ class ReplicationLog:
         self.wait_timeout = wait_timeout
         self.counters = CounterSet(registry=metrics, prefix="repl.log.")
         self._cond = threading.Condition()
-        self._records: List[bytes] = []  # index i holds sequence i + 1
+        # Sequences 1.._base were compacted away; index i holds sequence
+        # _base + i + 1.
+        self._base = 0
+        self._records: List[bytes] = []
         self._peers: Dict[str, _PeerState] = {}
         self._path = path
         self._file = None
@@ -220,7 +227,11 @@ class ReplicationLog:
             self._file = open(path, "ab")
 
     def _load(self, path: str) -> None:
-        """Reload the durable backlog, discarding any torn tail."""
+        """Reload the durable backlog, discarding any torn tail.
+
+        The file may start past sequence 1 (a previous :meth:`compact`
+        rewrote it); the first record's header seq fixes the base.
+        """
         if not os.path.exists(path):
             return
         with open(path, "rb") as handle:
@@ -229,8 +240,12 @@ class ReplicationLog:
         while offset + _BACKLOG_HEADER.size <= len(data):
             seq, length = _BACKLOG_HEADER.unpack_from(data, offset)
             start = offset + _BACKLOG_HEADER.size
-            if start + length > len(data) or seq != len(self._records) + 1:
-                break  # torn or out-of-sequence tail: stop trusting the file
+            if start + length > len(data):
+                break  # torn tail: stop trusting the file
+            if not self._records:
+                self._base = seq - 1
+            elif seq != self._base + len(self._records) + 1:
+                break  # out-of-sequence tail
             self._records.append(data[start:start + length])
             offset = start + length
         if offset != len(data):
@@ -240,7 +255,13 @@ class ReplicationLog:
     @property
     def last_seq(self) -> int:
         with self._cond:
-            return len(self._records)
+            return self._base + len(self._records)
+
+    @property
+    def compacted_seq(self) -> int:
+        """Highest sequence dropped by compaction (0 = nothing dropped)."""
+        with self._cond:
+            return self._base
 
     def emit(self, kind: str, page_id: int = 0, payload: bytes = b"") -> int:
         """Seal and append one record; returns the sequence it received.
@@ -251,8 +272,8 @@ class ReplicationLog:
         kind_code = _KIND_BY_NAME[kind]
         with self._cond:
             if kind_code == KIND_NOOP and not self.cover_traffic:
-                return len(self._records)
-            seq = len(self._records) + 1
+                return self._base + len(self._records)
+            seq = self._base + len(self._records) + 1
             sealed = encode_record(self.cop, seq, kind_code, page_id, payload)
             if self._file is not None:
                 self._file.write(_BACKLOG_HEADER.pack(seq, len(sealed)))
@@ -302,21 +323,76 @@ class ReplicationLog:
 
     # -- consumption ---------------------------------------------------------
 
+    def _check_compacted(self, after_seq: int) -> None:
+        """Lock held.  A consumer behind the compaction horizon cannot be
+        served from the stream — it must re-image from the covering
+        snapshot — and silently skipping records would diverge it."""
+        if after_seq < self._base:
+            self.counters.increment("too_stale")
+            raise StorageError(
+                f"replication backlog was compacted through seq {self._base}; "
+                f"a peer at seq {after_seq} must bootstrap from the snapshot"
+            )
+
     def next_record(self, after_seq: int, wait: float = 0.2) -> Optional[Tuple[int, bytes]]:
         """The record following ``after_seq``, or None after ``wait``."""
         with self._cond:
-            if len(self._records) <= after_seq:
+            self._check_compacted(after_seq)
+            index = after_seq - self._base
+            if len(self._records) <= index:
                 self._cond.wait(wait)
-            if len(self._records) <= after_seq:
+                self._check_compacted(after_seq)
+                index = after_seq - self._base
+            if len(self._records) <= index:
                 return None
-            return after_seq + 1, self._records[after_seq]
+            return after_seq + 1, self._records[index]
 
     def records_since(self, after_seq: int) -> List[Tuple[int, bytes]]:
         with self._cond:
+            self._check_compacted(after_seq)
             return [
                 (after_seq + 1 + index, sealed)
-                for index, sealed in enumerate(self._records[after_seq:])
+                for index, sealed in enumerate(
+                    self._records[after_seq - self._base:]
+                )
             ]
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, up_to_seq: int) -> int:
+        """Drop records with seq <= ``up_to_seq``; returns how many.
+
+        Call once a snapshot durably covers those sequences (e.g. after
+        ``save_snapshot`` + a sealed applied-vector sidecar): the snapshot,
+        not the stream, is then the catch-up path for anything older.  The
+        durable backlog file is atomically rewritten without the dropped
+        prefix, so a restart reloads only what memory holds.  Compacting
+        past ``last_seq`` clamps; compacting below the current base is a
+        no-op.
+        """
+        with self._cond:
+            up_to_seq = min(up_to_seq, self._base + len(self._records))
+            dropped = up_to_seq - self._base
+            if dropped <= 0:
+                return 0
+            self._records = self._records[dropped:]
+            self._base = up_to_seq
+            if self._path is not None:
+                if self._file is not None:
+                    self._file.close()
+                tmp = self._path + ".tmp"
+                with open(tmp, "wb") as handle:
+                    for index, sealed in enumerate(self._records):
+                        handle.write(_BACKLOG_HEADER.pack(
+                            self._base + index + 1, len(sealed)
+                        ))
+                        handle.write(sealed)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self._path)
+                self._file = open(self._path, "ab")
+            self.counters.increment("compacted", dropped)
+            return dropped
 
     def wait_replicated(self, seq: int, timeout: Optional[float] = None) -> bool:
         """Block until every *connected* peer has acked ``seq``.

@@ -32,6 +32,7 @@ from ..sim.clock import VirtualClock
 from ..storage.disk import DiskStore
 from ..storage.merkle import AuthenticatedDisk
 from ..storage.page import Page
+from ..storage.tiered import TieredDiskStore
 from ..storage.trace import AccessTrace
 
 __all__ = ["PirDatabase"]
@@ -54,6 +55,9 @@ class PirDatabase:
         self.cop = coprocessor
         self.disk = disk
         self.engine = engine
+        # Optional OnlineReshuffler attached by begin_reshuffle() (or by
+        # snapshot resume); close() tears it down with the rest.
+        self.reshuffle = None
         # Optional ReplicationLog (duck-typed: anything with emit()).  Set
         # by the cluster tier; every public operation then emits one sealed
         # logical record — reads emit "noop" covers so the stream never
@@ -89,6 +93,8 @@ class PirDatabase:
         metrics=None,
         keystream_pipeline: Optional[str] = None,
         pipeline_max_bytes: Optional[int] = None,
+        hot_tier_frames: Optional[int] = None,
+        hot_tier_journal=None,
     ) -> "PirDatabase":
         """Build, encrypt, permute and warm up a database from raw records.
 
@@ -121,6 +127,11 @@ class PirDatabase:
         moves the computation onto a worker thread; either way the frames,
         RNG streams and virtual clock are identical to running without
         it.  ``pipeline_max_bytes`` bounds the cached keystream bytes.
+        ``hot_tier_frames`` fronts the untrusted store with an in-memory
+        ciphertext LRU of that many frames (:class:`TieredDiskStore`):
+        hot hits skip the cold store's seek/transfer charge while leaving
+        the recorded access trace byte-identical.  ``hot_tier_journal``
+        (a path) makes the tier's membership survive restarts.
         """
         if not records:
             raise ConfigurationError("records must be non-empty")
@@ -184,6 +195,14 @@ class PirDatabase:
                 while store is not None:
                     store.tracer = tracer
                     store = getattr(store, "inner", None)
+        if hot_tier_frames is not None:
+            # Inside the freshness layer (when enabled): the Merkle tree
+            # authenticates what the engine reads regardless of which tier
+            # served the bytes.
+            disk = TieredDiskStore(
+                disk, hot_capacity=hot_tier_frames,
+                journal_path=hot_tier_journal, metrics=metrics,
+            )
         if rollback_protection:
             disk = AuthenticatedDisk(disk)
 
@@ -197,7 +216,8 @@ class PirDatabase:
                 disk_pages.append(Page(page_id, b"", deleted=True))
 
         if setup_mode == SETUP_OBLIVIOUS:
-            layout = cls._oblivious_layout(cop, disk_pages, clock)
+            layout = cls._oblivious_layout(cop, disk_pages, clock,
+                                           tracer=tracer, metrics=metrics)
         else:
             permutation = Permutation.random(params.num_locations, rng.spawn("setup"))
             layout = [0] * params.num_locations
@@ -256,11 +276,13 @@ class PirDatabase:
 
     @staticmethod
     def _oblivious_layout(
-        cop: SecureCoprocessor, disk_pages: List[Page], clock: VirtualClock
+        cop: SecureCoprocessor, disk_pages: List[Page], clock: VirtualClock,
+        tracer: Optional[Tracer] = None, metrics=None,
     ) -> List[int]:
         """Run the tagged oblivious sort on a scratch area and return the layout."""
         shuffler = ObliviousShuffler(cop.suite, cop.rng.spawn("shuffle"),
-                                     cop.page_capacity)
+                                     cop.page_capacity,
+                                     tracer=tracer, metrics=metrics)
         scratch = DiskStore(
             num_locations=len(disk_pages),
             frame_size=shuffler.tagged_frame_size,
@@ -356,14 +378,59 @@ class PirDatabase:
         """
         return self.engine.recover()
 
-    def close(self) -> None:
-        """Release background resources (the keystream prefetch worker).
+    def begin_reshuffle(
+        self,
+        batch_size: int = 16,
+        rotate_to: Optional[bytes] = None,
+        journal=None,
+        background: bool = False,
+        idle_interval: float = 0.001,
+    ):
+        """Start an online background re-permutation epoch (DESIGN.md §15).
 
-        Idempotent; a database without a pipeline has nothing to release.
-        Usable as a context manager: ``with PirDatabase.create(...) as db:``.
+        Builds an :class:`~repro.shuffle.online.OnlineReshuffler`, begins a
+        new epoch (optionally piggybacking a master-key rotation via
+        ``rotate_to``), and — with ``background=True`` — starts its worker
+        thread so comparator batches run in idle gaps between requests.
+        Foreground callers drive it with ``db.reshuffle.step()`` /
+        ``run()`` instead.  ``journal`` must be a *separate* journal from
+        the engine's (each state machine owns its slot).  Returns the
+        driver, also available as :attr:`reshuffle`.
         """
+        from ..shuffle.online import OnlineReshuffler
+
+        if self.reshuffle is not None:
+            if self.reshuffle.active:
+                raise ConfigurationError(
+                    "a re-permutation epoch is already in progress"
+                )
+            self.reshuffle.close()
+        driver = OnlineReshuffler(
+            self, batch_size=batch_size, journal=journal,
+            idle_interval=idle_interval,
+            metrics=self.metrics, tracer=self.tracer,
+        )
+        self.reshuffle = driver
+        driver.begin(rotate_to=rotate_to)
+        if background:
+            driver.start()
+        return driver
+
+    def close(self) -> None:
+        """Stop *all* background workers and release their resources.
+
+        Covers the online reshuffle driver and the keystream prefetch
+        worker.  Idempotent; a database without either has nothing to
+        release.  Usable as a context manager:
+        ``with PirDatabase.create(...) as db:``.
+        """
+        if self.reshuffle is not None:
+            self.reshuffle.close()
         if self.cop.pipeline is not None:
             self.cop.pipeline.close()
+        flush = getattr(self.disk, "flush", None)
+        if flush is not None:
+            flush()
 
     def __enter__(self) -> "PirDatabase":
         return self

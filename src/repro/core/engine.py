@@ -41,6 +41,7 @@ overwrites a journal record that is still needed for repair.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -176,6 +177,15 @@ class RetrievalEngine:
             metrics.histogram("engine.query_seconds")
             if metrics is not None else None
         )
+        # Serialises trusted-state mutation between the request path and
+        # background workers (the online reshuffler takes it per comparator
+        # batch).  Re-entrant so request helpers may call back into public
+        # operations while already holding it.
+        self.op_lock = threading.RLock()
+        # Background workers (the online reshuffler) register their own
+        # roll-forward hooks here so a request never computes against a
+        # half-applied *background* write-back either; see _heal_pending.
+        self._background_healers: List = []
         self._next_block = 0
         self._request_count = 0
         self._rotation_requests_left: Optional[int] = None
@@ -270,6 +280,10 @@ class RetrievalEngine:
         is older than the journal (e.g. restored from a stale snapshot)
         and roll-forward would corrupt the database.
         """
+        with self.op_lock:
+            return self._recover_locked()
+
+    def _recover_locked(self) -> RecoveryReport:
         if self.journal is None:
             if self._pending_intent is not None:
                 # Journal-less engines can still roll a failed write-back
@@ -327,27 +341,32 @@ class RetrievalEngine:
         deleting: bool = False,
         revive: bool = False,
     ) -> Page:
-        # A previous request whose write-back failed mid-apply left the
-        # trusted deltas in place with the frames unwritten; finish it
-        # before computing anything against that state (see _heal_pending).
-        self._heal_pending()
+        # The op lock spans the whole request so a background comparator
+        # batch can never observe (or mutate) a half-applied trusted state;
+        # with no background worker attached it is uncontended and free.
+        with self.op_lock:
+            # A previous request whose write-back failed mid-apply left the
+            # trusted deltas in place with the frames unwritten; finish it
+            # before computing anything against that state (_heal_pending).
+            self._heal_pending()
 
-        # The "request" span is the root of each query's trace: everything
-        # the request does (disk, link, crypto, journal, write-back) nests
-        # under it, and its virtual duration is what CostModelCheck compares
-        # against the full Eq. 8 prediction.
-        with self.tracer.span("request"):
-            result = self._execute_request(
-                target_id, new_payload, deleting, revive
-            )
-        self.counters.increment("requests")
-        if self._query_hist is not None and self.last_outcome is not None:
-            self._query_hist.observe(self.last_outcome.elapsed)
-        # Idle-time keystream prefetch for the *next* request's block — a
-        # sibling of the "request" span, so it never inflates the request's
-        # own wall/virtual totals (and it charges no virtual time at all).
-        self.prefetch_next()
-        return result
+            # The "request" span is the root of each query's trace:
+            # everything the request does (disk, link, crypto, journal,
+            # write-back) nests under it, and its virtual duration is what
+            # CostModelCheck compares against the full Eq. 8 prediction.
+            with self.tracer.span("request"):
+                result = self._execute_request(
+                    target_id, new_payload, deleting, revive
+                )
+            self.counters.increment("requests")
+            if self._query_hist is not None and self.last_outcome is not None:
+                self._query_hist.observe(self.last_outcome.elapsed)
+            # Idle-time keystream prefetch for the *next* request's block —
+            # a sibling of the "request" span, so it never inflates the
+            # request's own wall/virtual totals (and it charges no virtual
+            # time at all).
+            self.prefetch_next()
+            return result
 
     def prefetch_next(self) -> int:
         """Precompute decrypt keystreams for the next round-robin block.
@@ -400,37 +419,42 @@ class RetrievalEngine:
             raise ConfigurationError("batch window must be positive")
         results: List[object] = [None] * len(ops)
         for start in range(0, len(ops), capacity):
-            # A previous window (or request) whose write-back failed
-            # mid-apply left trusted deltas in place with the frames
-            # unwritten; roll it forward before planning against that
-            # state — exactly the serial loop's per-request heal.
-            self._heal_pending()
-            indices = list(range(start, min(start + capacity, len(ops))))
-            plan = self._plan_window([ops[i] for i in indices], results,
-                                     indices)
-            live = [(i, entry) for i, entry in zip(indices, plan)
-                    if entry is not None]
-            if not live:
-                continue
-            try:
-                # The "engine.batch" span is the window's trace root, the
-                # batched counterpart of the serial "request" span.
-                with self.tracer.span("engine.batch"):
-                    self._run_window(live, results)
-            except ReproError as exc:
-                # Compute-phase abort: nothing trusted or durable changed,
-                # the window simply never happened.  Apply-phase failure:
-                # the intent is retained and the next window's heal rolls
-                # it forward (the ops then *have* committed — clients that
-                # retry on the reported transient error stay idempotent,
-                # as with a serial request).  Either way every executable
-                # slot reports the error (validation failures recorded by
-                # the planner stand) and later windows proceed.
-                for i, _ in live:
-                    results[i] = exc
-                self.disk.current_request = -1
-                continue
-            self.prefetch_next()
+            # Locked per window, not per batch: a background comparator
+            # batch may interleave between windows (each window commits
+            # atomically) but never inside one.
+            with self.op_lock:
+                # A previous window (or request) whose write-back failed
+                # mid-apply left trusted deltas in place with the frames
+                # unwritten; roll it forward before planning against that
+                # state — exactly the serial loop's per-request heal.
+                self._heal_pending()
+                indices = list(range(start, min(start + capacity, len(ops))))
+                plan = self._plan_window([ops[i] for i in indices], results,
+                                         indices)
+                live = [(i, entry) for i, entry in zip(indices, plan)
+                        if entry is not None]
+                if not live:
+                    continue
+                try:
+                    # The "engine.batch" span is the window's trace root,
+                    # the batched counterpart of the serial "request" span.
+                    with self.tracer.span("engine.batch"):
+                        self._run_window(live, results)
+                except ReproError as exc:
+                    # Compute-phase abort: nothing trusted or durable
+                    # changed, the window simply never happened.
+                    # Apply-phase failure: the intent is retained and the
+                    # next window's heal rolls it forward (the ops then
+                    # *have* committed — clients that retry on the reported
+                    # transient error stay idempotent, as with a serial
+                    # request).  Either way every executable slot reports
+                    # the error (validation failures recorded by the
+                    # planner stand) and later windows proceed.
+                    for i, _ in live:
+                        results[i] = exc
+                    self.disk.current_request = -1
+                    continue
+                self.prefetch_next()
         return results
 
     def _plan_window(
@@ -1092,14 +1116,18 @@ class RetrievalEngine:
         again the error propagates and the request stays pending.
         """
         intent = self._pending_intent
-        if intent is None:
-            return
-        self.disk.current_request = intent.request_index
-        self._apply_intent(intent)
-        if self.journal is not None:
-            self.journal.clear()
-        self.disk.current_request = -1
-        self.counters.increment("recovery.rolled_forward")
+        if intent is not None:
+            self.disk.current_request = intent.request_index
+            self._apply_intent(intent)
+            if self.journal is not None:
+                self.journal.clear()
+            self.disk.current_request = -1
+            self.counters.increment("recovery.rolled_forward")
+        # Background workers heal after the engine: their write-backs may
+        # relocate pages a replayed request's map ops already positioned,
+        # and each healer is itself idempotent.
+        for healer in self._background_healers:
+            healer()
 
     def _fetch_block(
         self, block_start: int, k: int, extra_location: int

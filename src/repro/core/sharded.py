@@ -251,7 +251,8 @@ class ShardedPirDatabase:
 
     def close(self) -> None:
         """Release the executor's worker threads and each shard's
-        keystream-prefetch worker, when present (idempotent)."""
+        background workers — keystream prefetch and online reshuffle —
+        when present (idempotent)."""
         self.executor.close()
         for shard in self.shards:
             shard.close()

@@ -10,9 +10,13 @@ same way real secure hardware seals state to host storage.
 Snapshot layout on the host filesystem::
 
     <directory>/
-      manifest.json    # public parameters (nothing secret: n, k, m, B, ...)
-      frames.bin       # the untrusted page array, verbatim
-      sealed.bin       # encrypted trusted state (pageMap, cache, pointer)
+      manifest.json      # public parameters (nothing secret: n, k, m, B, ...)
+      frames.bin         # the untrusted page array, verbatim
+      sealed.bin         # encrypted trusted state (pageMap, cache, pointer,
+                         #   and — format 2 — any in-flight key rotation)
+      reshuffle.sealed   # present iff an online reshuffle epoch was active:
+                         #   its frontier + secret epoch key (resume_reshuffle)
+      <name>.sealed      # auxiliary sidecars (e.g. replication checkpoints)
 
 Restoring requires the same master key; a wrong key fails authentication
 rather than yielding garbage.  The restored instance draws fresh randomness
@@ -39,12 +43,14 @@ from ..sim.clock import VirtualClock
 from ..storage.disk import DiskStore
 from ..storage.merkle import AuthenticatedDisk
 from ..storage.page import Page
+from ..storage.tiered import TieredDiskStore
 from ..storage.trace import AccessTrace
 
 __all__ = [
     "save_snapshot",
     "load_snapshot",
     "bootstrap_replica",
+    "resume_reshuffle",
     "save_sealed_sidecar",
     "load_sealed_sidecar",
 ]
@@ -52,8 +58,10 @@ __all__ = [
 _MANIFEST = "manifest.json"
 _FRAMES = "frames.bin"
 _SEALED = "sealed.bin"
+_RESHUFFLE_SIDECAR = "reshuffle"
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
 
 
 # ---------------------------------------------------------------------------
@@ -81,6 +89,20 @@ def _encode_trusted_state(db: PirDatabase) -> bytes:
         parts.append(bytes([flags]))
         parts.append(_U32.pack(len(page.payload)))
         parts.append(page.payload)
+    # Format-2 tail: key-rotation state, so a snapshot taken mid-rotation
+    # (e.g. during a reshuffle epoch that piggybacks one) restores with the
+    # legacy key still live.  rotation_left is the engine's request
+    # countdown (-1 = no countdown: either no rotation, or one driven by a
+    # reshuffle epoch whose sweep finishes it instead).
+    legacy = db.cop.legacy_master_key
+    rotation_left = db.engine.rotation_requests_remaining
+    if legacy is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(_U32.pack(len(legacy)))
+        parts.append(legacy)
+    parts.append(_I64.pack(-1 if rotation_left is None else rotation_left))
     return b"".join(parts)
 
 
@@ -134,6 +156,17 @@ def _decode_trusted_state(blob: bytes, db: PirDatabase) -> None:
         offset += length
         pages.append(Page(page_id, payload, deleted=bool(flags & 2)))
     db.cop.cache.fill(pages)
+    if offset == len(blob):
+        return  # format 1: no rotation tail
+    if take_byte():
+        length = take_u32()
+        legacy = blob[offset : offset + length]
+        offset += length
+        db.cop.adopt_legacy_key(legacy)
+    rotation_left = _I64.unpack_from(blob, offset)[0]
+    offset += 8
+    if rotation_left >= 0:
+        db.engine._rotation_requests_left = rotation_left
     if offset != len(blob):
         raise StorageError("trailing bytes in trusted-state blob")
 
@@ -146,28 +179,29 @@ def _decode_trusted_state(blob: bytes, db: PirDatabase) -> None:
 def save_snapshot(db: PirDatabase, directory: str) -> None:
     """Persist the database (untrusted frames + sealed trusted state).
 
-    Refuses to snapshot during a key rotation: frames would be split across
-    two keys while the sealed state can only name one.  Finish the rotation
-    (one scan period of requests) first.  Likewise refuses while the intent
-    journal holds a pending record: a snapshot taken mid-recovery would be
-    *older* than the journal, and restoring it next to that journal is
-    exactly the state :meth:`~repro.core.engine.RetrievalEngine.recover`
-    must reject.  Run ``db.recover()`` first.
+    A snapshot may be taken *during* a key rotation (the format-2 sealed
+    state carries the legacy key and the rotation countdown) and during an
+    online reshuffle epoch (the epoch's frontier and secret key are sealed
+    into a ``reshuffle`` sidecar; reattach with :func:`resume_reshuffle`).
+    It refuses while either intent journal — the engine's or the
+    reshuffler's — holds a pending record: a snapshot taken mid-recovery
+    would be *older* than the journal, and restoring it next to that
+    journal is exactly the state ``recover()`` must reject.  Run
+    ``db.recover()`` / ``db.reshuffle.recover()`` first.
     """
-    if db.cop.rotation_in_progress:
-        raise ConfigurationError(
-            "cannot snapshot during a key rotation; drive "
-            f"{db.engine.rotation_requests_remaining} more requests to finish "
-            "it first"
-        )
     if db.engine.journal_pending:
         raise ConfigurationError(
             "cannot snapshot with a pending intent-journal record; call "
             "recover() first"
         )
+    if db.reshuffle is not None and db.reshuffle.journal_pending:
+        raise ConfigurationError(
+            "cannot snapshot with a pending reshuffle-journal record; call "
+            "reshuffle.recover() first"
+        )
     os.makedirs(directory, exist_ok=True)
     manifest = {
-        "format": 1,
+        "format": 2,
         "num_user_pages": db.params.num_user_pages,
         "reserve_pages": db.params.reserve_pages,
         "cache_capacity": db.params.cache_capacity,
@@ -181,24 +215,44 @@ def save_snapshot(db: PirDatabase, directory: str) -> None:
     with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as f:
         json.dump(manifest, f, indent=2, sort_keys=True)
 
-    with open(os.path.join(directory, _FRAMES), "wb") as f:
-        for location in range(db.disk.num_locations):
-            frame = db.disk.peek(location)
-            if frame is None:
-                raise StorageError(f"cannot snapshot uninitialised location {location}")
-            f.write(frame)
+    # Hold the op lock across the frame dump and the trusted-state encode:
+    # a background reshuffle batch landing between the two would leave the
+    # frames describing a newer permutation than the sealed page map.
+    with db.engine.op_lock:
+        with open(os.path.join(directory, _FRAMES), "wb") as f:
+            for location in range(db.disk.num_locations):
+                frame = db.disk.peek(location)
+                if frame is None:
+                    raise StorageError(
+                        f"cannot snapshot uninitialised location {location}"
+                    )
+                f.write(frame)
 
-    sealing = CipherSuite(
-        b"snapshot-sealing:" + db.cop.suite.backend.encode(),
-        backend="blake2",
-        rng=db.cop.rng,
-    )
-    # Seal under a key derived from the *database's* master key so only the
-    # rightful owner can restore: reuse the page suite for the inner layer.
-    inner = db.cop.suite.encrypt_page(_encode_trusted_state(db))
-    sealed = sealing.encrypt_page(inner)
-    with open(os.path.join(directory, _SEALED), "wb") as f:
-        f.write(sealed)
+        sealing = CipherSuite(
+            b"snapshot-sealing:" + db.cop.suite.backend.encode(),
+            backend="blake2",
+            rng=db.cop.rng,
+        )
+        # Seal under a key derived from the *database's* master key so only
+        # the rightful owner can restore: reuse the page suite for the
+        # inner layer.
+        inner = db.cop.suite.encrypt_page(_encode_trusted_state(db))
+        sealed = sealing.encrypt_page(inner)
+        with open(os.path.join(directory, _SEALED), "wb") as f:
+            f.write(sealed)
+
+        reshuffle_path = os.path.join(
+            directory, _RESHUFFLE_SIDECAR + ".sealed"
+        )
+        if db.reshuffle is not None and db.reshuffle.active:
+            # Mid-epoch: seal the frontier + epoch key so a restored
+            # instance (or a bootstrapping warm replica) resumes the pass
+            # instead of starting a cold shuffle.
+            save_sealed_sidecar(
+                db, directory, _RESHUFFLE_SIDECAR, db.reshuffle.state_blob()
+            )
+        elif os.path.exists(reshuffle_path):
+            os.remove(reshuffle_path)  # stale sidecar from an older save
 
 
 def load_snapshot(
@@ -210,21 +264,27 @@ def load_snapshot(
     rollback_protection: bool = False,
     journal=None,
     read_retry=None,
+    hot_tier_frames: Optional[int] = None,
+    hot_tier_journal=None,
 ) -> PirDatabase:
     """Reconstruct a database saved by :func:`save_snapshot`.
 
-    The master key must match the one the database was created with; an
-    incorrect key raises :class:`~repro.errors.AuthenticationError`.
+    The master key must match the one the database was created with —
+    the *new* key if the snapshot was taken mid-rotation (the sealed
+    state re-adopts the legacy key automatically); an incorrect key
+    raises :class:`~repro.errors.AuthenticationError`.
     ``journal``/``read_retry`` re-arm crash consistency and read retries on
     the restored instance (journals are not part of the snapshot: a clean
-    snapshot implies an empty journal slot).
+    snapshot implies an empty journal slot).  ``hot_tier_frames`` /
+    ``hot_tier_journal`` front the restored store with the in-memory
+    ciphertext tier, as in :meth:`PirDatabase.create`.
     """
     manifest_path = os.path.join(directory, _MANIFEST)
     if not os.path.exists(manifest_path):
         raise ConfigurationError(f"no snapshot manifest in {directory!r}")
     with open(manifest_path, encoding="utf-8") as f:
         manifest = json.load(f)
-    if manifest.get("format") != 1:
+    if manifest.get("format") not in (1, 2):
         raise ConfigurationError("unsupported snapshot format")
 
     params = SystemParameters(
@@ -259,6 +319,10 @@ def load_snapshot(
         clock=clock,
         trace=AccessTrace(enabled=trace_enabled),
     )
+    if hot_tier_frames is not None:
+        disk = TieredDiskStore(
+            disk, hot_capacity=hot_tier_frames, journal_path=hot_tier_journal,
+        )
     if rollback_protection:
         # Wrap before replaying the frames so the fresh Merkle tree is
         # seeded by the writes below.
@@ -301,6 +365,43 @@ def load_snapshot(
     db = PirDatabase(params, cop, disk, engine)
     _decode_trusted_state(trusted, db)
     return db
+
+
+def resume_reshuffle(
+    db: PirDatabase,
+    directory: str,
+    batch_size: int = 16,
+    journal=None,
+    idle_interval: float = 0.001,
+    background: bool = False,
+):
+    """Reattach a mid-epoch reshuffle driver from a snapshot's sidecar.
+
+    Returns the driver (also installed as ``db.reshuffle``) positioned at
+    the saved frontier, or None when the snapshot carried no active epoch.
+    With ``background=True`` the worker starts immediately, so the epoch
+    continues mixing in idle slots the moment the replica begins serving —
+    this is the warm-replica bootstrap: the joiner inherits the primary's
+    partial pass instead of paying a cold O(n log² n) shuffle.  Call
+    ``driver.recover()`` afterwards when a reshuffle journal might hold a
+    torn batch (crash restarts).
+    """
+    blob = load_sealed_sidecar(db, directory, _RESHUFFLE_SIDECAR)
+    if blob is None:
+        return None
+    from ..shuffle.online import OnlineReshuffler
+
+    if db.reshuffle is not None:
+        db.reshuffle.close()
+    driver = OnlineReshuffler(
+        db, batch_size=batch_size, journal=journal,
+        idle_interval=idle_interval, metrics=db.metrics, tracer=db.tracer,
+    )
+    driver.restore_state(blob)
+    db.reshuffle = driver
+    if background and driver.active:
+        driver.start()
+    return driver
 
 
 def save_sealed_sidecar(db: PirDatabase, directory: str, name: str,
@@ -355,6 +456,14 @@ def bootstrap_replica(
     ``read_retry``, ...).  The snapshot directory stays on disk — a later
     member can re-bootstrap from it, though a *fresher* snapshot should
     be preferred once the replica has served mutations.
+
+    When the primary is mid-way through an online reshuffle epoch, the
+    replica adopts the epoch at its saved frontier (a foreground driver is
+    attached via :func:`resume_reshuffle`; ``start()`` or re-attach with
+    ``background=True`` to continue it on a worker) — joining mid-epoch
+    costs a snapshot restore, never a cold shuffle.
     """
     save_snapshot(db, directory)
-    return load_snapshot(directory, master_key=master_key, **load_kw)
+    replica = load_snapshot(directory, master_key=master_key, **load_kw)
+    resume_reshuffle(replica, directory)
+    return replica

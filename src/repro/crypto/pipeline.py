@@ -106,12 +106,31 @@ class KeystreamPipeline:
     def note_written_frames(
         self, locations: Iterable[int], suite, frames: Iterable[bytes]
     ) -> None:
-        """Batch :meth:`note_written`, reading each nonce from its frame header."""
+        """Batch :meth:`note_written`, reading each nonce from its frame header.
+
+        Replacing a location's nonce also drops any keystream still cached
+        for the *old* nonce: that frame no longer exists on disk, so the
+        entry could never be consumed and would only squat on ``max_bytes``
+        until evicted.  The background reshuffler rewrites frames the
+        engine has already prefetched, which is where these orphans come
+        from (``stale_dropped`` counts them).
+        """
         from .modes import NONCE_SIZE
 
         with self._lock:
             for location, frame in zip(locations, frames):
+                old = self._nonces.get(location)
                 self._nonces[location] = (suite, frame[:NONCE_SIZE])
+                if old is None:
+                    continue
+                old_key = (id(old[0]), old[1])
+                if old_key == (id(suite), frame[:NONCE_SIZE]):
+                    # Identical rewrite (recovery replay): still current.
+                    continue
+                orphan = self._ready.pop(old_key, None)
+                if orphan is not None:
+                    self._ready_bytes -= len(orphan)
+                    self.counters.increment("stale_dropped")
 
     def note_batch_window(self, block_frames: int, extra_frames: int) -> None:
         """Account one fused batch window in the pipeline's counters.

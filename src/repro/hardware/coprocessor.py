@@ -83,6 +83,12 @@ class SecureCoprocessor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.suite = CipherSuite(master_key, backend=cipher_backend, rng=self.rng,
                                  tracer=self.tracer)
+        # The master keys stay inside the tamper boundary with the suite;
+        # they are retained (the suite only keeps derived keys) so sibling
+        # suites for background workers and warm-replica snapshots can be
+        # derived without a round-trip to the operator.
+        self._master_key = bytes(master_key)
+        self._legacy_master_key: Optional[bytes] = None
         self._legacy_suite: Optional[CipherSuite] = None
         self.pipeline = None  # KeystreamPipeline; see attach_pipeline()
         self.page_capacity = page_capacity
@@ -118,6 +124,8 @@ class SecureCoprocessor:
         if self.rotation_in_progress:
             raise CapacityError("a key rotation is already in progress")
         self._legacy_suite = self.suite
+        self._legacy_master_key = self._master_key
+        self._master_key = bytes(new_master_key)
         self.suite = CipherSuite(
             new_master_key, backend=self.suite.backend, rng=self.rng,
             tracer=self.tracer,
@@ -133,6 +141,49 @@ class SecureCoprocessor:
     def finish_key_rotation(self) -> None:
         """Drop the legacy key once a full scan has re-encrypted everything."""
         self._legacy_suite = None
+        self._legacy_master_key = None
+
+    @property
+    def legacy_master_key(self) -> Optional[bytes]:
+        """The pre-rotation master key, or None outside a rotation.
+
+        Only read by :mod:`repro.core.snapshot` when sealing trusted state
+        mid-rotation — the key travels inside the double-sealed blob, never
+        in the public manifest.
+        """
+        return self._legacy_master_key
+
+    def adopt_legacy_key(self, legacy_master_key: bytes) -> None:
+        """Re-enter an in-progress rotation restored from a snapshot.
+
+        The current suite already seals under the new key; this re-creates
+        the legacy suite so pre-rotation frames keep authenticating until
+        the scan (or background re-permutation sweep) finishes.
+        """
+        if self.rotation_in_progress:
+            raise CapacityError("a key rotation is already in progress")
+        self._legacy_master_key = bytes(legacy_master_key)
+        self._legacy_suite = CipherSuite(
+            legacy_master_key, backend=self.suite.backend, rng=self.rng,
+            tracer=self.tracer,
+        )
+        self._legacy_suite.pipeline = self.pipeline
+
+    def sibling_suite(self, label: str) -> CipherSuite:
+        """A suite with the *same* derived keys but an independent nonce RNG.
+
+        Background workers (the online reshuffler) must reseal frames
+        without consuming the request path's deterministic nonce stream —
+        otherwise enabling a background pass would change the bytes the
+        serial engine produces.  ``SecureRandom.spawn`` derives the child
+        stream without advancing the parent, so a sibling suite's frames
+        decrypt under :attr:`suite` (identical enc/MAC keys) while its
+        nonces never collide with, or perturb, the engine's.
+        """
+        return CipherSuite(
+            self._master_key, backend=self.suite.backend,
+            rng=self.rng.spawn(label), tracer=self.tracer,
+        )
 
     # -- keystream prefetch ----------------------------------------------------
 

@@ -599,6 +599,11 @@ class QueryFrontend:
                 except ReproError as exc:
                     reply = self._refusal_for(exc)
             self.counters.increment("requests")
+            reshuffle = getattr(self.database, "reshuffle", None)
+            if reshuffle is not None and reshuffle.active:
+                # How much traffic the online re-permutation overlapped:
+                # the zero-refusal bench gate divides refusals by this.
+                self.counters.increment("requests.during_reshuffle")
             sealed_reply = suite.encrypt_page(
                 protocol.encode_client_message(reply)
             )

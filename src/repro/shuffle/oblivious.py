@@ -30,12 +30,44 @@ from .permutation import Permutation
 from ..crypto.rng import SecureRandom
 from ..crypto.suite import CipherSuite
 from ..errors import ConfigurationError
+from ..obs.tracer import NULL_TRACER
 from ..storage.disk import DiskStore
 from ..storage.page import Page
 
-__all__ = ["batcher_network", "ObliviousShuffler", "direct_permute", "TAG_SIZE"]
+__all__ = [
+    "batcher_network",
+    "batcher_passes",
+    "ObliviousShuffler",
+    "direct_permute",
+    "TAG_SIZE",
+]
 
 TAG_SIZE = 16
+
+
+def batcher_passes(n: int) -> Iterator[Tuple[int, int, List[Tuple[int, int]]]]:
+    """Yield the network one merge pass at a time as ``(p, k, comparators)``.
+
+    A pass is one (p, k) stage of Batcher's odd-even merge: all of its
+    comparators touch disjoint index pairs, which is what makes the pass a
+    natural unit for progress reporting (and, in principle, for parallel
+    execution).  Concatenating the passes in order reproduces
+    :func:`batcher_network` exactly.
+    """
+    if n <= 0:
+        raise ConfigurationError("network size must be positive")
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            comparators: List[Tuple[int, int]] = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        comparators.append((i + j, i + j + k))
+            yield (p, k, comparators)
+            k //= 2
+        p *= 2
 
 
 def batcher_network(n: int) -> Iterator[Tuple[int, int]]:
@@ -45,18 +77,9 @@ def batcher_network(n: int) -> Iterator[Tuple[int, int]]:
     is equivalent to padding with +infinity sentinel elements, which never
     move, so the network still sorts any n (not just powers of two).
     """
-    if n <= 0:
-        raise ConfigurationError("network size must be positive")
-    p = 1
-    while p < n:
-        k = p
-        while k >= 1:
-            for j in range(k % p, n - k, 2 * k):
-                for i in range(min(k, n - j - k)):
-                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
-                        yield (i + j, i + j + k)
-            k //= 2
-        p *= 2
+    for _p, _k, comparators in batcher_passes(n):
+        for pair in comparators:
+            yield pair
 
 
 def network_size(n: int) -> int:
@@ -72,10 +95,13 @@ class ObliviousShuffler:
     cache is already fully committed to ``pageCache``.
     """
 
-    def __init__(self, suite: CipherSuite, rng: SecureRandom, page_capacity: int):
+    def __init__(self, suite: CipherSuite, rng: SecureRandom, page_capacity: int,
+                 tracer=None, metrics=None):
         self.suite = suite
         self.rng = rng
         self.page_capacity = page_capacity
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     @property
     def tagged_plaintext_size(self) -> int:
@@ -116,21 +142,43 @@ class ObliviousShuffler:
 
     def sort(self, disk: DiskStore,
              progress: Callable[[int], None] = lambda done: None) -> None:
-        """Run the sorting network over the disk (data-independent accesses)."""
+        """Run the sorting network over the disk (data-independent accesses).
+
+        Progress is published as it goes — a ``shuffle.progress`` gauge in
+        [0, 1] on the metrics registry plus one ``shuffle.pass`` span per
+        (p, k) merge pass — so a long SETUP_OBLIVIOUS build is observable
+        instead of silent.  Neither channel depends on the data: pass
+        boundaries and comparator counts are functions of n alone.
+        """
+        n = disk.num_locations
+        total = network_size(n)
+        gauge = self.metrics.gauge("shuffle.progress") if self.metrics else None
+        if gauge is not None:
+            gauge.set(0.0)
         done = 0
-        for i, j in batcher_network(disk.num_locations):
-            frame_i = disk.read(i)
-            frame_j = disk.read(j)
-            tag_i, page_i = self.unseal_tagged(frame_i)
-            tag_j, page_j = self.unseal_tagged(frame_j)
-            if tag_i > tag_j:
-                page_i, page_j = page_j, page_i
-                tag_i, tag_j = tag_j, tag_i
-            # Always rewrite both with fresh nonces so swap/no-swap is invisible.
-            disk.write(i, self.seal_tagged(tag_i, page_i))
-            disk.write(j, self.seal_tagged(tag_j, page_j))
-            done += 1
-            progress(done)
+        for _p, _k, comparators in batcher_passes(n):
+            if not comparators:
+                continue
+            nbytes = 4 * len(comparators) * disk.frame_size
+            with self.tracer.span("shuffle.pass", nbytes=nbytes):
+                for i, j in comparators:
+                    frame_i = disk.read(i)
+                    frame_j = disk.read(j)
+                    tag_i, page_i = self.unseal_tagged(frame_i)
+                    tag_j, page_j = self.unseal_tagged(frame_j)
+                    if tag_i > tag_j:
+                        page_i, page_j = page_j, page_i
+                        tag_i, tag_j = tag_j, tag_i
+                    # Always rewrite both with fresh nonces so swap/no-swap
+                    # is invisible.
+                    disk.write(i, self.seal_tagged(tag_i, page_i))
+                    disk.write(j, self.seal_tagged(tag_j, page_j))
+                    done += 1
+                    progress(done)
+            if gauge is not None:
+                gauge.set(done / total if total else 1.0)
+        if gauge is not None:
+            gauge.set(1.0)
 
     def extract_layout(self, disk: DiskStore) -> List[int]:
         """Read back which page id landed at each location (post-sort pass).

@@ -133,16 +133,30 @@ class TestSecurity:
 
 
 class TestInteractions:
-    def test_snapshot_during_rotation_refused(self, warm_db, tmp_path):
+    def test_snapshot_during_rotation_roundtrips(self, warm_db, tmp_path):
         warm_db.rotate_master_key(b"next-key")
-        with pytest.raises(ConfigurationError, match="rotation"):
-            save_snapshot(warm_db, str(tmp_path))
-        # Finish the rotation; snapshot then succeeds.
-        for _ in range(warm_db.params.scan_period):
-            warm_db.touch()
+        remaining = warm_db.engine.rotation_requests_remaining
+        assert remaining is not None and remaining > 0
+        # A format-2 snapshot carries the legacy key and the rotation
+        # countdown, so a mid-rotation save is no longer refused.
         save_snapshot(warm_db, str(tmp_path))
         restored = load_snapshot(str(tmp_path), master_key=b"next-key", seed=20)
+        assert restored.cop.rotation_in_progress
+        assert restored.engine.rotation_requests_remaining == remaining
         assert restored.query(0) == RECORDS[0]
+        # The restored replica finishes the rotation on its own.
+        for _ in range(restored.params.scan_period):
+            restored.touch()
+        assert not restored.cop.rotation_in_progress
+        assert restored.query(1) == RECORDS[1]
+
+    def test_mid_rotation_restore_requires_new_key(self, warm_db, tmp_path):
+        warm_db.rotate_master_key(b"next-key")
+        save_snapshot(warm_db, str(tmp_path))
+        # The pre-rotation key no longer opens the snapshot cache blob.
+        with pytest.raises(AuthenticationError):
+            load_snapshot(str(tmp_path), master_key=b"repro-master-key",
+                          seed=20)
 
     def test_restore_with_rollback_protection(self, warm_db, tmp_path):
         from repro.storage.merkle import AuthenticatedDisk
@@ -182,3 +196,64 @@ class TestValidation:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ConfigurationError):
             load_snapshot(str(tmp_path), seed=12)
+
+
+class TestReshuffleSidecar:
+    def test_sidecar_written_only_while_epoch_active(self, warm_db, tmp_path):
+        from repro.core.snapshot import resume_reshuffle
+
+        sidecar = tmp_path / "reshuffle.sealed"
+        save_snapshot(warm_db, str(tmp_path))
+        assert not sidecar.exists()
+
+        driver = warm_db.begin_reshuffle(batch_size=8)
+        driver.step()
+        save_snapshot(warm_db, str(tmp_path))
+        assert sidecar.exists()
+
+        # A later save without an active epoch removes the stale sidecar.
+        driver.run()
+        save_snapshot(warm_db, str(tmp_path))
+        assert not sidecar.exists()
+
+    def test_resume_without_sidecar_returns_none(self, warm_db, tmp_path):
+        from repro.core.snapshot import resume_reshuffle
+
+        save_snapshot(warm_db, str(tmp_path))
+        restored = load_snapshot(str(tmp_path), seed=23)
+        assert resume_reshuffle(restored, str(tmp_path)) is None
+        assert restored.reshuffle is None
+
+    def test_resume_continues_the_epoch(self, warm_db, tmp_path):
+        from repro.core.snapshot import resume_reshuffle
+
+        digest = warm_db.content_digest()
+        driver = warm_db.begin_reshuffle(batch_size=8)
+        driver.step()
+        save_snapshot(warm_db, str(tmp_path))
+        frontier = driver.frontier
+
+        restored = load_snapshot(str(tmp_path), seed=24)
+        resumed = resume_reshuffle(restored, str(tmp_path))
+        assert resumed is restored.reshuffle
+        assert resumed.active and resumed.frontier == frontier
+        resumed.run()
+        restored.consistency_check()
+        assert restored.content_digest() == digest
+
+    def test_save_refused_with_pending_reshuffle_record(self, warm_db,
+                                                        tmp_path):
+        from repro.core.journal import MemoryJournal
+        from repro.shuffle.online import ReshuffleIntent
+
+        driver = warm_db.begin_reshuffle(batch_size=8,
+                                         journal=MemoryJournal())
+        driver.step()
+        intent = ReshuffleIntent(epoch=driver.epoch,
+                                 frontier_before=driver.frontier,
+                                 frontier_after=driver.frontier + 8)
+        driver.journal.write(driver._suite.encrypt_page(intent.encode()))
+        with pytest.raises(ConfigurationError, match="reshuffle"):
+            save_snapshot(warm_db, str(tmp_path))
+        driver.recover()
+        save_snapshot(warm_db, str(tmp_path))

@@ -9,6 +9,7 @@ tracking.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -269,3 +270,84 @@ class TestReplicationApplier:
             ReplicationApplier.decode_state(blob + b"trailing")
         with pytest.raises(StorageError):
             ReplicationApplier.decode_state(blob[:-1])
+
+
+class TestBacklogCompaction:
+    def test_compact_drops_prefix_and_reindexes(self, db):
+        log = ReplicationLog(db.cop, "o:1")
+        for i in range(8):
+            log.emit("write", i % 4, b"p%d" % i)
+        assert log.compact(5) == 5
+        assert log.compacted_seq == 5
+        assert log.last_seq == 8
+        assert [seq for seq, _ in log.records_since(5)] == [6, 7, 8]
+        seq, sealed = log.next_record(6)
+        assert seq == 7
+        assert decode_record(db.cop, sealed).seq == 7
+        # Sequences keep growing from the old high-water mark.
+        assert log.emit("write", 1, b"after") == 9
+
+    def test_compact_clamps_and_noops(self, db):
+        log = ReplicationLog(db.cop, "o:1")
+        log.emit("write", 1, b"a")
+        log.emit("write", 2, b"b")
+        assert log.compact(100) == 2  # clamped to last_seq
+        assert log.last_seq == 2
+        assert log.compact(1) == 0  # below the base: nothing to do
+        assert log.counters.get("compacted") == 2
+
+    def test_stale_consumer_is_refused_not_skipped(self, db):
+        log = ReplicationLog(db.cop, "o:1")
+        for i in range(6):
+            log.emit("write", i % 4, b"x")
+        log.compact(4)
+        with pytest.raises(StorageError):
+            log.records_since(3)
+        with pytest.raises(StorageError):
+            log.next_record(2)
+        assert log.counters.get("too_stale") == 2
+
+    def test_durable_file_trimmed_and_reloads_with_base(self, db, tmp_path):
+        path = str(tmp_path / "repl-a.log")
+        log = ReplicationLog(db.cop, "o:1", path=path)
+        for i in range(10):
+            log.emit("write", i % 4, b"p%d" % i)
+        size_full = os.path.getsize(path)
+        log.compact(7)
+        assert os.path.getsize(path) < size_full
+        log.emit("write", 0, b"tail")
+        log.close()
+
+        reloaded = ReplicationLog(db.cop, "o:1", path=path)
+        try:
+            assert reloaded.compacted_seq == 7
+            assert reloaded.last_seq == 11
+            seqs = [seq for seq, _ in reloaded.records_since(7)]
+            assert seqs == [8, 9, 10, 11]
+            for seq, sealed in reloaded.records_since(7):
+                assert decode_record(db.cop, sealed).seq == seq
+        finally:
+            reloaded.close()
+
+    def test_snapshot_then_compact_catchup_flow(self, db, tmp_path):
+        """The intended lifecycle: checkpoint applied state with a
+        snapshot sidecar, compact everything the snapshot covers, and
+        serve newer records from the trimmed stream."""
+        log = ReplicationLog(db.cop, "o:1")
+        applier = ReplicationApplier(db)
+        for i in range(4):
+            seq = log.emit("noop")
+            applier.apply("o:1", seq, log.records_since(seq - 1)[0][1])
+        directory = str(tmp_path / "snap")
+        save_snapshot(db, directory)
+        save_sealed_sidecar(db, directory, "repl-state",
+                            applier.encode_state())
+        log.compact(applier.applied_for("o:1"))
+        assert log.compacted_seq == 4
+        # A rebuilt peer restores the vector, then streams only the tail.
+        state = ReplicationApplier.decode_state(
+            load_sealed_sidecar(db, directory, "repl-state")
+        )
+        assert state == {"o:1": 4}
+        log.emit("noop")
+        assert [seq for seq, _ in log.records_since(state["o:1"])] == [5]

@@ -1,0 +1,184 @@
+"""Crash mid-reshuffle drill: kill during a comparator batch, roll forward.
+
+The online reshuffler's compute → intend → apply discipline is exercised
+the way :mod:`tests.test_crash_restart` exercises the engine's: a
+file-backed database is killed by a :class:`SimulatedCrash` part-way
+through a batch write-back (torn prefix on disk, full intent in the
+reshuffler's own :class:`~repro.core.journal.FileJournal`), the process
+"restarts" from the mid-epoch snapshot + sidecar, and the surviving
+journal record is rolled forward — restoring a consistent epoch with no
+torn frames, at exactly the post-batch frontier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_db
+from repro.core.journal import FileJournal
+from repro.core.snapshot import load_snapshot, resume_reshuffle, save_snapshot
+from repro.faults import (
+    SITE_DISK_WRITE,
+    FaultInjector,
+    FaultyDiskStore,
+    SimulatedCrash,
+    crash_after_writes,
+)
+from repro.storage.filedisk import FileDiskStore
+
+SEED = 41
+
+
+def faulty_file_factory(path, injector):
+    def build(num_locations, frame_size, timing, clock, trace):
+        return FaultyDiskStore(
+            FileDiskStore(path, num_locations, frame_size,
+                          timing=timing, clock=clock, trace=trace),
+            injector,
+        )
+
+    return build
+
+
+class TestCrashMidReshuffle:
+    def _build(self, tmp_path, injector):
+        return make_db(
+            seed=SEED,
+            journal=FileJournal(str(tmp_path / "engine.jnl")),
+            disk_factory=faulty_file_factory(
+                str(tmp_path / "pages.bin"), injector
+            ),
+        )
+
+    def _restart(self, tmp_path, snap_dir):
+        db = load_snapshot(
+            str(snap_dir), seed=SEED + 1,
+            journal=FileJournal(str(tmp_path / "engine.jnl")),
+        )
+        assert db.recover().action == "clean"
+        driver = resume_reshuffle(
+            db, str(snap_dir),
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        assert driver is not None and driver.active
+        return db, driver
+
+    def test_kill_mid_batch_rolls_forward(self, tmp_path):
+        injector = FaultInjector(seed=3)
+        db = self._build(tmp_path, injector)
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(
+            batch_size=8,
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        driver.step()
+        driver.step()
+        snap_dir = tmp_path / "snap"
+        save_snapshot(db, str(snap_dir))
+        frontier_at_snapshot = driver.frontier
+
+        # Kill three frames into the next batch's write-back: the journal
+        # record is durable, the disk holds a torn prefix.
+        injector.add(crash_after_writes(
+            injector.frames_seen(SITE_DISK_WRITE) + 3
+        ))
+        with pytest.raises(SimulatedCrash):
+            driver.step()
+        del db, driver  # the process is dead
+
+        db2, driver2 = self._restart(tmp_path, snap_dir)
+        assert driver2.frontier == frontier_at_snapshot
+        assert driver2.recover() == "replayed"
+        assert driver2.frontier == frontier_at_snapshot + 8
+        assert driver2.counters.get("recovery.replayed") == 1
+
+        driver2.run()
+        assert not driver2.active
+        db2.consistency_check()  # decrypts every frame: no torn ciphertext
+        assert db2.content_digest() == digest
+        assert db2.query(5) == make_db(seed=SEED).query(5)
+        db2.close()
+
+    def test_kill_before_first_frame_still_replays(self, tmp_path):
+        injector = FaultInjector(seed=3)
+        db = self._build(tmp_path, injector)
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(
+            batch_size=8,
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        driver.step()
+        snap_dir = tmp_path / "snap"
+        save_snapshot(db, str(snap_dir))
+
+        injector.add(crash_after_writes(
+            injector.frames_seen(SITE_DISK_WRITE)
+        ))
+        with pytest.raises(SimulatedCrash):
+            driver.step()
+        del db, driver
+
+        db2, driver2 = self._restart(tmp_path, snap_dir)
+        assert driver2.recover() == "replayed"
+        driver2.run()
+        db2.consistency_check()
+        assert db2.content_digest() == digest
+        db2.close()
+
+    def test_kill_between_batches_resumes_clean(self, tmp_path):
+        injector = FaultInjector(seed=3)
+        db = self._build(tmp_path, injector)
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(
+            batch_size=8,
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        driver.step()
+        driver.step()
+        snap_dir = tmp_path / "snap"
+        save_snapshot(db, str(snap_dir))
+        frontier = driver.frontier
+        del db, driver  # killed in the idle gap: journal slot is empty
+
+        db2, driver2 = self._restart(tmp_path, snap_dir)
+        assert driver2.recover() == "clean"
+        assert driver2.frontier == frontier
+        driver2.run()
+        db2.consistency_check()
+        assert db2.content_digest() == digest
+        db2.close()
+
+    def test_kill_mid_batch_during_key_rotation(self, tmp_path):
+        injector = FaultInjector(seed=3)
+        db = self._build(tmp_path, injector)
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(
+            batch_size=8, rotate_to=b"rotated-master-key",
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        driver.step()
+        snap_dir = tmp_path / "snap"
+        save_snapshot(db, str(snap_dir))  # mid-rotation: format-2 state
+
+        injector.add(crash_after_writes(
+            injector.frames_seen(SITE_DISK_WRITE) + 2
+        ))
+        with pytest.raises(SimulatedCrash):
+            driver.step()
+        del db, driver
+
+        db2 = load_snapshot(
+            str(snap_dir), master_key=b"rotated-master-key", seed=SEED + 1,
+            journal=FileJournal(str(tmp_path / "engine.jnl")),
+        )
+        assert db2.cop.rotation_in_progress  # legacy key restored
+        driver2 = resume_reshuffle(
+            db2, str(snap_dir),
+            journal=FileJournal(str(tmp_path / "reshuffle.jnl")),
+        )
+        assert driver2.recover() == "replayed"
+        driver2.run()
+        assert not db2.cop.rotation_in_progress  # sweep finished it
+        db2.consistency_check()
+        assert db2.content_digest() == digest
+        db2.close()
