@@ -183,22 +183,16 @@ def save_snapshot(db: PirDatabase, directory: str) -> None:
     state carries the legacy key and the rotation countdown) and during an
     online reshuffle epoch (the epoch's frontier and secret key are sealed
     into a ``reshuffle`` sidecar; reattach with :func:`resume_reshuffle`).
-    It refuses while either intent journal — the engine's or the
-    reshuffler's — holds a pending record: a snapshot taken mid-recovery
-    would be *older* than the journal, and restoring it next to that
-    journal is exactly the state ``recover()`` must reject.  Run
-    ``db.recover()`` / ``db.reshuffle.recover()`` first.
+    A *retained* write-back (a transiently failed apply — the engine's or
+    a background worker's) is healed under the op lock before anything is
+    dumped, so the frames and the sealed page map always agree.  It still
+    refuses while either intent journal — the engine's or the
+    reshuffler's — holds a record the heal could not resolve (a crash
+    restart): a snapshot taken mid-recovery would be *older* than the
+    journal, and restoring it next to that journal is exactly the state
+    ``recover()`` must reject.  Run ``db.recover()`` /
+    ``db.reshuffle.recover()`` first.
     """
-    if db.engine.journal_pending:
-        raise ConfigurationError(
-            "cannot snapshot with a pending intent-journal record; call "
-            "recover() first"
-        )
-    if db.reshuffle is not None and db.reshuffle.journal_pending:
-        raise ConfigurationError(
-            "cannot snapshot with a pending reshuffle-journal record; call "
-            "reshuffle.recover() first"
-        )
     os.makedirs(directory, exist_ok=True)
     manifest = {
         "format": 2,
@@ -215,10 +209,28 @@ def save_snapshot(db: PirDatabase, directory: str) -> None:
     with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as f:
         json.dump(manifest, f, indent=2, sort_keys=True)
 
-    # Hold the op lock across the frame dump and the trusted-state encode:
-    # a background reshuffle batch landing between the two would leave the
-    # frames describing a newer permutation than the sealed page map.
+    # Hold the op lock across the journal checks, the frame dump and the
+    # trusted-state encode: a background reshuffle batch landing between
+    # any two of them would leave the frames describing a newer
+    # permutation than the sealed page map.
     with db.engine.op_lock:
+        # Roll forward any retained in-memory write-back first (the
+        # engine's, plus every registered background healer — the online
+        # reshuffler's among them): a transiently failed apply leaves
+        # frames on disk that the page map does not describe yet, and a
+        # journal-less configuration has no pending-record check to catch
+        # it.
+        db.engine._heal_pending()
+        if db.engine.journal_pending:
+            raise ConfigurationError(
+                "cannot snapshot with a pending intent-journal record; "
+                "call recover() first"
+            )
+        if db.reshuffle is not None and db.reshuffle.journal_pending:
+            raise ConfigurationError(
+                "cannot snapshot with a pending reshuffle-journal record; "
+                "call reshuffle.recover() first"
+            )
         with open(os.path.join(directory, _FRAMES), "wb") as f:
             for location in range(db.disk.num_locations):
                 frame = db.disk.peek(location)

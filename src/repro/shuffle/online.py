@@ -47,7 +47,7 @@ import itertools
 import struct
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .oblivious import batcher_network, network_size
 from ..core.journal import RecordCursor
@@ -201,7 +201,12 @@ class OnlineReshuffler:
         self._active = False
         self._rotate_pending = False
         self._epoch_key = b""
-        self._comparators = iter(())
+        # Comparator stream cache: iterator + how many comparators it has
+        # yielded.  _comparator_slice validates that position against the
+        # frontier on every use, so which comparators a batch executes is
+        # a pure function of the frontier — never of iterator history.
+        self._comparators: Optional[Iterator[Tuple[int, int]]] = None
+        self._comparators_pos = 0
         # Independent nonce stream for background reseals (same derived
         # keys as the engine's suite, so its frames decrypt normally).
         self._suite = None
@@ -286,9 +291,8 @@ class OnlineReshuffler:
             self._suite = self.cop.sibling_suite(
                 f"reshuffle-epoch-{self._epoch}"
             )
-            self._comparators = batcher_network(
-                self.engine.params.num_locations
-            )
+            self._comparators = None
+            self._comparators_pos = 0
             self._active = True
             self._set_gauge()
             self.counters.increment("epochs.begun")
@@ -315,13 +319,17 @@ class OnlineReshuffler:
             # previous request).
             self.engine._heal_pending()
 
-            units: List[object] = []
             start = self._frontier
-            for unit in range(start, min(start + budget, self._total)):
-                if unit < self._network:
-                    units.append(next(self._comparators))
-                else:
-                    units.append(unit - self._network)
+            end = min(start + budget, self._total)
+            units: List[object] = []
+            if start < self._network:
+                units.extend(self._comparator_slice(
+                    start, min(end, self._network) - start
+                ))
+            units.extend(
+                unit - self._network
+                for unit in range(max(start, self._network), end)
+            )
             if not units:
                 return 0
 
@@ -356,6 +364,30 @@ class OnlineReshuffler:
         return done
 
     # -- batch construction ----------------------------------------------------
+
+    def _comparator_slice(self, start: int, count: int) -> List[Tuple[int, int]]:
+        """Comparators ``[start, start + count)`` of the epoch's network.
+
+        The cached iterator remembers how many comparators it has yielded;
+        whenever that position disagrees with the requested ``start`` — a
+        journal replay or heal advanced the frontier without consuming
+        units, or a failed compute/journal phase consumed units without
+        advancing the frontier — the iterator is re-derived from the
+        public network at the frontier.  Every batch therefore executes
+        exactly the comparators its frontier range describes: retries
+        re-run the same units, replays never shift the stream, and the
+        network's tail always runs — the canonical Batcher order the
+        epoch's privacy argument (DESIGN.md §15) depends on.
+        """
+        if self._comparators is None or self._comparators_pos != start:
+            self._comparators = itertools.islice(
+                batcher_network(self.engine.params.num_locations),
+                start, None,
+            )
+            self._comparators_pos = start
+        out = list(itertools.islice(self._comparators, count))
+        self._comparators_pos += len(out)
+        return out
 
     def _compute_batch(self, frontier: int, units: List[object]) -> ReshuffleIntent:
         """Compute phase: read, compare, reseal — no state mutated.
@@ -467,10 +499,15 @@ class OnlineReshuffler:
 
         Call after the engine's own :meth:`~RetrievalEngine.recover` (their
         journals are independent; order only matters for who sets
-        ``disk.current_request`` last).  Returns one of ``"clean"``,
+        ``disk.current_request`` last) and — after a restart — after
+        :meth:`restore_state` / :func:`~repro.core.snapshot.resume_reshuffle`
+        has re-adopted the epoch.  Returns one of ``"clean"``,
         ``"rolled_back"``, ``"replayed"``, ``"discarded_stale"`` with the
-        engine's semantics; raises :class:`~repro.errors.RecoveryError`
-        when the journal is *ahead* of the restored frontier.
+        engine's semantics.  Raises :class:`~repro.errors.RecoveryError`
+        when the journal is *ahead* of (or unmatched by) the trusted
+        state — e.g. recover() before the sidecar restore: the record is
+        the only roll-forward for a possibly torn batch, so it is retained
+        rather than discarded.
         """
         with self.engine.op_lock:
             if self.journal is None:
@@ -491,16 +528,31 @@ class OnlineReshuffler:
                 self._pending = None
                 self.counters.increment("recovery.rolled_back")
                 return "rolled_back"
-            if intent.epoch != self._epoch or not self._active:
-                # A record from a finished (or never-restored) epoch: the
-                # epoch boundary already made it moot.
+            if intent.epoch < self._epoch or (
+                intent.epoch == self._epoch
+                and intent.frontier_after <= self._frontier
+            ):
+                # Strictly behind the trusted state: a later epoch's
+                # boundary (or this epoch's own apply) already made the
+                # record moot.
                 self.journal.clear()
                 self.counters.increment("recovery.discarded_stale")
                 return "discarded_stale"
-            if intent.frontier_after <= self._frontier:
-                self.journal.clear()
-                self.counters.increment("recovery.discarded_stale")
-                return "discarded_stale"
+            if intent.epoch > self._epoch or not self._active:
+                # Ahead of (or unmatched by) the trusted state — e.g.
+                # recover() ran before restore_state().  A torn batch may
+                # have left half-written frames this record alone can roll
+                # forward, so refuse instead of discarding it.
+                raise RecoveryError(
+                    f"reshuffle journal holds a record for epoch "
+                    f"{intent.epoch} (frontier {intent.frontier_before}->"
+                    f"{intent.frontier_after}) but the trusted state is at "
+                    f"epoch {self._epoch}"
+                    + ("" if self._active else " with no active epoch")
+                    + "; restore the snapshot sidecar (resume_reshuffle) "
+                    "before recover() — clearing the record would lose the "
+                    "only roll-forward for a torn batch"
+                )
             if intent.frontier_before != self._frontier:
                 raise RecoveryError(
                     f"reshuffle journal describes frontier "
@@ -565,17 +617,24 @@ class OnlineReshuffler:
             self._active = active
             self._rotate_pending = rotate_pending
             self._epoch_key = epoch_key
-            # Distinct spawn label per resume point: a restore that reused
-            # the pre-crash label under the same RNG seed would replay the
-            # nonce stream already spent on pre-crash reseals.
+            # Later begin() calls must continue the database-global epoch
+            # numbering from the restored epoch: a fresh driver restarting
+            # at epoch 1 would respawn this epoch's sibling labels and
+            # replay their nonce streams against the same master key.
+            self.db._reshuffle_epoch_base = epoch
+            # Distinct spawn label per resume: (epoch, frontier) alone is
+            # not unique — two resumes from the same sidecar land on the
+            # same frontier with different frame contents — so a database-
+            # global monotonic resume counter is mixed in, keeping every
+            # resume's nonce stream disjoint from the pre-crash suite's
+            # and from every earlier resume's.
+            resume_seq = getattr(self.db, "_reshuffle_resume_seq", 0) + 1
+            self.db._reshuffle_resume_seq = resume_seq
             self._suite = self.cop.sibling_suite(
-                f"reshuffle-epoch-{epoch}-resume-{frontier}"
+                f"reshuffle-epoch-{epoch}-resume-{resume_seq}-{frontier}"
             )
-            consumed = min(frontier, self._network)
-            self._comparators = itertools.islice(
-                batcher_network(self.engine.params.num_locations),
-                consumed, None,
-            )
+            self._comparators = None
+            self._comparators_pos = 0
             self._set_gauge()
         if active:
             with self._wake:

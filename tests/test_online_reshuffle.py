@@ -10,11 +10,21 @@ from tests.helpers import make_db
 from repro.baselines import make_records
 from repro.core.journal import MemoryJournal
 from repro.core.sharded import ShardedPirDatabase
-from repro.errors import ConfigurationError, RecoveryError
+from repro.core.snapshot import load_snapshot, resume_reshuffle, save_snapshot
+from repro.errors import ConfigurationError, RecoveryError, StorageError
+from repro.faults import (
+    SITE_DISK_READ,
+    SITE_DISK_WRITE,
+    FaultInjector,
+    FaultyDiskStore,
+    transient_reads,
+    transient_writes,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
-from repro.shuffle.online import OnlineReshuffler, ReshuffleIntent
+from repro.shuffle.online import OnlineReshuffler, ReshuffleIntent, _tag
 from repro.shuffle.oblivious import ObliviousShuffler, batcher_network, network_size
+from repro.storage.disk import DiskStore
 
 
 def wait_until(predicate, timeout=15.0, interval=0.005):
@@ -24,6 +34,29 @@ def wait_until(predicate, timeout=15.0, interval=0.005):
             return True
         time.sleep(interval)
     return predicate()
+
+
+def faulty_memory_factory(injector):
+    def build(num_locations, frame_size, timing, clock, trace):
+        return FaultyDiskStore(
+            DiskStore(num_locations=num_locations, frame_size=frame_size,
+                      timing=timing, clock=clock, trace=trace),
+            injector,
+        )
+
+    return build
+
+
+def assert_batcher_order(db, driver):
+    """The finished epoch left the *canonical* Batcher result: resident
+    pages sorted by the epoch's secret PRF tags.  A driver that skipped,
+    repeated or mis-positioned comparators (e.g. after a replay or a
+    retried batch) stays content-consistent but fails this."""
+    tags = [
+        _tag(driver._epoch_key, db.cop.unseal(db.disk.peek(loc)).page_id)
+        for loc in range(db.params.num_locations)
+    ]
+    assert tags == sorted(tags)
 
 
 class TestForegroundEpoch:
@@ -187,6 +220,152 @@ class TestRecoverySemantics:
         with pytest.raises(RecoveryError):
             driver.recover()
         db.close()
+
+    def test_record_from_earlier_epoch_is_discarded(self):
+        journal = MemoryJournal()
+        db = make_db(seed=4, journal=MemoryJournal())
+        driver = db.begin_reshuffle(batch_size=8, journal=journal)
+        old_suite = driver._suite
+        driver.run()
+        driver2 = db.begin_reshuffle(batch_size=8, journal=journal)
+        stale = ReshuffleIntent(epoch=1, frontier_before=0, frontier_after=4)
+        journal.write(old_suite.encrypt_page(stale.encode()))
+        assert driver2.recover() == "discarded_stale"
+        assert journal.read() is None
+        db.close()
+
+    def test_recover_before_restore_raises_and_retains_record(self):
+        """recover() on a driver that has not adopted the sidecar yet must
+        refuse — clearing the record would lose the only roll-forward for
+        a torn batch — and succeed once restore_state has run."""
+        journal = MemoryJournal()
+        db = make_db(seed=4, journal=MemoryJournal())
+        driver = db.begin_reshuffle(batch_size=8, journal=journal)
+        driver.step()
+        state = driver.state_blob()
+        torn = ReshuffleIntent(epoch=driver.epoch,
+                               frontier_before=driver.frontier,
+                               frontier_after=driver.frontier + 4)
+        journal.write(driver._suite.encrypt_page(torn.encode()))
+        driver.close()
+
+        fresh = OnlineReshuffler(db, journal=journal)
+        with pytest.raises(RecoveryError):
+            fresh.recover()
+        assert journal.read() is not None  # the roll-forward survives
+        fresh.restore_state(state)
+        assert fresh.recover() == "replayed"
+        assert fresh.frontier == torn.frontier_after
+        fresh.close()
+        db.close()
+
+
+class TestFrontierPurity:
+    """A batch's comparators are a function of the frontier, not of how
+    often (or how unsuccessfully) earlier batches ran."""
+
+    def test_transient_compute_fault_retries_same_comparators(self):
+        injector = FaultInjector(seed=3)
+        db = make_db(seed=11, journal=MemoryJournal(),
+                     disk_factory=faulty_memory_factory(injector))
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(batch_size=8, journal=MemoryJournal())
+        driver.step()
+        frontier = driver.frontier
+        injector.add(transient_reads(times=1))
+        with pytest.raises(StorageError):
+            driver.step()
+        assert driver.frontier == frontier  # nothing applied
+        # The retry must re-execute the very units the failed batch
+        # consumed; a shifted stream either mis-sorts or exhausts early.
+        driver.run()
+        assert not driver.active
+        db.consistency_check()
+        assert db.content_digest() == digest
+        assert_batcher_order(db, driver)
+        db.close()
+
+    def test_background_worker_survives_transient_fault(self):
+        injector = FaultInjector(seed=3)
+        db = make_db(seed=12, journal=MemoryJournal(),
+                     disk_factory=faulty_memory_factory(injector))
+        injector.add(transient_reads(times=1))
+        driver = db.begin_reshuffle(batch_size=8, background=True,
+                                    journal=MemoryJournal(),
+                                    idle_interval=0.0001)
+        assert wait_until(lambda: not driver.active)
+        assert driver.counters.get("worker.errors") >= 1
+        db.consistency_check()
+        assert_batcher_order(db, driver)
+        db.close()
+
+
+class TestResumeUniqueness:
+    def test_two_resumes_use_distinct_nonce_streams(self):
+        db = make_db(seed=23, journal=MemoryJournal())
+        driver = db.begin_reshuffle(batch_size=8, journal=MemoryJournal())
+        driver.step()
+        state = driver.state_blob()
+        driver.close()
+        first = OnlineReshuffler(db, journal=MemoryJournal())
+        first.restore_state(state)
+        second = OnlineReshuffler(db, journal=MemoryJournal())
+        second.restore_state(state)
+        # Same epoch, same frontier, same derived keys: only the per-resume
+        # spawn label keeps the nonce streams apart.  Identical ciphertexts
+        # for one plaintext would mean keystream reuse across resumes.
+        assert (first._suite.encrypt_page(b"x" * 32)
+                != second._suite.encrypt_page(b"x" * 32))
+        first.close()
+        second.close()
+        db.close()
+
+    def test_restored_database_continues_epoch_numbering(self, tmp_path):
+        db = make_db(seed=24, journal=MemoryJournal())
+        db.begin_reshuffle(batch_size=8, journal=MemoryJournal()).run()
+        driver = db.begin_reshuffle(batch_size=8, journal=MemoryJournal())
+        driver.step()
+        snap = str(tmp_path / "snap")
+        save_snapshot(db, snap)
+
+        db2 = load_snapshot(snap, seed=25)
+        resumed = resume_reshuffle(db2, snap, journal=MemoryJournal())
+        assert resumed is not None and resumed.epoch == 2
+        resumed.run()
+        # A fresh driver must continue the database-global numbering from
+        # the restored epoch, not restart at 1 (which would respawn epoch
+        # 1's sibling label and replay its nonce stream).
+        assert db2.begin_reshuffle(journal=MemoryJournal()).epoch == 3
+        db.close()
+        db2.close()
+
+
+class TestSnapshotHealsRetainedWriteBack:
+    def test_snapshot_heals_journal_less_pending_apply(self, tmp_path):
+        """A transiently failed batch apply retains its intent in memory;
+        with no reshuffle journal armed, save_snapshot must heal it under
+        the op lock — otherwise the dumped frames are ahead of the sealed
+        page map and the restored instance is inconsistent."""
+        injector = FaultInjector(seed=5)
+        db = make_db(seed=29, disk_factory=faulty_memory_factory(injector))
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(batch_size=8)  # journal-less
+        driver.step()
+        # Let two frames of the next batch's write-back land, then fail.
+        injector.add(transient_writes(times=1, after=2))
+        with pytest.raises(StorageError):
+            driver.step()
+        assert driver.write_back_pending
+
+        snap = str(tmp_path / "snap")
+        save_snapshot(db, snap)
+        assert not driver.write_back_pending  # healed under the lock
+
+        db2 = load_snapshot(snap, seed=30)
+        db2.consistency_check()
+        assert db2.content_digest() == digest
+        db.close()
+        db2.close()
 
 
 class TestPipelineInteraction:

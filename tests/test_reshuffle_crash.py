@@ -15,6 +15,7 @@ from __future__ import annotations
 import pytest
 
 from tests.helpers import make_db
+from tests.test_online_reshuffle import assert_batcher_order
 from repro.core.journal import FileJournal
 from repro.core.snapshot import load_snapshot, resume_reshuffle, save_snapshot
 from repro.faults import (
@@ -94,6 +95,12 @@ class TestCrashMidReshuffle:
 
         driver2.run()
         assert not driver2.active
+        # The replay advanced the frontier without consuming comparator
+        # units; the rest of the epoch must still run the canonical
+        # network tail from the post-replay frontier (not a stream shifted
+        # back by the replayed batch) — the finished layout is sorted by
+        # the epoch's tags.
+        assert_batcher_order(db2, driver2)
         db2.consistency_check()  # decrypts every frame: no torn ciphertext
         assert db2.content_digest() == digest
         assert db2.query(5) == make_db(seed=SEED).query(5)
