@@ -9,6 +9,9 @@ Commands
 ``demo``      build a small database and run an end-to-end exercise
 ``metrics``   run a traced workload; per-phase totals, registry contents
               and the Eq. 8 conformance ratios (``--out`` exports JSONL)
+``plan``      capacity planner: invert the cost model from a target
+              triple (p99, QPS, privacy c or ϵ) into a full parameter
+              assignment (``--verify`` measures prediction error)
 ``serve``     serve a seeded database over TCP (asyncio stack, admission
               control, graceful drain on SIGINT or ``--duration``)
 ``loadgen``   drive a running ``serve`` instance with concurrent async
@@ -280,6 +283,98 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         rows.extend(row.as_dict() for row in conformance)
         written = write_jsonl(args.out, rows)
         print(f"\nwrote {written} JSONL rows to {args.out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from .hardware.specs import IBM_4764
+    from .obs import read_jsonl
+    from .plan import CalibratedCostModel, PlanTarget, plan, verify_plan
+
+    spec = IBM_4764.scaled(args.units)
+    if args.obs:
+        model = CalibratedCostModel.from_obs_rows(
+            [read_jsonl(path) for path in args.obs],
+            page_size=args.page_size,
+        )
+    elif args.calibrate == "probe":
+        model = CalibratedCostModel.from_probe(
+            page_size=args.page_size,
+            queries=args.queries,
+            seed=args.seed,
+        )
+    else:
+        model = CalibratedCostModel.from_spec(spec, args.page_size)
+
+    target = PlanTarget(
+        num_pages=args.pages,
+        page_size=args.page_size,
+        p99_seconds=args.p99,
+        qps=args.qps,
+        privacy_c=args.c if args.epsilon is None else None,
+        epsilon=args.epsilon,
+    )
+    result = plan(target, model=model, spec=spec, max_shards=args.max_shards)
+
+    verify_rows = None
+    worst_error = 0.0
+    if args.verify:
+        verify_rows = verify_plan(
+            result, model, queries=args.queries, seed=args.seed
+        )
+        worst_error = max(row["error"] for row in verify_rows)
+
+    if args.json:
+        payload = result.as_dict()
+        if verify_rows is not None:
+            payload["verify"] = verify_rows
+            payload["verify_tolerance"] = args.tolerance
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(_format_table(
+            ["parameter", "value"],
+            [
+                ["calibration", result.calibration_source],
+                ["privacy target c", f"{target.resolved_c:.4f}"],
+                ["achieved c", f"{result.achieved_c:.4f}"],
+                ["block size k", result.block_size],
+                ["cache pages m", result.cache_pages],
+                ["locations n (padded)", result.num_locations],
+                ["secure storage (Eq. 7)",
+                 f"{result.secure_storage_bytes / 1e6:.2f} MB"],
+                ["predicted query time",
+                 f"{result.predicted_query_seconds:.4f} s"],
+                ["shards", result.shard_count],
+                ["batch window", result.batch_window],
+                ["pipeline budget", f"{result.pipeline_max_bytes} B"],
+                ["hot-tier frames", result.hot_tier_frames],
+                ["admission rate", f"{result.admission_rate:.2f} qps"],
+                ["admission burst", f"{result.admission_burst:.2f}"],
+            ],
+        ))
+        print("\nPredicted per-phase seconds/query:")
+        print(_format_table(
+            ["phase", "seconds"],
+            sorted(result.predicted_phase_seconds.items()),
+        ))
+        if verify_rows is not None:
+            print("\nVerification (predicted vs measured, "
+                  f"tolerance {args.tolerance:.0%}):")
+            print(_format_table(
+                ["phase", "predicted (s)", "measured (s)", "error"],
+                [
+                    [row["phase"], row["predicted_s"], row["measured_s"],
+                     f"{row['error']:.2%}"]
+                    for row in verify_rows
+                ],
+            ))
+    if verify_rows is not None and worst_error > args.tolerance:
+        print(f"verification FAILED: worst per-phase error "
+              f"{worst_error:.2%} exceeds {args.tolerance:.0%}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -602,6 +697,46 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="include individual span rows in --out JSONL")
     metrics.add_argument("--out", default="", help="JSONL output path")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    planp = sub.add_parser(
+        "plan",
+        help="invert the cost model: target (p99, QPS, c) -> parameters",
+    )
+    planp.add_argument("--pages", type=int, default=10**6,
+                       help="database size n in pages")
+    planp.add_argument("--page-size", type=int, default=1000,
+                       dest="page_size")
+    planp.add_argument("--p99", type=float, default=0.05,
+                       help="p99 latency bound in seconds")
+    planp.add_argument("--qps", type=float, default=10.0,
+                       help="sustained query rate to provision for")
+    privacy = planp.add_mutually_exclusive_group()
+    privacy.add_argument("--c", type=float, default=2.0,
+                         help="privacy bound c (Eq. 6)")
+    privacy.add_argument("--epsilon", type=float, default=None,
+                         help="Toledo-style relaxed bound; c = e^epsilon")
+    planp.add_argument("--calibrate", choices=("spec", "probe"),
+                       default="spec",
+                       help="unit costs from Eq. 8 spec constants or a "
+                            "short self-measured probe run")
+    planp.add_argument("--obs", action="append", default=[],
+                       metavar="JSONL",
+                       help="calibrate from obs JSONL export(s); "
+                            "repeatable, overrides --calibrate")
+    planp.add_argument("--units", type=int, default=1,
+                       help="pooled coprocessor units (scales the spec)")
+    planp.add_argument("--max-shards", type=int, default=64,
+                       dest="max_shards")
+    planp.add_argument("--queries", type=int, default=32,
+                       help="probe/verify query count")
+    planp.add_argument("--seed", type=int, default=1234)
+    planp.add_argument("--verify", action="store_true",
+                       help="measure the plan and report per-term "
+                            "prediction error")
+    planp.add_argument("--tolerance", type=float, default=0.15,
+                       help="max per-phase verification error")
+    planp.add_argument("--json", action="store_true")
+    planp.set_defaults(handler=_cmd_plan)
 
     serve = sub.add_parser(
         "serve",

@@ -206,6 +206,23 @@ class KeystreamPipeline:
                     if event is not None:
                         event.set()
 
+    def set_max_bytes(self, max_bytes: int) -> None:
+        """Re-bound the keystream cache at runtime (thread-safe).
+
+        Shrinking evicts oldest entries down to the new bound immediately
+        (keeping at least one, matching :meth:`_store`); growing simply
+        lets future prefetches accumulate more.  The :mod:`repro.plan`
+        controller uses this to trade host memory against hit rate.
+        """
+        if max_bytes <= 0:
+            raise ConfigurationError("pipeline max_bytes must be positive")
+        with self._lock:
+            self.max_bytes = max_bytes
+            while self._ready_bytes > self.max_bytes and len(self._ready) > 1:
+                _, evicted = self._ready.popitem(last=False)
+                self._ready_bytes -= len(evicted)
+                self.counters.increment("evicted")
+
     def _store(self, key, keystream: bytes) -> None:
         """Insert under the byte bound, evicting oldest first.  Lock held."""
         if key in self._ready:

@@ -44,6 +44,23 @@ class ConfigurationError(ReproError):
     """
 
 
+class PlanInfeasibleError(ConfigurationError):
+    """No parameter assignment satisfies a capacity-planning target.
+
+    ``constraint`` names the binding constraint so callers (and the CLI)
+    can report *which* target to relax: ``"latency"`` (the p99 bound is
+    below what any block size can deliver), ``"privacy"`` (the privacy
+    target is outside the scheme's tunable range), ``"secure_memory"``
+    (the cache required by the privacy/latency pair exceeds the secure
+    hardware's memory), or ``"throughput"`` (the QPS target exceeds the
+    maximum shard fan-out's capacity).
+    """
+
+    def __init__(self, message: str, constraint: str = "unspecified"):
+        super().__init__(message)
+        self.constraint = constraint
+
+
 class CryptoError(ReproError):
     """A cryptographic operation failed (bad key size, nonce misuse, ...)."""
 

@@ -20,6 +20,7 @@ load generator and the perf gate can observe backpressure engaging.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional
 
@@ -38,8 +39,11 @@ class TokenBucket:
     """Classic token bucket: ``rate`` tokens/second, ``capacity`` burst.
 
     ``time_source`` defaults to :func:`time.monotonic`; tests inject a fake
-    clock for deterministic refill behaviour.  Not thread-safe on its own —
-    the server consults it only from the event-loop thread.
+    clock for deterministic refill behaviour.  Acquisition is not
+    thread-safe on its own — the server consults it only from the
+    event-loop thread — but :meth:`retune` may be called concurrently
+    (the :mod:`repro.plan` controller runs on its own thread), so the
+    refill/retune pair shares an internal lock.
     """
 
     def __init__(
@@ -57,14 +61,39 @@ class TokenBucket:
         self._time_source = time_source
         self._tokens = self.capacity
         self._last_refill = time_source()
+        self._lock = threading.Lock()
 
-    def _refill(self) -> None:
+    def retune(self, rate: Optional[float] = None,
+               capacity: Optional[float] = None) -> None:
+        """Change ``rate`` and/or ``capacity`` without resetting the level.
+
+        Accrued tokens at the old rate are banked first, then the new
+        parameters apply; shrinking ``capacity`` clips the current level
+        so a burst allowance cut takes effect immediately.
+        """
+        if rate is not None and rate <= 0:
+            raise ConfigurationError("token bucket rate must be positive")
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError("token bucket capacity must be positive")
+        with self._lock:
+            self._refill_locked()
+            if rate is not None:
+                self.rate = float(rate)
+            if capacity is not None:
+                self.capacity = float(capacity)
+                self._tokens = min(self._tokens, self.capacity)
+
+    def _refill_locked(self) -> None:
         now = self._time_source()
         elapsed = now - self._last_refill
         if elapsed > 0:
             self._tokens = min(self.capacity,
                                self._tokens + elapsed * self.rate)
         self._last_refill = now
+
+    def _refill(self) -> None:
+        with self._lock:
+            self._refill_locked()
 
     @property
     def tokens(self) -> float:
@@ -73,19 +102,21 @@ class TokenBucket:
 
     def try_acquire(self, amount: float = 1.0) -> bool:
         """Take ``amount`` tokens if available; False means shed."""
-        self._refill()
-        if self._tokens >= amount:
-            self._tokens -= amount
-            return True
-        return False
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
 
     def retry_after(self, amount: float = 1.0) -> float:
         """Seconds until ``amount`` tokens will have accumulated."""
-        self._refill()
-        deficit = amount - self._tokens
-        if deficit <= 0:
-            return 0.0
-        return deficit / self.rate
+        with self._lock:
+            self._refill_locked()
+            deficit = amount - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self.rate
 
 
 class AdmissionController:
@@ -116,6 +147,16 @@ class AdmissionController:
         self.bucket = bucket
         self.retry_hint = retry_hint
         self.counters = CounterSet(registry=metrics, prefix="net.")
+
+    def retune(self, rate: Optional[float] = None,
+               capacity: Optional[float] = None) -> None:
+        """Adjust the token-bucket gate in place (see ``TokenBucket.retune``).
+
+        No-op when rate limiting is disabled (``bucket=None``) — the
+        controller cannot conjure a gate the operator didn't configure.
+        """
+        if self.bucket is not None:
+            self.bucket.retune(rate=rate, capacity=capacity)
 
     def _shed(self, gate: str, reason: str,
               retry_after: float) -> protocol.Refused:

@@ -30,6 +30,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramState",
+    "quantile_from_counts",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "global_registry",
@@ -89,13 +91,113 @@ class Gauge:
         return self._value
 
 
+class HistogramState:
+    """An immutable point-in-time copy of one histogram's raw contents.
+
+    Cheap to take (one list copy under the lock) and safe to post-process
+    on any thread afterwards — the shape :meth:`MetricsRegistry.snapshot`
+    and the :mod:`repro.plan` controller's sampling loop rely on, so
+    neither holds the histogram lock while computing quantiles or
+    serializing.  Windowed statistics come from subtracting two states'
+    bucket ``counts``.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Tuple[float, ...], counts: List[int],
+                 count: int, total: float, minimum: float, maximum: float):
+        self.buckets = buckets
+        self.counts = counts
+        self.count = count
+        self.sum = total
+        self.min = minimum
+        self.max = maximum
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float, interpolate: bool = True) -> float:
+        """See :meth:`Histogram.quantile`; operates on the frozen copy."""
+        return quantile_from_counts(
+            self.buckets, self.counts, self.count, q,
+            minimum=self.min, maximum=self.max, interpolate=interpolate,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean(),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+    def nonzero_buckets(self) -> List[Tuple[str, int]]:
+        """(upper-bound label, count) pairs for buckets that saw samples."""
+        out: List[Tuple[str, int]] = []
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            label = (f"{self.buckets[index]:g}"
+                     if index < len(self.buckets) else "+Inf")
+            out.append((label, count))
+        return out
+
+
+def quantile_from_counts(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    q: float,
+    minimum: float = float("inf"),
+    maximum: float = float("-inf"),
+    interpolate: bool = True,
+) -> float:
+    """The q-quantile of a fixed-bucket distribution.
+
+    With ``interpolate=False`` this is the legacy estimator: the upper
+    bound of the bucket containing the q-th observation — systematically
+    *overstating* the quantile by up to a whole bucket width, which on the
+    coarse log-spaced default buckets can be a 2.5x error.  The default
+    interpolates linearly within the containing bucket (rank position
+    between the bucket's bounds) and clamps to the observed ``[min, max]``
+    so a feedback controller steering on p99 reacts to the measured tail,
+    not to the bucket grid.  Observations in the +Inf overflow bucket
+    return ``maximum`` either way (there is no upper bound to lerp to).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile {q} out of [0, 1]")
+    if count == 0:
+        return 0.0
+    rank = max(1, int(q * count + 0.5))
+    running = 0
+    for index, bucket_count in enumerate(counts):
+        running += bucket_count
+        if running < rank:
+            continue
+        if index >= len(buckets):
+            return maximum
+        upper = buckets[index]
+        if not interpolate:
+            return upper
+        lower = buckets[index - 1] if index > 0 else 0.0
+        fraction = (rank - (running - bucket_count)) / bucket_count
+        value = lower + fraction * (upper - lower)
+        # The true samples never leave [min, max]; the lerp grid can.
+        return min(max(value, minimum), maximum)
+    return maximum
+
+
 class Histogram:
     """Fixed-bucket histogram (cumulative-style buckets, like Prometheus).
 
     ``buckets`` are inclusive upper bounds in ascending order; observations
     above the last bound land in the implicit +Inf bucket.  Keeps count and
-    sum exactly; quantiles are estimated from bucket upper bounds, which is
-    the standard fixed-bucket trade-off.
+    sum exactly; quantiles are estimated from the buckets — linearly
+    interpolated within the containing bucket by default, or the legacy
+    bucket-upper-bound estimate with ``interpolate=False``.
     """
 
     __slots__ = ("name", "buckets", "counts", "_count", "_sum", "_min",
@@ -140,44 +242,34 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket containing the q-quantile (q in [0,1])."""
-        if not 0.0 <= q <= 1.0:
-            raise ConfigurationError(f"quantile {q} out of [0, 1]")
-        if self._count == 0:
-            return 0.0
+    def state(self) -> HistogramState:
+        """A consistent point-in-time copy of the raw bucket contents.
+
+        The only histogram read that takes the lock; every derived
+        statistic (quantiles, summary, export rows) is computed from the
+        returned copy so writers are never blocked behind serialization.
+        """
         with self._lock:
-            rank = max(1, int(q * self._count + 0.5))
-            running = 0
-            for index, count in enumerate(self.counts):
-                running += count
-                if running >= rank:
-                    if index < len(self.buckets):
-                        return self.buckets[index]
-                    return self._max
-        return self._max
+            return HistogramState(
+                self.buckets, list(self.counts), self._count, self._sum,
+                self._min, self._max,
+            )
+
+    def quantile(self, q: float, interpolate: bool = True) -> float:
+        """The q-quantile (q in [0, 1]) estimated from the buckets.
+
+        Interpolates linearly within the containing bucket by default;
+        ``interpolate=False`` restores the legacy bucket-upper-bound
+        estimate (see :func:`quantile_from_counts`).
+        """
+        return self.state().quantile(q, interpolate=interpolate)
 
     def summary(self) -> Dict[str, float]:
-        return {
-            "count": float(self._count),
-            "sum": self._sum,
-            "mean": self.mean(),
-            "min": self._min if self._count else 0.0,
-            "max": self._max if self._count else 0.0,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-        }
+        return self.state().summary()
 
     def nonzero_buckets(self) -> List[Tuple[str, int]]:
         """(upper-bound label, count) pairs for buckets that saw samples."""
-        out: List[Tuple[str, int]] = []
-        for index, count in enumerate(self.counts):
-            if count == 0:
-                continue
-            label = (f"{self.buckets[index]:g}"
-                     if index < len(self.buckets) else "+Inf")
-            out.append((label, count))
-        return out
+        return self.state().nonzero_buckets()
 
 
 class MetricsRegistry:
@@ -257,16 +349,26 @@ class MetricsRegistry:
     # -- introspection / export ----------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """A consistent point-in-time copy of every instrument."""
+        """A consistent point-in-time copy of every instrument.
+
+        Holds the registry lock only to copy primitive state (counter and
+        gauge values, raw histogram buckets); the derived histogram
+        summaries are computed and the result dict assembled *outside* the
+        lock, so a sampling loop calling this every interval never stalls
+        the hot observation path behind serialization work.
+        """
         with self._lock:
-            return {
-                "counters": {n: c.value for n, c in sorted(self._counters.items())},
-                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-                "histograms": {
-                    n: dict(h.summary(), buckets=h.nonzero_buckets())
-                    for n, h in sorted(self._histograms.items())
-                },
-            }
+            counters = {n: c.value for n, c in sorted(self._counters.items())}
+            gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+            states = {n: h.state() for n, h in sorted(self._histograms.items())}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                n: dict(s.summary(), buckets=s.nonzero_buckets())
+                for n, s in states.items()
+            },
+        }
 
     def rows(self) -> Iterable[Dict[str, object]]:
         """One flat dict per instrument — the JSONL export shape."""

@@ -300,6 +300,30 @@ class OnlineReshuffler:
             self._wake.notify_all()
         return self._epoch
 
+    def set_pacing(self, batch_size: Optional[int] = None,
+                   idle_interval: Optional[float] = None) -> None:
+        """Adjust the worker's pacing mid-epoch (thread-safe).
+
+        ``batch_size`` bounds how long each batch holds the op lock;
+        ``idle_interval`` is the yield between batches.  Pacing only
+        changes *when* comparators run, never *which*: the comparator
+        stream is a pure function of the frontier (see
+        :meth:`_comparator_slice`), so a pacing change can re-slice the
+        epoch's unit sequence but not reorder it.  The worker is woken so
+        a lower idle interval takes effect immediately rather than after
+        the current (possibly long) sleep.
+        """
+        if batch_size is not None and batch_size <= 0:
+            raise ConfigurationError("reshuffle batch size must be positive")
+        if idle_interval is not None and idle_interval < 0:
+            raise ConfigurationError("idle interval must be non-negative")
+        with self._wake:
+            if batch_size is not None:
+                self.batch_size = batch_size
+            if idle_interval is not None:
+                self.idle_interval = idle_interval
+            self._wake.notify_all()
+
     def step(self, budget: Optional[int] = None) -> int:
         """Execute up to ``budget`` units (default ``batch_size``) as one
         journaled batch; returns the number of units done (0 when idle).

@@ -53,15 +53,54 @@ class TestInstruments:
         assert summary["mean"] == pytest.approx(6.05 / 4)
         assert summary["min"] == pytest.approx(0.05)
         assert summary["max"] == pytest.approx(5.0)
-        assert summary["p50"] == pytest.approx(1.0)  # bucket upper bound
+        assert summary["p50"] == pytest.approx(0.55)  # interpolated in (0.1, 1]
         assert hist.nonzero_buckets() == [("0.1", 1), ("1", 2), ("10", 1)]
+
+    def test_quantile_interpolation_vs_legacy_upper_bound(self):
+        # Regression pin for both estimators.  Values 0.05, 0.5, 0.5, 5.0
+        # on buckets [0.1, 1, 10]: the median rank (2) lands in (0.1, 1]
+        # as rank 1 of 2 -> lerp 0.1 + 0.5 * (1 - 0.1) = 0.55, while the
+        # legacy mode returns the bucket's upper bound, 1.0.
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(0.55)
+        assert hist.quantile(0.5, interpolate=False) == pytest.approx(1.0)
+        # Interpolation clamps to the observed extremes: the last bucket
+        # lerps toward 10.0 but no sample exceeds 5.0.
+        assert hist.quantile(1.0) == pytest.approx(5.0)
+        assert hist.quantile(1.0, interpolate=False) == pytest.approx(10.0)
+        # And a single-sample bucket clamps up to the observed minimum.
+        low = registry.histogram("low", buckets=[10.0])
+        low.observe(9.0)
+        low.observe(9.5)
+        assert low.quantile(0.25) == pytest.approx(9.0)
+
+    def test_histogram_state_is_frozen_copy(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=[1.0, 2.0])
+        hist.observe(0.5)
+        state = hist.state()
+        hist.observe(1.5)
+        assert state.count == 1
+        assert state.counts == [1, 0, 0]
+        assert hist.state().count == 2
+        # Windowed statistics: subtracting two states' counts isolates
+        # the samples observed between them.
+        delta = [b - a for a, b in zip(state.counts, hist.state().counts)]
+        assert delta == [0, 1, 0]
 
     def test_histogram_overflow_bucket(self):
         registry = MetricsRegistry()
         hist = registry.histogram("t", buckets=[1.0])
         hist.observe(50.0)
         assert hist.nonzero_buckets() == [("+Inf", 1)]
+        # Overflow has no upper bound to interpolate toward: both modes
+        # report the observed maximum... except legacy mode, which has no
+        # better answer than max either.
         assert hist.quantile(1.0) == pytest.approx(50.0)
+        assert hist.quantile(1.0, interpolate=False) == pytest.approx(50.0)
 
     def test_histogram_invalid_buckets(self):
         registry = MetricsRegistry()
@@ -113,6 +152,43 @@ class TestInstruments:
         assert counter.value == 80_000
         assert hist.count == 80_000
         assert hist.sum == pytest.approx(8_000.0)
+
+    def test_snapshot_consistent_under_concurrent_writers(self):
+        # snapshot() copies primitive state under the lock and serializes
+        # outside it; hammer it from a reader thread while writers mutate
+        # every instrument kind and check each snapshot is internally
+        # consistent (histogram count == sum of its bucket counts) and
+        # monotone across reads.
+        registry = MetricsRegistry()
+        counter = registry.counter("w.c")
+        gauge = registry.gauge("w.g")
+        hist = registry.histogram("w.h", buckets=[0.5, 1.0])
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                counter.inc()
+                gauge.add(1.0)
+                hist.observe(0.25)
+                hist.observe(0.75)
+
+        writers = [threading.Thread(target=write) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        try:
+            last_count = 0
+            for _ in range(200):
+                snap = registry.snapshot()
+                summary = snap["histograms"]["w.h"]
+                bucketed = sum(n for _, n in summary["buckets"])
+                assert summary["count"] == bucketed
+                assert summary["count"] >= last_count
+                last_count = summary["count"]
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()
+        assert registry.snapshot()["counters"]["w.c"] == counter.value
 
     def test_reentrant_update_from_snapshot_postprocessing(self):
         # The registry lock is re-entrant: updating an instrument while

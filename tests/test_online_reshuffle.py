@@ -300,6 +300,53 @@ class TestFrontierPurity:
         db.close()
 
 
+class TestPacing:
+    def test_set_pacing_validates(self):
+        db = make_db(seed=3)
+        driver = db.begin_reshuffle(batch_size=8)
+        with pytest.raises(ConfigurationError):
+            driver.set_pacing(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            driver.set_pacing(idle_interval=-1.0)
+        assert driver.batch_size == 8
+        db.close()
+
+    def test_mid_epoch_pacing_change_preserves_batcher_order(self):
+        """Re-slicing the epoch's unit stream (batch 16 -> 3 -> 11 mid-sort)
+        must execute exactly the canonical comparator sequence: pacing
+        changes when units run, never which.  A driver that rebuilt its
+        iterator from batch history instead of the frontier would shift
+        the stream and fail the final-order oracle."""
+        db = make_db(seed=22, journal=MemoryJournal())
+        digest = db.content_digest()
+        driver = db.begin_reshuffle(batch_size=16, journal=MemoryJournal())
+        driver.step()
+        driver.set_pacing(batch_size=3)
+        driver.step()
+        driver.step()
+        driver.set_pacing(batch_size=11, idle_interval=0.0)
+        driver.run()
+        assert not driver.active
+        db.consistency_check()
+        assert db.content_digest() == digest
+        assert_batcher_order(db, driver)
+        db.close()
+
+    def test_background_pacing_change_mid_epoch(self):
+        """Retuning the worker while it runs (the controller's usage) wakes
+        it and leaves the epoch's final order canonical."""
+        db = make_db(seed=26, journal=MemoryJournal())
+        driver = db.begin_reshuffle(batch_size=2, background=True,
+                                    journal=MemoryJournal(),
+                                    idle_interval=0.05)
+        assert wait_until(lambda: driver.frontier > 0)
+        driver.set_pacing(batch_size=32, idle_interval=0.0001)
+        assert wait_until(lambda: not driver.active)
+        db.consistency_check()
+        assert_batcher_order(db, driver)
+        db.close()
+
+
 class TestResumeUniqueness:
     def test_two_resumes_use_distinct_nonce_streams(self):
         db = make_db(seed=23, journal=MemoryJournal())
